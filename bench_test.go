@@ -1,0 +1,300 @@
+// Package repro's benchmarks regenerate every table and figure of the
+// reproduced paper and report the paper's headline quantities as custom
+// benchmark metrics (ms/frame access times, mW powers, channel efficiency),
+// so `go test -bench=. -benchmem` doubles as the full evaluation harness.
+//
+// Mapping to the paper's artifacts (see DESIGN.md section 4):
+//
+//	BenchmarkTableI          -> Table I
+//	BenchmarkFig3            -> Fig. 3
+//	BenchmarkFig4Matrix      -> Fig. 4 (and the data behind Fig. 5)
+//	BenchmarkFig5Power       -> Fig. 5 anchors
+//	BenchmarkXDR             -> the XDR comparison
+//	BenchmarkAddressMapping  -> ablation A1 (RBC vs BRC)
+//	BenchmarkPowerDown       -> ablation A2
+//	BenchmarkPagePolicy      -> ablation A3
+//	BenchmarkChannelScaling  -> the "close to 2x" scaling claim
+//	BenchmarkRawChannel      -> simulator throughput (engineering metric)
+//	BenchmarkGeometrySweep   -> extension G1 (device organization)
+//	BenchmarkSustained       -> extension S1 (paced multi-frame recording)
+//	BenchmarkWriteBuffer     -> extension A4 (posted-write buffer)
+//	BenchmarkOperatingPoints -> extension D1 (DVFS operating points)
+//	BenchmarkInterleave      -> extension T2 (Table II granularity)
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/memsys"
+	"repro/internal/units"
+	"repro/internal/usecase"
+)
+
+// benchFraction keeps bench iterations affordable; results extrapolate
+// linearly (the load is homogeneous — see core.Workload.SampleFraction).
+const benchFraction = 0.05
+
+func simulate(b *testing.B, format string, channels int, freq units.Frequency, mutate func(*core.MemoryConfig)) core.Result {
+	b.Helper()
+	w, err := core.WorkloadFor(format)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.SampleFraction = benchFraction
+	mc := core.PaperMemory(channels, freq)
+	if mutate != nil {
+		mutate(&mc)
+	}
+	res, err := core.Simulate(w, mc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTableI regenerates Table I and reports the three prose bandwidth
+// anchors as metrics.
+func BenchmarkTableI(b *testing.B) {
+	var cols []core.TableIColumn
+	for i := 0; i < b.N; i++ {
+		var err error
+		cols, err = core.RunTableI(usecase.Params{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cols[0].Bandwidth.GBps(), "720p30_GB/s")
+	b.ReportMetric(cols[2].Bandwidth.GBps(), "1080p30_GB/s")
+	b.ReportMetric(cols[3].Bandwidth.GBps(), "1080p60_GB/s")
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (access time vs clock, 720p30) and
+// reports the single-channel end points.
+func BenchmarkFig3(b *testing.B) {
+	var points []core.FigPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = core.RunFig3(core.RunOptions{SampleFraction: benchFraction})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Channels == 1 && p.Freq == 200*units.MHz {
+			b.ReportMetric(p.Result.AccessTime.Milliseconds(), "1ch200MHz_ms")
+		}
+		if p.Channels == 1 && p.Freq == 400*units.MHz {
+			b.ReportMetric(p.Result.AccessTime.Milliseconds(), "1ch400MHz_ms")
+		}
+	}
+}
+
+// BenchmarkFig4Matrix regenerates the format-vs-channels matrix of figures 4
+// and 5 and reports the 1080p30 access times.
+func BenchmarkFig4Matrix(b *testing.B) {
+	var points []core.FigPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = core.RunFormatMatrix(core.RunOptions{SampleFraction: benchFraction})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Format == "1080p30" && (p.Channels == 2 || p.Channels == 4) {
+			b.ReportMetric(p.Result.AccessTime.Milliseconds(),
+				map[int]string{2: "1080p30_2ch_ms", 4: "1080p30_4ch_ms"}[p.Channels])
+		}
+	}
+}
+
+// BenchmarkFig5Power reports the paper's four power anchors.
+func BenchmarkFig5Power(b *testing.B) {
+	anchors := []struct {
+		format   string
+		channels int
+		metric   string
+	}{
+		{"720p30", 1, "720p30_1ch_mW"},
+		{"720p30", 8, "720p30_8ch_mW"},
+		{"1080p30", 4, "1080p30_4ch_mW"},
+		{"2160p30", 8, "2160p30_8ch_mW"},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, a := range anchors {
+			res := simulate(b, a.format, a.channels, 400*units.MHz, nil)
+			if i == b.N-1 {
+				b.ReportMetric(res.TotalPower.Milliwatts(), a.metric)
+			}
+		}
+	}
+}
+
+// BenchmarkXDR regenerates the XDR comparison and reports the power-ratio
+// range (paper: 4 % to 25 %).
+func BenchmarkXDR(b *testing.B) {
+	var cmp core.XDRComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = core.RunXDRComparison(core.RunOptions{SampleFraction: benchFraction})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.MinRatio*100, "min_%of_XDR")
+	b.ReportMetric(cmp.MaxRatio*100, "max_%of_XDR")
+}
+
+// BenchmarkAddressMapping is ablation A1: RBC vs BRC on 1080p30/4ch.
+func BenchmarkAddressMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rbc := simulate(b, "1080p30", 4, 400*units.MHz, nil)
+		brc := simulate(b, "1080p30", 4, 400*units.MHz, func(mc *core.MemoryConfig) {
+			mc.Mux = mapping.BRC
+		})
+		if i == b.N-1 {
+			b.ReportMetric(rbc.AccessTime.Milliseconds(), "RBC_ms")
+			b.ReportMetric(brc.AccessTime.Milliseconds(), "BRC_ms")
+		}
+	}
+}
+
+// BenchmarkPowerDown is ablation A2: power-down vs always-standby.
+func BenchmarkPowerDown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := simulate(b, "720p30", 8, 400*units.MHz, nil)
+		off := simulate(b, "720p30", 8, 400*units.MHz, func(mc *core.MemoryConfig) {
+			mc.DisablePowerDown = true
+		})
+		if i == b.N-1 {
+			b.ReportMetric(on.TotalPower.Milliwatts(), "powerdown_mW")
+			b.ReportMetric(off.TotalPower.Milliwatts(), "standby_mW")
+		}
+	}
+}
+
+// BenchmarkPagePolicy is ablation A3: open vs closed page.
+func BenchmarkPagePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		open := simulate(b, "720p30", 1, 400*units.MHz, nil)
+		closed := simulate(b, "720p30", 1, 400*units.MHz, func(mc *core.MemoryConfig) {
+			mc.Policy = controller.ClosedPage
+		})
+		if i == b.N-1 {
+			b.ReportMetric(open.AccessTime.Milliseconds(), "open_ms")
+			b.ReportMetric(closed.AccessTime.Milliseconds(), "closed_ms")
+		}
+	}
+}
+
+// BenchmarkChannelScaling measures the speedup of channel doubling
+// (paper: "close to 2x").
+func BenchmarkChannelScaling(b *testing.B) {
+	var t1, t8 float64
+	for i := 0; i < b.N; i++ {
+		t1 = simulate(b, "720p30", 1, 400*units.MHz, nil).AccessTime.Milliseconds()
+		t8 = simulate(b, "720p30", 8, 400*units.MHz, nil).AccessTime.Milliseconds()
+	}
+	b.ReportMetric(t1/t8, "1ch_vs_8ch_speedup")
+}
+
+// BenchmarkRawChannel measures the simulator's own throughput: bursts
+// simulated per second on a saturated sequential read stream.
+func BenchmarkRawChannel(b *testing.B) {
+	sys, err := memsys.New(memsys.PaperConfig(4, 400*units.MHz))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const bytes = 4 << 20
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Reset()
+		if _, err := sys.Run(memsys.NewSliceSource([]memsys.Request{{Addr: 0, Bytes: bytes}})); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeometrySweep runs the device-organization sensitivity sweep and
+// reports the spread.
+func BenchmarkGeometrySweep(b *testing.B) {
+	var points []core.GeometryPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = core.RunGeometrySweep(core.RunOptions{SampleFraction: benchFraction})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(core.GeometrySpread(points)*100, "spread_%")
+}
+
+// BenchmarkSustained runs the paced multi-frame simulation and reports the
+// realistic sustained power against the frame-burst estimate.
+func BenchmarkSustained(b *testing.B) {
+	w, err := core.WorkloadFor("720p30")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.SampleFraction = benchFraction
+	var res core.SustainedResult
+	for i := 0; i < b.N; i++ {
+		res, err = core.SimulateSustained(w, core.PaperMemory(4, 400*units.MHz), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.TotalPower.Milliwatts(), "sustained_mW")
+	b.ReportMetric(res.PowerDownResidency*100, "pd_residency_%")
+}
+
+// BenchmarkWriteBuffer reports the posted-write-buffer extension's gain.
+func BenchmarkWriteBuffer(b *testing.B) {
+	var base, buf core.Result
+	for i := 0; i < b.N; i++ {
+		base = simulate(b, "720p30", 1, 400*units.MHz, nil)
+		buf = simulate(b, "720p30", 1, 400*units.MHz, func(mc *core.MemoryConfig) {
+			mc.WriteBufferDepth = 32
+		})
+	}
+	b.ReportMetric(base.AccessTime.Milliseconds(), "baseline_ms")
+	b.ReportMetric(buf.AccessTime.Milliseconds(), "buffered_ms")
+}
+
+// BenchmarkOperatingPoints runs the DVFS operating-point sweep and reports
+// the 8-channel 720p30 saving.
+func BenchmarkOperatingPoints(b *testing.B) {
+	var points []core.OperatingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = core.RunOperatingPoints(core.RunOptions{SampleFraction: 0.02})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Format == "720p30" && p.Channels == 8 {
+			b.ReportMetric(p.Saving*100, "720p30_8ch_saving_%")
+		}
+	}
+}
+
+// BenchmarkInterleave runs the Table II granularity sweep and reports the
+// isolated-transaction latency ratio between the coarsest and the paper's
+// 16-byte interleave.
+func BenchmarkInterleave(b *testing.B) {
+	var points []core.InterleavePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = core.RunInterleaveSweep(core.RunOptions{SampleFraction: benchFraction})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := points[0], points[len(points)-1]
+	b.ReportMetric(last.IsolatedLatency.Seconds()/first.IsolatedLatency.Seconds(), "latency_ratio_256B_vs_16B")
+}

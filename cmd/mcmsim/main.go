@@ -1,0 +1,115 @@
+// Command mcmsim simulates one frame of the video-recording use case on a
+// multi-channel memory configuration and reports access time, real-time
+// verdict, bandwidth and power, reproducing a single data point of the
+// paper's figures.
+//
+// Usage:
+//
+//	mcmsim -format 1080p30 -channels 4 -freq 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		format   = flag.String("format", "720p30", "frame format: 720p30, 720p60, 1080p30, 1080p60, 2160p30, 2160p60")
+		channels = flag.Int("channels", 1, "memory channel count (1, 2, 4, 8)")
+		freqMHz  = flag.Float64("freq", 400, "interface clock in MHz (200-533)")
+		mux      = flag.String("mux", "rbc", "address multiplexing: rbc or brc")
+		page     = flag.String("page", "open", "page policy: open or closed")
+		noPD     = flag.Bool("no-powerdown", false, "disable aggressive power-down")
+		fraction = flag.Float64("fraction", 1.0, "fraction of the frame traffic to simulate (extrapolated)")
+		perChan  = flag.Bool("per-channel", false, "print per-channel power breakdown")
+		stages   = flag.Bool("stages", false, "attribute access time and energy per pipeline stage")
+		latency  = flag.Bool("latency", false, "print the per-burst latency histogram")
+		wbuf     = flag.Int("write-buffer", 0, "posted-write buffer depth (0 = paper baseline)")
+		queue    = flag.Int("queue", 0, "FR-FCFS reorder window depth (0 = in-order baseline)")
+		refPost  = flag.Int("refresh-postpone", 0, "max postponed refreshes (0 = immediate)")
+		preIdle  = flag.Bool("precharge-idle", false, "precharge all banks before power-down")
+	)
+	flag.Parse()
+
+	w, err := core.WorkloadFor(*format)
+	if err != nil {
+		fatal(err)
+	}
+	w.SampleFraction = *fraction
+	w.RecordLatency = *latency
+
+	mc := core.PaperMemory(*channels, units.Frequency(*freqMHz)*units.MHz)
+	switch *mux {
+	case "rbc":
+		mc.Mux = mapping.RBC
+	case "brc":
+		mc.Mux = mapping.BRC
+	default:
+		fatal(fmt.Errorf("unknown multiplexing %q", *mux))
+	}
+	switch *page {
+	case "open":
+		mc.Policy = controller.OpenPage
+	case "closed":
+		mc.Policy = controller.ClosedPage
+	default:
+		fatal(fmt.Errorf("unknown page policy %q", *page))
+	}
+	mc.DisablePowerDown = *noPD
+	mc.WriteBufferDepth = *wbuf
+	mc.QueueDepth = *queue
+	mc.RefreshPostpone = *refPost
+	mc.PrechargeOnIdle = *preIdle
+
+	res, err := core.Simulate(w, mc)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload:   %s (H.264 level %s), %d B/frame (%.2f GB/s required)\n",
+		res.Format, res.Level.Number, res.FrameBytes, res.RequiredBandwidth.GBps())
+	fmt.Printf("memory:     %d channel(s) @ %v, %s, %s, power-down %v\n",
+		res.Channels, res.Freq, mc.Mux, mc.Policy, !mc.DisablePowerDown)
+	fmt.Printf("access:     %v per frame (budget %v)  ->  %s\n",
+		res.AccessTime, res.FramePeriod, res.Verdict)
+	fmt.Printf("bandwidth:  %.2f GB/s achieved of %.2f GB/s peak (efficiency %.3f)\n",
+		res.AchievedBandwidth.GBps(), res.PeakBandwidth.GBps(), res.Efficiency)
+	fmt.Printf("power:      %.1f mW total (interface %.1f mW)\n",
+		res.TotalPower.Milliwatts(), res.InterfacePower.Milliwatts())
+	fmt.Printf("activity:   %s\n", res.Totals)
+	if *perChan {
+		for i, b := range res.PerChannel {
+			fmt.Printf("  channel %d: %.2f mW (bg %.3f mJ, act %.3f mJ, rw %.3f mJ, ref %.3f mJ, io %.3f mJ)\n",
+				i, b.AveragePower().Milliwatts(),
+				b.Background.Millijoules(), b.Activate.Millijoules(),
+				b.ReadWrite.Millijoules(), b.Refresh.Millijoules(), b.Interface.Millijoules())
+		}
+	}
+	if *latency && res.Latency != nil {
+		fmt.Printf("latency:    %s cycles (p50<=%d p99<=%d)\n",
+			res.Latency, res.Latency.Quantile(0.5), res.Latency.Quantile(0.99))
+	}
+	if *stages {
+		sres, err := core.SimulateStages(w, mc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("per-stage attribution:")
+		for _, s := range sres {
+			fmt.Printf("  %-22s %10d B  %10.3f ms  %8.3f mJ  eff %.2f\n",
+				s.Name, s.Bytes, s.Time.Milliseconds(), s.Energy.Millijoules(), s.Efficiency)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcmsim:", err)
+	os.Exit(1)
+}

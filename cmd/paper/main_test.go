@@ -1,0 +1,167 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var fastOpt = core.RunOptions{SampleFraction: 0.02}
+
+func TestTableIArtifact(t *testing.T) {
+	tb, err := tableI(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	// Five level columns plus the row-name column.
+	if len(tb.Headers) != 6 {
+		t.Errorf("headers = %d, want 6", len(tb.Headers))
+	}
+	for _, want := range []string{"L3.1 720p30", "L5.2 2160p30", "Video encoder", "Data Mem. load [MB/s]", "1890"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestFig3Artifact(t *testing.T) {
+	tb, err := fig3(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 20 {
+		t.Errorf("Fig. 3 rows = %d, want 20", tb.Rows())
+	}
+	out := tb.String()
+	if !strings.Contains(out, "MARGINAL") {
+		t.Error("Fig. 3 missing the 333 MHz MARGINAL point")
+	}
+	if !strings.Contains(out, "infeasible") {
+		t.Error("Fig. 3 missing infeasible points")
+	}
+}
+
+func TestFig4And5Artifacts(t *testing.T) {
+	f4, err := fig4(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4.Rows() != 24 {
+		t.Errorf("Fig. 4 rows = %d, want 24", f4.Rows())
+	}
+	f5, err := fig5(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.Rows() != 24 {
+		t.Errorf("Fig. 5 rows = %d, want 24", f5.Rows())
+	}
+	out := f5.String()
+	// Infeasible bars render as zero.
+	if !strings.Contains(out, "infeasible") {
+		t.Error("Fig. 5 missing zero bars")
+	}
+	if !strings.Contains(out, "MARGINAL") {
+		t.Error("Fig. 5 missing MARGINAL notes")
+	}
+}
+
+func TestXDRArtifact(t *testing.T) {
+	tb, err := xdrTable(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"Cell BE XDR", "25.6", "range"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XDR table missing %q", want)
+		}
+	}
+}
+
+func TestAblationsArtifact(t *testing.T) {
+	tb, err := ablations(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 4 {
+		t.Errorf("ablations rows = %d, want 4", tb.Rows())
+	}
+	out := tb.String()
+	for _, want := range []string{"RBC vs BRC", "power-down", "open vs closed", "write buffer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations missing %q", want)
+		}
+	}
+}
+
+func TestGeometryArtifact(t *testing.T) {
+	tb, err := geometry(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 10 { // 9 points + spread row
+		t.Errorf("geometry rows = %d, want 10", tb.Rows())
+	}
+	if !strings.Contains(tb.String(), "spread") {
+		t.Error("geometry table missing spread row")
+	}
+}
+
+func TestOperatingArtifact(t *testing.T) {
+	tb, err := operating(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 24 {
+		t.Errorf("operating rows = %d, want 24", tb.Rows())
+	}
+	out := tb.String()
+	if !strings.Contains(out, "none") {
+		t.Error("operating table missing infeasible entries")
+	}
+	if !strings.Contains(out, "400 MHz") {
+		t.Error("operating table missing the 720p30/1ch 400 MHz point")
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tb, err := fig3(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 21 { // header + 20 points
+		t.Errorf("CSV lines = %d, want 21", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "channels,clock") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestWriteArtifact(t *testing.T) {
+	dir := t.TempDir()
+	tb, err := tableI(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeArtifact(dir, "table1", tb, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeArtifact(dir, "table1", tb, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.txt", "table1.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("artifact %s missing: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command sweep runs the simulator over a cross product of frame formats,
+// channel counts and clock frequencies and emits one CSV row per point —
+// the raw data behind the paper's figures, ready for external plotting.
+//
+// Usage:
+//
+//	sweep                              # full paper cross product
+//	sweep -formats 1080p30,1080p60 -channels 2,4 -freqs 400,533
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		formats  = flag.String("formats", "720p30,720p60,1080p30,1080p60,2160p30,2160p60", "comma-separated frame formats")
+		channels = flag.String("channels", "1,2,4,8", "comma-separated channel counts")
+		freqs    = flag.String("freqs", "200,266,333,400,533", "comma-separated clock frequencies in MHz")
+		fraction = flag.Float64("fraction", 0.1, "frame fraction to simulate")
+	)
+	flag.Parse()
+
+	chList, err := parseInts(*channels)
+	if err != nil {
+		fatal(err)
+	}
+	freqList, err := parseInts(*freqs)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw")
+	for _, format := range strings.Split(*formats, ",") {
+		w, err := core.WorkloadFor(strings.TrimSpace(format))
+		if err != nil {
+			fatal(err)
+		}
+		w.SampleFraction = *fraction
+		for _, ch := range chList {
+			for _, f := range freqList {
+				res, err := core.Simulate(w, core.PaperMemory(ch, units.Frequency(f)*units.MHz))
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f\n",
+					res.Format.Name, ch, f,
+					res.FrameBytes,
+					res.RequiredBandwidth.GBps(),
+					res.AccessTime.Milliseconds(),
+					res.FramePeriod.Milliseconds(),
+					res.Verdict,
+					res.Efficiency,
+					res.TotalPower.Milliwatts(),
+					res.InterfacePower.Milliwatts())
+			}
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("parsed %v, want %v", got, want)
+		}
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("expected error for bad element")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("expected error for empty list")
+	}
+}

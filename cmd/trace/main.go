@@ -1,0 +1,134 @@
+// Command trace works with memory transaction traces: dump the recording
+// load model's stream for inspection, summarize a trace file, or replay one
+// through a memory configuration.
+//
+// Usage:
+//
+//	trace -dump -format 720p30 -channels 2 -fraction 0.001 > frame.trace
+//	trace -summary frame.trace
+//	trace -run frame.trace -channels 2 -freq 400
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dram"
+	"repro/internal/load"
+	"repro/internal/memsys"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/usecase"
+	"repro/internal/video"
+)
+
+func main() {
+	var (
+		dump     = flag.Bool("dump", false, "emit the load model's transaction trace to stdout")
+		binary   = flag.Bool("binary", false, "use the compact binary format for -dump")
+		run      = flag.String("run", "", "replay the given trace file through a memory configuration")
+		summary  = flag.String("summary", "", "summarize the given trace file")
+		format   = flag.String("format", "720p30", "frame format for -dump")
+		channels = flag.Int("channels", 2, "channel count")
+		freqMHz  = flag.Float64("freq", 400, "clock in MHz")
+		fraction = flag.Float64("fraction", 0.001, "frame fraction for -dump")
+	)
+	flag.Parse()
+
+	switch {
+	case *dump:
+		if err := dumpTrace(*format, *channels, *fraction, *binary); err != nil {
+			fatal(err)
+		}
+	case *summary != "":
+		if err := summarize(*summary); err != nil {
+			fatal(err)
+		}
+	case *run != "":
+		if err := replay(*run, *channels, *freqMHz); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace:", err)
+	os.Exit(1)
+}
+
+func dumpTrace(format string, channels int, fraction float64, binary bool) error {
+	prof, err := video.ProfileFor(format)
+	if err != nil {
+		return err
+	}
+	l, err := usecase.New(prof, usecase.DefaultParams())
+	if err != nil {
+		return err
+	}
+	gen, err := load.New(l, channels, dram.DefaultGeometry(), load.Config{})
+	if err != nil {
+		return err
+	}
+	src, err := gen.Frame(fraction)
+	if err != nil {
+		return err
+	}
+	reqs := trace.Record(src)
+	if binary {
+		return trace.WriteBinary(os.Stdout, reqs)
+	}
+	fmt.Printf("# %s recording, %d channels, fraction %g: %d transactions\n",
+		format, channels, fraction, len(reqs))
+	return trace.Write(os.Stdout, reqs)
+}
+
+func summarize(path string) error {
+	reqs, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	s := trace.Summarize(reqs)
+	fmt.Printf("transactions: %d (%d reads, %d writes)\n", s.Transactions, s.Reads, s.Writes)
+	fmt.Printf("payload:      %d bytes read, %d bytes written\n", s.BytesRead, s.BytesWritten)
+	fmt.Printf("address span: [%d, %d)\n", s.MinAddr, s.MaxAddr)
+	return nil
+}
+
+func replay(path string, channels int, freqMHz float64) error {
+	reqs, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	sys, err := memsys.New(memsys.PaperConfig(channels, units.Frequency(freqMHz)*units.MHz))
+	if err != nil {
+		return err
+	}
+	res, err := sys.Run(memsys.NewSliceSource(reqs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d transactions (%d bursts) on %d ch @ %g MHz\n",
+		res.Transactions, res.Bursts, channels, freqMHz)
+	fmt.Printf("makespan:    %v (%d cycles)\n", res.Time, res.Cycles)
+	fmt.Printf("bandwidth:   %.3f GB/s payload (%.1f%% bus utilization)\n",
+		res.Bandwidth().GBps(), res.BusUtilization()*100)
+	fmt.Printf("activity:    %s\n", res.Totals())
+	return nil
+}
+
+// loadTrace reads a trace file in either format (binary detected by magic).
+func loadTrace(path string) ([]memsys.Request, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 8 && string(data[:8]) == "mcmtrc01" {
+		return trace.ReadBinary(bytes.NewReader(data))
+	}
+	return trace.Read(bytes.NewReader(data))
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDumpSummaryReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "frame.trace")
+
+	// Redirect stdout to capture the dump.
+	old := os.Stdout
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	dumpErr := dumpTrace("720p30", 2, 0.001, false)
+	os.Stdout = old
+	f.Close()
+	if dumpErr != nil {
+		t.Fatal(dumpErr)
+	}
+
+	if err := summarize(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(path, 2, 400); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths.
+	if err := summarize(filepath.Join(dir, "missing")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	if err := replay(path, 0, 400); err == nil {
+		t.Error("expected error for zero channels")
+	}
+	if err := dumpTrace("nope", 2, 0.001, false); err == nil {
+		t.Error("expected error for unknown format")
+	}
+
+	// Binary dump round-trips through the auto-detecting loader.
+	binPath := filepath.Join(dir, "frame.bin")
+	fb, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = fb
+	dumpErr = dumpTrace("720p30", 2, 0.001, true)
+	os.Stdout = old
+	fb.Close()
+	if dumpErr != nil {
+		t.Fatal(dumpErr)
+	}
+	binReqs, err := loadTrace(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txtReqs, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binReqs) != len(txtReqs) {
+		t.Errorf("binary trace has %d requests, text %d", len(binReqs), len(txtReqs))
+	}
+}

@@ -1,0 +1,126 @@
+// Cachedemo reproduces the introduction's cache argument: a software
+// H.264/AVC encoder's raw access stream reaches thousands of GB/s at HDTV
+// rates (the paper cites 5570 GB/s for 720p30, reference [2]), yet with
+// appropriate caching the execution-memory load of the whole recording
+// chain collapses to ~1.9 GB/s — because full-search motion estimation
+// re-reads the same search window for every candidate motion vector, and
+// neighbouring macroblocks' windows overlap enormously.
+//
+// The demo drives a synthetic full-search motion-estimation access pattern
+// (every candidate vector reads a full 16x16 block from each reference
+// frame) through the set-associative cache model and reports the raw demand
+// versus the miss traffic that actually reaches the execution memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/units"
+	"repro/internal/usecase"
+	"repro/internal/video"
+)
+
+func main() {
+	cacheKB := flag.Int64("cache-kb", 512, "cache capacity in KiB")
+	mbRows := flag.Int("mb-rows", 2, "macroblock rows to simulate (results scale up)")
+	searchRange := flag.Int("range", 24, "motion search range in pixels (+-)")
+	refs := flag.Int("refs", 4, "reference frames searched")
+	flag.Parse()
+
+	prof, err := video.ProfileFor("720p30")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := cache.New(cache.Config{SizeBytes: *cacheKB * 1024, LineBytes: 64, Ways: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		mb       = 16
+		accessSz = 16 // a NEON-class SIMD load
+	)
+	width := prof.Format.Width
+	cols := prof.Format.MacroblockCols()
+
+	var rawBytes int64
+	readBlock := func(base int64, x, y int) {
+		for r := 0; r < mb; r++ {
+			rowAddr := base + int64(y+r)*int64(width) + int64(x)
+			for o := 0; o < mb; o += accessSz {
+				c.Access(rowAddr+int64(o), false)
+				rawBytes += accessSz
+			}
+		}
+	}
+	writeBlock := func(base int64, x, y int) {
+		for r := 0; r < mb; r++ {
+			rowAddr := base + int64(y+r)*int64(width) + int64(x)
+			for o := 0; o < mb; o += accessSz {
+				c.Access(rowAddr+int64(o), true)
+				rawBytes += accessSz
+			}
+		}
+	}
+
+	// Full-search motion estimation: for every macroblock, every candidate
+	// vector in the +-range window, against every reference frame, compare
+	// the current block with the displaced reference block.
+	curBase := int64(1) << 26
+	reconBase := int64(1) << 27
+	refBase := func(i int) int64 { return int64(i) << 28 }
+	sr := *searchRange
+	for row := 0; row < *mbRows; row++ {
+		y := row*mb + sr // keep windows inside the frame
+		for col := 0; col < cols; col++ {
+			x := clamp(col*mb, sr, width-sr-mb)
+			for ref := 0; ref < *refs; ref++ {
+				for dy := -sr; dy <= sr; dy += 2 {
+					for dx := -sr; dx <= sr; dx += 2 {
+						readBlock(refBase(ref), x+dx, y+dy)
+						readBlock(curBase, x, y)
+					}
+				}
+			}
+			writeBlock(reconBase, x, y)
+		}
+	}
+	c.Flush()
+
+	mbCount := *mbRows * cols
+	scale := float64(prof.Format.Macroblocks()) / float64(mbCount)
+	fps := float64(prof.Format.FPS)
+	rawPerSec := units.Bandwidth(float64(rawBytes) * scale * fps)
+	missPerSec := units.Bandwidth(float64(c.MissBytes()) * scale * fps)
+
+	l, err := usecase.New(prof, usecase.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Synthetic full-search motion estimation, %v, +-%d px, %d reference frames,\n",
+		prof.Format, sr, *refs)
+	fmt.Printf("%d KiB 8-way cache:\n", *cacheKB)
+	fmt.Printf("  raw encoder demand:        %8.0f GB/s (every candidate re-reads its block)\n", rawPerSec.GBps())
+	fmt.Printf("  cache hit rate:            %8.2f %%\n", c.Stats().HitRate()*100)
+	fmt.Printf("  execution-memory misses:   %8.2f GB/s\n", missPerSec.GBps())
+	fmt.Printf("  reduction:                 %8.0fx\n", rawPerSec.GBps()/missPerSec.GBps())
+	fmt.Println()
+	fmt.Printf("Whole recording chain after caching (Table I): %.2f GB/s\n", l.Bandwidth().GBps())
+	fmt.Println("The paper's point: caches absorb the encoder's reuse; only the streaming")
+	fmt.Println("working set of Fig. 1 reaches the multi-channel execution memory.")
+}
+
+// clamp keeps v within [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

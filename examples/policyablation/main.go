@@ -1,0 +1,81 @@
+// Policyablation quantifies the paper's design choices one at a time on the
+// same recording workload: RBC vs BRC address multiplexing, open vs closed
+// page policy, and aggressive power-down vs always-on standby. It shows why
+// the paper's baseline (RBC + open page + power-down) is the right corner of
+// the design space for streaming video traffic.
+//
+// Usage:
+//
+//	policyablation [-format 1080p30] [-channels 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	format := flag.String("format", "1080p30", "recording format")
+	channels := flag.Int("channels", 4, "channel count")
+	fraction := flag.Float64("fraction", 0.1, "frame fraction to simulate")
+	flag.Parse()
+
+	w, err := core.WorkloadFor(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.SampleFraction = *fraction
+
+	run := func(mutate func(*core.MemoryConfig)) core.Result {
+		mc := core.PaperMemory(*channels, 400*units.MHz)
+		if mutate != nil {
+			mutate(&mc)
+		}
+		res, err := core.Simulate(w, mc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(nil)
+	variants := []struct {
+		name   string
+		mutate func(*core.MemoryConfig)
+	}{
+		{"BRC multiplexing", func(mc *core.MemoryConfig) { mc.Mux = mapping.BRC }},
+		{"closed-page policy", func(mc *core.MemoryConfig) { mc.Policy = controller.ClosedPage }},
+		{"no power-down", func(mc *core.MemoryConfig) { mc.DisablePowerDown = true }},
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Design-choice ablations: %s on %d channels @ 400 MHz (baseline: RBC, open page, power-down)",
+			*format, *channels),
+		"configuration", "access time", "verdict", "power", "vs baseline")
+	t.AddRow("baseline",
+		fmt.Sprintf("%.2f ms", base.AccessTime.Milliseconds()),
+		base.Verdict.String(),
+		fmt.Sprintf("%.0f mW", base.TotalPower.Milliwatts()),
+		"-")
+	for _, v := range variants {
+		res := run(v.mutate)
+		timeDelta := (res.AccessTime.Seconds()/base.AccessTime.Seconds() - 1) * 100
+		powerDelta := (float64(res.TotalPower)/float64(base.TotalPower) - 1) * 100
+		t.AddRow(v.name,
+			fmt.Sprintf("%.2f ms", res.AccessTime.Milliseconds()),
+			res.Verdict.String(),
+			fmt.Sprintf("%.0f mW", res.TotalPower.Milliwatts()),
+			fmt.Sprintf("time %+.0f%%, power %+.0f%%", timeDelta, powerDelta))
+	}
+	fmt.Print(t)
+	fmt.Println("\nReading the table: BRC serializes the sequential streams into single banks;")
+	fmt.Println("closed page re-activates a row per burst on row-local traffic; disabling")
+	fmt.Println("power-down burns active standby through every idle cycle of the frame.")
+}

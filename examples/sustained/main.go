@@ -1,0 +1,79 @@
+// Sustained runs the recorder the way a device does — every frame's
+// traffic paced across its frame slot, the memory dropping into power-down
+// in each gap — instead of the figures' saturated one-frame bursts. It
+// reports, per format on its recommended configuration:
+//
+//   - whether the memory keeps up slot after slot (lateness),
+//   - the power-down residency aggressive power management achieves, and
+//   - the realistic sustained power against the frame-burst estimate,
+//     which misses the per-transaction wake costs (tXP plus the CAS
+//     pipeline restart in active standby).
+//
+// Usage:
+//
+//	sustained [-frames 3] [-fraction 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	frames := flag.Int("frames", 3, "frame slots to simulate")
+	fraction := flag.Float64("fraction", 0.1, "per-frame sampling fraction")
+	flag.Parse()
+
+	// The paper's recommended configuration per format (conclusions).
+	configs := []struct {
+		format   string
+		channels int
+	}{
+		{"720p30", 1},
+		{"720p60", 2},
+		{"1080p30", 4},
+		{"1080p60", 8},
+		{"2160p30", 8},
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Sustained recording, %d paced frame slots @ 400 MHz", *frames),
+		"format", "channels", "keeps up", "PD residency", "PD exits/frame",
+		"sustained power", "burst estimate", "wake cost")
+	for _, c := range configs {
+		w, err := core.WorkloadFor(c.format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.SampleFraction = *fraction
+		mem := core.PaperMemory(c.channels, 400*units.MHz)
+		sus, err := core.SimulateSustained(w, mem, *frames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sat, err := core.Simulate(w, mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		keeps := "yes"
+		if sus.Lateness > 0 {
+			keeps = fmt.Sprintf("late by %v", sus.Lateness)
+		}
+		t.AddRow(c.format, fmt.Sprint(c.channels), keeps,
+			fmt.Sprintf("%.0f%%", sus.PowerDownResidency*100),
+			fmt.Sprintf("%.0fk", float64(sus.PowerDownExits)/float64(*frames)/1000),
+			fmt.Sprintf("%.0f mW", sus.TotalPower.Milliwatts()),
+			fmt.Sprintf("%.0f mW", sat.TotalPower.Milliwatts()),
+			fmt.Sprintf("%+.0f%%", (float64(sus.TotalPower)/float64(sat.TotalPower)-1)*100))
+	}
+	fmt.Print(t)
+	fmt.Println("\nThe frame-burst methodology (paper Fig. 5) underestimates sustained power by")
+	fmt.Println("the wake costs of per-transaction power-down — the price of entering power-down")
+	fmt.Println("'after the first idle clock cycle'. Batching transactions or relaxing the")
+	fmt.Println("power-down trigger trades this overhead against power-down residency.")
+}

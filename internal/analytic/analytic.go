@@ -1,0 +1,195 @@
+// Package analytic provides a closed-form estimator for the frame access
+// time of the recording load on a multi-channel memory. It exists to
+// cross-check the cycle-level simulator: both models consume the same
+// stage/stream decomposition, and property tests assert they agree within a
+// modest tolerance across configurations.
+//
+// The estimate counts, per channel: pure data-transfer cycles; read/write
+// bus-turnaround bubbles at stream-visit granularity; row activate costs at
+// row-crossing and bank-conflict events (streams beyond the bank count must
+// evict each other's rows); and the refresh duty cycle.
+package analytic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dram"
+	"repro/internal/load"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Estimate is the closed-form result.
+type Estimate struct {
+	// Cycles is the predicted per-channel makespan for one frame.
+	Cycles int64
+	// Time is Cycles in wall time.
+	Time units.Duration
+	// Efficiency is data cycles over total cycles.
+	Efficiency float64
+	// DataCycles, TurnaroundCycles, RowCycles, RefreshCycles itemize the
+	// estimate.
+	DataCycles       int64
+	TurnaroundCycles int64
+	RowCycles        int64
+	RefreshCycles    int64
+}
+
+// FrameTime estimates the access time of one frame of the generator's
+// traffic on an M-channel memory at the given device speed.
+func FrameTime(gen *load.Generator, speed dram.Speed) (Estimate, error) {
+	if gen == nil {
+		return Estimate{}, fmt.Errorf("analytic: nil generator")
+	}
+	if speed.TCK <= 0 {
+		return Estimate{}, fmt.Errorf("analytic: unresolved speed (use dram.Resolve)")
+	}
+	m := int64(gen.Channels())
+	bytesPerCycle := int64(speed.Geometry.WordBits) / 8 * 2 // DDR
+	rowSpan := speed.Geometry.RowBytes() * m                // global bytes per local row
+	banks := speed.Geometry.Banks
+
+	// Costs in cycles.
+	dirPairCost := speed.WTR + speed.CL + 2 // W->R gap plus the R->W bubble
+	rowCost := speed.RCD + 2                // activate on a sequential row crossing
+	conflictCost := speed.RP + speed.RCD + 2
+
+	var e Estimate
+	for _, st := range gen.Stages() {
+		var readVisits, writeVisits int64
+		var perStream []int64
+		for _, s := range st.Streams {
+			if s.Bytes <= 0 {
+				continue
+			}
+			e.DataCycles += (s.Bytes/m + bytesPerCycle - 1) / bytesPerCycle
+			v := (s.Bytes + s.Run - 1) / s.Run
+			perStream = append(perStream, v)
+			if s.Write {
+				writeVisits += v
+			} else {
+				readVisits += v
+			}
+			// Sequential row crossings of this stream.
+			e.RowCycles += (s.Bytes / rowSpan) * rowCost
+		}
+		// Each visit of the minority direction inserts one
+		// turnaround pair into the majority stream.
+		pairs := writeVisits
+		if readVisits < writeVisits {
+			pairs = readVisits
+		}
+		e.TurnaroundCycles += pairs * dirPairCost
+
+		// Streams beyond the bank count evict rows: the smallest
+		// streams (placed on shared banks) conflict on every visit,
+		// both when they arrive and when the resident stream returns.
+		if extra := len(perStream) - banks; extra > 0 {
+			sort.Slice(perStream, func(i, j int) bool { return perStream[i] < perStream[j] })
+			for i := 0; i < extra; i++ {
+				e.RowCycles += perStream[i] * 2 * conflictCost
+			}
+		}
+	}
+
+	busy := e.DataCycles + e.TurnaroundCycles + e.RowCycles
+	// Refresh steals tRP+tRFC every tREFI while streaming.
+	refPeriod := speed.REFI
+	if refPeriod > 0 {
+		refs := busy / refPeriod
+		e.RefreshCycles = refs * (speed.RP + speed.RFC)
+	}
+	e.Cycles = busy + e.RefreshCycles
+	e.Time = speed.CycleDuration(e.Cycles)
+	if e.Cycles > 0 {
+		e.Efficiency = float64(e.DataCycles) / float64(e.Cycles)
+	}
+	return e, nil
+}
+
+// Bandwidth returns the sustained bandwidth the estimate implies for the
+// whole subsystem.
+func (e Estimate) Bandwidth(gen *load.Generator) units.Bandwidth {
+	if e.Time <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(gen.FrameBytes()) / e.Time.Seconds())
+}
+
+// FramePower estimates the average memory power of recording at the frame
+// period implied by the generator's workload: burst energy from the exact
+// data volumes, standby over the estimated busy time, power-down over the
+// slack, refresh and interface over the whole period — the same structure
+// the simulator's accounting produces, in closed form.
+func FramePower(gen *load.Generator, speed dram.Speed, ds power.Datasheet,
+	iface power.Interface, framePeriod units.Duration) (units.Power, error) {
+	if err := ds.Validate(); err != nil {
+		return 0, err
+	}
+	if err := iface.Validate(); err != nil {
+		return 0, err
+	}
+	if framePeriod <= 0 {
+		return 0, fmt.Errorf("analytic: frame period %v", framePeriod)
+	}
+	est, err := FrameTime(gen, speed)
+	if err != nil {
+		return 0, err
+	}
+	m := int64(gen.Channels())
+	bytesPerCycle := float64(speed.Geometry.WordBits) / 8 * 2
+	f := speed.Freq
+
+	// Exact data-cycle split by direction.
+	var readBytes, writeBytes int64
+	for _, st := range gen.Stages() {
+		for _, s := range st.Streams {
+			if s.Write {
+				writeBytes += s.Bytes
+			} else {
+				readBytes += s.Bytes
+			}
+		}
+	}
+	rdCycles := float64(readBytes) / float64(m) / bytesPerCycle
+	wrCycles := float64(writeBytes) / float64(m) / bytesPerCycle
+
+	period := framePeriod
+	busy := speed.CycleDuration(est.Cycles)
+	if busy > period {
+		busy = period
+	}
+	slack := period - busy
+
+	var e units.Energy
+	e += ds.DynamicPower(ds.IDD4R-ds.IDD3N, f).Times(speed.CycleDuration(int64(rdCycles)))
+	e += ds.DynamicPower(ds.IDD4W-ds.IDD3N, f).Times(speed.CycleDuration(int64(wrCycles)))
+	e += ds.DynamicPower(ds.IDD3N, f).Times(busy)
+	e += ds.StaticPower(ds.IDD2P).Times(slack)
+	// Activates: one per row span plus the conflict estimate.
+	acts := float64(est.RowCycles) / float64(speed.RCD+2)
+	e += units.Energy(acts * float64(ds.ActPrechargeEnergy) *
+		(ds.VDD / ds.BaseVDD) * (ds.VDD / ds.BaseVDD))
+	// Refresh over the period.
+	refEnergy := (ds.IDD5 - ds.IDD2N) * 1e-3 * ds.BaseVDD *
+		(ds.VDD / ds.BaseVDD) * (ds.VDD / ds.BaseVDD) * speed.Timing.TRFC.Seconds()
+	e += units.Energy(float64(period) / float64(speed.Timing.TREFI) * refEnergy * 1e12)
+	// Interface over the period.
+	e += iface.Power(f).Times(period)
+
+	// The estimate covers one channel's share of the bursts but the
+	// background of every channel.
+	perChannelBG := ds.DynamicPower(ds.IDD3N, f).Times(busy) +
+		ds.StaticPower(ds.IDD2P).Times(slack) + iface.Power(f).Times(period)
+	refPerChannel := units.Energy(float64(period) / float64(speed.Timing.TREFI) * refEnergy * 1e12)
+	total := e + units.Energy(float64(m-1))*(perChannelBG+refPerChannel)
+	// Burst and activate energy above covered only one channel; scale to
+	// all channels (each channel moves the same share).
+	burstActs := ds.DynamicPower(ds.IDD4R-ds.IDD3N, f).Times(speed.CycleDuration(int64(rdCycles))) +
+		ds.DynamicPower(ds.IDD4W-ds.IDD3N, f).Times(speed.CycleDuration(int64(wrCycles))) +
+		units.Energy(acts*float64(ds.ActPrechargeEnergy)*(ds.VDD/ds.BaseVDD)*(ds.VDD/ds.BaseVDD))
+	total += units.Energy(float64(m-1)) * burstActs
+
+	return units.PowerOf(total, period), nil
+}

@@ -1,0 +1,197 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/load"
+	"repro/internal/memsys"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/usecase"
+	"repro/internal/video"
+)
+
+func generator(t *testing.T, format string, channels int) *load.Generator {
+	t.Helper()
+	prof, err := video.ProfileFor(format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := usecase.New(prof, usecase.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := load.New(l, channels, dram.DefaultGeometry(), load.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func speedAt(t *testing.T, f units.Frequency) dram.Speed {
+	t.Helper()
+	s, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFrameTimeValidates(t *testing.T) {
+	if _, err := FrameTime(nil, speedAt(t, 400*units.MHz)); err == nil {
+		t.Error("expected nil generator error")
+	}
+	if _, err := FrameTime(generator(t, "720p30", 1), dram.Speed{}); err == nil {
+		t.Error("expected unresolved speed error")
+	}
+}
+
+func TestEstimateComponents(t *testing.T) {
+	g := generator(t, "720p30", 1)
+	e, err := FrameTime(g, speedAt(t, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.DataCycles <= 0 || e.TurnaroundCycles <= 0 || e.RowCycles <= 0 || e.RefreshCycles <= 0 {
+		t.Errorf("estimate components not all positive: %+v", e)
+	}
+	if e.Cycles != e.DataCycles+e.TurnaroundCycles+e.RowCycles+e.RefreshCycles {
+		t.Errorf("cycles %d != component sum", e.Cycles)
+	}
+	if e.Efficiency <= 0 || e.Efficiency >= 1 {
+		t.Errorf("efficiency = %v", e.Efficiency)
+	}
+	// Data cycles for a 63 MB frame at 8 B/cycle: ~7.9M.
+	if e.DataCycles < 7_500_000 || e.DataCycles > 8_200_000 {
+		t.Errorf("data cycles = %d, want ~7.9M", e.DataCycles)
+	}
+	if bw := e.Bandwidth(g); bw <= 0 || bw > units.Bandwidth(3.2e9) {
+		t.Errorf("bandwidth = %v", bw)
+	}
+}
+
+// The analytic estimate agrees with the cycle-level simulation within 20 %
+// across formats, channel counts and clocks.
+func TestAnalyticMatchesSimulation(t *testing.T) {
+	cases := []struct {
+		format   string
+		channels int
+		freq     units.Frequency
+	}{
+		{"720p30", 1, 400 * units.MHz},
+		{"720p30", 4, 400 * units.MHz},
+		{"720p30", 1, 200 * units.MHz},
+		{"1080p30", 2, 400 * units.MHz},
+		{"1080p30", 8, 533 * units.MHz},
+	}
+	for _, c := range cases {
+		g := generator(t, c.format, c.channels)
+		speed := speedAt(t, c.freq)
+		est, err := FrameTime(g, speed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sys, err := memsys.New(memsys.PaperConfig(c.channels, c.freq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := g.Frame(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := sys.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simTime := run.Time.Seconds() / 0.05
+
+		rel := math.Abs(est.Time.Seconds()-simTime) / simTime
+		if rel > 0.20 {
+			t.Errorf("%s %dch @%v: analytic %.4g s vs simulated %.4g s (%.0f%% apart)",
+				c.format, c.channels, c.freq, est.Time.Seconds(), simTime, rel*100)
+		}
+	}
+}
+
+// The estimate scales linearly with channels and clock, like the simulator.
+func TestEstimateScaling(t *testing.T) {
+	speed := speedAt(t, 400*units.MHz)
+	e1, err := FrameTime(generator(t, "720p30", 1), speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := FrameTime(generator(t, "720p30", 4), speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(e1.Cycles) / float64(e4.Cycles); ratio < 3.8 || ratio > 4.2 {
+		t.Errorf("1ch/4ch cycle ratio = %.2f, want ~4", ratio)
+	}
+
+	t200, err := FrameTime(generator(t, "720p30", 1), speedAt(t, 200*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := t200.Time.Seconds() / e1.Time.Seconds(); ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("200/400MHz time ratio = %.2f, want ~2", ratio)
+	}
+}
+
+// The closed-form power estimate agrees with the simulator within 15 %.
+func TestFramePowerMatchesSimulation(t *testing.T) {
+	cases := []struct {
+		format   string
+		channels int
+	}{
+		{"720p30", 1},
+		{"720p30", 8},
+		{"1080p30", 4},
+	}
+	for _, c := range cases {
+		g := generator(t, c.format, c.channels)
+		speed := speedAt(t, 400*units.MHz)
+		prof, _ := video.ProfileFor(c.format)
+		est, err := FramePower(g, speed, power.DefaultDatasheet(), power.DefaultInterface(),
+			prof.Format.FramePeriod())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		w, err := core.WorkloadFor(c.format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SampleFraction = 0.05
+		sim, err := core.Simulate(w, core.PaperMemory(c.channels, 400*units.MHz))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(est.Milliwatts()-sim.TotalPower.Milliwatts()) / sim.TotalPower.Milliwatts()
+		if rel > 0.15 {
+			t.Errorf("%s %dch: analytic %.1f mW vs simulated %.1f mW (%.0f%%)",
+				c.format, c.channels, est.Milliwatts(), sim.TotalPower.Milliwatts(), rel*100)
+		}
+	}
+}
+
+func TestFramePowerValidates(t *testing.T) {
+	g := generator(t, "720p30", 1)
+	speed := speedAt(t, 400*units.MHz)
+	bad := power.DefaultDatasheet()
+	bad.VDD = 0
+	if _, err := FramePower(g, speed, bad, power.DefaultInterface(), units.Millisecond); err == nil {
+		t.Error("expected datasheet error")
+	}
+	badIf := power.DefaultInterface()
+	badIf.Pins = 0
+	if _, err := FramePower(g, speed, power.DefaultDatasheet(), badIf, units.Millisecond); err == nil {
+		t.Error("expected interface error")
+	}
+	if _, err := FramePower(g, speed, power.DefaultDatasheet(), power.DefaultInterface(), 0); err == nil {
+		t.Error("expected period error")
+	}
+}

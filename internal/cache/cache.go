@@ -1,0 +1,196 @@
+// Package cache implements the set-associative write-back cache the paper's
+// analysis assumes sits between the SMP and the execution memory: "the cache
+// is large enough to provide hits for any other memory access than the ones
+// depicted in Fig. 1".
+//
+// The package exists to demonstrate the introduction's bandwidth-reduction
+// claim — a software H.264 encoder's raw access stream (thousands of GB/s at
+// HDTV rates, reference [2]) collapses to the ~GB/s execution-memory loads
+// of Table I once working sets hit in cache — and to let examples and tests
+// derive miss traffic for arbitrary access patterns.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes a cache.
+type Config struct {
+	// SizeBytes is the total capacity (power of two).
+	SizeBytes int64
+	// LineBytes is the cache-line size (power of two).
+	LineBytes int64
+	// Ways is the set associativity.
+	Ways int
+}
+
+// Validate rejects non-physical configurations.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0 {
+		return fmt.Errorf("cache: size %d not a positive power of two", c.SizeBytes)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line %d not a positive power of two", c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: %d ways", c.Ways)
+	}
+	if c.SizeBytes < c.LineBytes*int64(c.Ways) {
+		return fmt.Errorf("cache: size %d too small for %d ways of %d-byte lines",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+}
+
+// HitRate returns hits over accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// line is one cache line's tag state.
+type line struct {
+	valid bool
+	dirty bool
+	tag   int64
+	used  int64 // LRU stamp
+}
+
+// Cache is a set-associative write-back, write-allocate cache with LRU
+// replacement.
+type Cache struct {
+	cfg      Config
+	sets     int64
+	lineBits uint
+	setMask  int64
+	lines    []line // sets x ways
+	clock    int64
+	st       Stats
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / cfg.LineBytes / int64(cfg.Ways)
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets (size/line/ways must give a power of two)", sets)
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: uint(bits.TrailingZeros64(uint64(cfg.LineBytes))),
+		setMask:  sets - 1,
+		lines:    make([]line, sets*int64(cfg.Ways)),
+	}, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Result describes one access's outcome.
+type Result struct {
+	Hit bool
+	// MissFill is set on a miss: LineBytes are read from memory.
+	MissFill bool
+	// Writeback is set when a dirty victim was evicted: LineBytes are
+	// written to memory.
+	Writeback bool
+	// VictimAddr is the byte address of the written-back line.
+	VictimAddr int64
+}
+
+// Access performs one byte-granular access (the line containing addr).
+func (c *Cache) Access(addr int64, write bool) Result {
+	c.clock++
+	c.st.Accesses++
+	if addr < 0 {
+		addr = -addr
+	}
+	lineAddr := addr >> c.lineBits
+	set := lineAddr & c.setMask
+	tag := lineAddr >> uint(bits.TrailingZeros64(uint64(c.sets)))
+
+	ways := c.lines[set*int64(c.cfg.Ways) : (set+1)*int64(c.cfg.Ways)]
+	// Hit?
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].used = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			c.st.Hits++
+			return Result{Hit: true}
+		}
+	}
+	// Miss: pick LRU victim.
+	c.st.Misses++
+	victim := -1
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || ways[i].used < ways[victim].used {
+			victim = i
+		}
+	}
+	res := Result{MissFill: true}
+	if ways[victim].valid && ways[victim].dirty {
+		c.st.Writebacks++
+		res.Writeback = true
+		victimLine := (ways[victim].tag*c.sets + set) << c.lineBits
+		res.VictimAddr = victimLine
+	}
+	ways[victim] = line{valid: true, dirty: write, tag: tag, used: c.clock}
+	return res
+}
+
+// Flush writes back all dirty lines, returning how many were written.
+func (c *Cache) Flush() int64 {
+	var n int64
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			n++
+			c.lines[i].dirty = false
+		}
+	}
+	c.st.Writebacks += n
+	return n
+}
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.st }
+
+// MissBytes returns the memory traffic the cache generated: line fills plus
+// writebacks.
+func (c *Cache) MissBytes() int64 {
+	return (c.st.Misses + c.st.Writebacks) * c.cfg.LineBytes
+}
+
+// AccessedBytes returns the traffic the masters requested, assuming each
+// access touches accessBytes (e.g. a 4-byte word or a 64-byte DMA beat).
+func (c *Cache) AccessedBytes(accessBytes int64) int64 {
+	return c.st.Accesses * accessBytes
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.clock = 0
+	c.st = Stats{}
+}

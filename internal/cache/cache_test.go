@@ -1,0 +1,202 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func small(t *testing.T) *Cache {
+	return mustNew(t, Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 60, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{SizeBytes: 64, LineBytes: 64, Ways: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+	// Non-power-of-two set count.
+	if _, err := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 3}); err == nil {
+		t.Error("expected sets error for 3-way 4KB cache")
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := small(t)
+	if r := c.Access(0, false); r.Hit || !r.MissFill {
+		t.Errorf("cold access = %+v, want miss", r)
+	}
+	if r := c.Access(32, false); !r.Hit {
+		t.Errorf("same-line access = %+v, want hit", r)
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small(t) // 8 sets x 2 ways, 64B lines
+	// Three lines mapping to set 0: line addresses 0, 8, 16 (x64 bytes).
+	c.Access(0, false)
+	c.Access(8*64, false)
+	c.Access(0, false)     // touch line 0: line 8*64 becomes LRU
+	c.Access(16*64, false) // evicts 8*64
+	if r := c.Access(0, false); !r.Hit {
+		t.Error("recently used line was evicted")
+	}
+	if r := c.Access(8*64, false); r.Hit {
+		t.Error("LRU line survived eviction")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := small(t)
+	c.Access(0, true) // dirty line 0 in set 0
+	c.Access(8*64, false)
+	r := c.Access(16*64, false) // evicts dirty line 0
+	if !r.Writeback {
+		t.Fatalf("expected writeback, got %+v", r)
+	}
+	if r.VictimAddr != 0 {
+		t.Errorf("victim address = %d, want 0", r.VictimAddr)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats().Writebacks)
+	}
+	// Clean eviction does not write back.
+	c.Reset()
+	c.Access(0, false)
+	c.Access(8*64, false)
+	if r := c.Access(16*64, false); r.Writeback {
+		t.Error("clean eviction wrote back")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small(t)
+	c.Access(0, true)
+	c.Access(64, true)
+	c.Access(128, false)
+	if n := c.Flush(); n != 2 {
+		t.Errorf("flushed %d lines, want 2", n)
+	}
+	// Second flush is a no-op.
+	if n := c.Flush(); n != 0 {
+		t.Errorf("second flush wrote %d lines", n)
+	}
+}
+
+func TestMissBytes(t *testing.T) {
+	c := small(t)
+	c.Access(0, true)
+	c.Access(8*64, false)
+	c.Access(16*64, false) // dirty eviction
+	// 3 fills + 1 writeback = 4 x 64 bytes.
+	if got := c.MissBytes(); got != 256 {
+		t.Errorf("miss bytes = %d, want 256", got)
+	}
+	if got := c.AccessedBytes(4); got != 12 {
+		t.Errorf("accessed bytes = %d, want 12", got)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := small(t)
+	if c.Stats().HitRate() != 0 {
+		t.Error("empty cache hit rate should be 0")
+	}
+	c.Access(0, false)
+	for i := 0; i < 9; i++ {
+		c.Access(0, false)
+	}
+	if got := c.Stats().HitRate(); got != 0.9 {
+		t.Errorf("hit rate = %v, want 0.9", got)
+	}
+}
+
+// A working set smaller than the cache hits ~100 % after warmup — the
+// paper's "cache is large enough" assumption.
+func TestResidentWorkingSetHits(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 64 * 1024, LineBytes: 64, Ways: 4})
+	// 32 KB working set, two passes.
+	for pass := 0; pass < 2; pass++ {
+		for a := int64(0); a < 32*1024; a += 4 {
+			c.Access(a, pass == 1)
+		}
+	}
+	st := c.Stats()
+	// Second pass must be all hits: miss count equals one pass of lines.
+	if st.Misses != 32*1024/64 {
+		t.Errorf("misses = %d, want %d", st.Misses, 32*1024/64)
+	}
+}
+
+// A streaming working set much larger than the cache misses once per line:
+// miss traffic approaches the streamed volume, not the access volume.
+func TestStreamingMissesOncePerLine(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 4 * 1024, LineBytes: 64, Ways: 2})
+	span := int64(1 << 20)
+	for a := int64(0); a < span; a += 4 {
+		c.Access(a, false)
+	}
+	if got, want := c.MissBytes(), span; got != want {
+		t.Errorf("streaming miss bytes = %d, want %d", got, want)
+	}
+	// The masters requested the same bytes through 4-byte accesses.
+	if got := c.AccessedBytes(4); got != span {
+		t.Errorf("accessed bytes = %d, want %d", got, span)
+	}
+}
+
+// Properties: hits+misses = accesses; miss bytes are non-negative and
+// bounded by (accesses + writebacks) * line.
+func TestCacheInvariants(t *testing.T) {
+	f := func(addrs []uint16, writes uint8) bool {
+		c, err := New(Config{SizeBytes: 2048, LineBytes: 32, Ways: 2})
+		if err != nil {
+			return false
+		}
+		for i, a := range addrs {
+			c.Access(int64(a), i%int(writes%7+2) == 0)
+		}
+		st := c.Stats()
+		if st.Hits+st.Misses != st.Accesses {
+			return false
+		}
+		if st.Writebacks > st.Misses {
+			return false
+		}
+		return c.MissBytes() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeAddressClamps(t *testing.T) {
+	c := small(t)
+	r := c.Access(-64, false)
+	if r.Hit {
+		t.Error("cold negative access should miss")
+	}
+	if r2 := c.Access(64, false); !r2.Hit {
+		t.Error("negative address should map to its absolute line")
+	}
+}

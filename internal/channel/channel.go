@@ -1,0 +1,102 @@
+// Package channel composes the paper's per-channel entity: a memory
+// controller, the DRAM interconnect and a bank cluster together form the
+// "channel model" from which delay and power figures are attained
+// (paper section III).
+package channel
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/interconnect"
+	"repro/internal/mapping"
+	"repro/internal/stats"
+)
+
+// Config parameterizes one channel.
+type Config struct {
+	Controller controller.Config
+	// DRAMLink is the controller-to-bank-cluster interconnect.
+	DRAMLink interconnect.Link
+	// QueueDepth > 0 inserts an FR-FCFS reorder window of that many
+	// bursts in front of the controller (extension; zero keeps the
+	// paper's in-order scheduling).
+	QueueDepth int
+}
+
+// Channel is one memory channel: requests enter through the DRAM
+// interconnect, are scheduled by the controller, and read data returns
+// through the interconnect.
+type Channel struct {
+	ctl   *controller.Controller
+	queue *controller.ReorderQueue
+	link  interconnect.Link
+}
+
+// New builds a channel.
+func New(cfg Config) (*Channel, error) {
+	if err := cfg.DRAMLink.Validate(); err != nil {
+		return nil, err
+	}
+	ctl, err := controller.New(cfg.Controller)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("channel: negative queue depth %d", cfg.QueueDepth)
+	}
+	return &Channel{
+		ctl:   ctl,
+		queue: controller.NewReorderQueue(ctl, cfg.QueueDepth),
+		link:  cfg.DRAMLink,
+	}, nil
+}
+
+// Access performs one burst at the channel-local byte address. arrival is
+// when the request reaches the channel; the returned cycle is when the
+// requester observes completion (read data returned, or write data
+// accepted by the cluster).
+func (ch *Channel) Access(write bool, local int64, arrival int64) int64 {
+	if arrival < 0 {
+		arrival = 0
+	}
+	end := ch.queue.Access(write, ch.decode(local), ch.link.Deliver(arrival))
+	if write {
+		return end
+	}
+	return ch.link.Complete(end)
+}
+
+// Flush drains the reorder window and any posted writes, returning the
+// channel makespan at the DRAM bus.
+func (ch *Channel) Flush() int64 { return ch.queue.Flush() }
+
+// Stats returns the controller's accumulated counters.
+func (ch *Channel) Stats() stats.Channel { return ch.ctl.Stats() }
+
+// Latency returns the controller's latency histogram.
+func (ch *Channel) Latency() *stats.Histogram { return ch.ctl.Latency() }
+
+// BusyCycles returns the channel makespan at the DRAM bus.
+func (ch *Channel) BusyCycles() int64 { return ch.ctl.BusyCycles() }
+
+// Controller exposes the underlying controller (for configuration queries).
+func (ch *Channel) Controller() *controller.Controller { return ch.ctl }
+
+// Reset restores the channel to its initial state.
+func (ch *Channel) Reset() {
+	ch.ctl.Reset()
+	ch.queue = controller.NewReorderQueue(ch.ctl, ch.queueDepth())
+}
+
+func (ch *Channel) queueDepth() int {
+	// The queue's depth is immutable after construction; re-derive it
+	// from the existing wrapper (0 when reordering is off).
+	return ch.queue.Depth()
+}
+
+// decode maps a channel-local byte address to its DRAM coordinate using the
+// controller's configured multiplexing.
+func (ch *Channel) decode(local int64) mapping.Location {
+	return ch.ctl.Decode(local)
+}

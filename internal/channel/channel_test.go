@@ -1,0 +1,131 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/dram"
+	"repro/internal/interconnect"
+	"repro/internal/mapping"
+	"repro/internal/units"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	s, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), 400*units.MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Controller: controller.Config{Speed: s, Mux: mapping.RBC, Policy: controller.OpenPage, PowerDown: true},
+		DRAMLink:   interconnect.Link{RequestCycles: 1, ResponseCycles: 1},
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.DRAMLink.RequestCycles = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("expected link validation error")
+	}
+	cfg = testConfig(t)
+	cfg.Controller.Policy = controller.PagePolicy(9)
+	if _, err := New(cfg); err == nil {
+		t.Error("expected controller validation error")
+	}
+}
+
+func TestReadIncludesResponseLatency(t *testing.T) {
+	cfg := testConfig(t)
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.Controller.Speed
+	got := ch.Access(false, 0, 0)
+	// Request link (1) + ACT+tRCD+CL+burst + response link (1).
+	want := 1 + s.RCD + s.CL + s.BurstCycles + 1
+	if got != want {
+		t.Errorf("cold read completion = %d, want %d", got, want)
+	}
+}
+
+func TestWriteOmitsResponseLatency(t *testing.T) {
+	cfg := testConfig(t)
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.Controller.Speed
+	got := ch.Access(true, 0, 0)
+	want := 1 + s.RCD + s.CWL + s.BurstCycles
+	if got != want {
+		t.Errorf("cold write completion = %d, want %d", got, want)
+	}
+}
+
+func TestNegativeArrivalClamps(t *testing.T) {
+	ch, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ch.Access(false, 0, -5), ch.Access(false, 16, 0); got >= want {
+		t.Errorf("negative arrival produced later completion %d >= %d", got, want)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	ch, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Access(false, 0, 0)
+	ch.Access(true, 16, 0)
+	st := ch.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if ch.BusyCycles() <= 0 {
+		t.Error("busy cycles should be positive")
+	}
+	ch.Reset()
+	if ch.Stats().Accesses() != 0 || ch.BusyCycles() != 0 {
+		t.Error("reset did not clear state")
+	}
+	if ch.Controller() == nil {
+		t.Error("controller accessor returned nil")
+	}
+	if ch.Latency() == nil {
+		t.Error("latency accessor returned nil")
+	}
+}
+
+func TestQueueDepthValidation(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("expected queue depth error")
+	}
+	cfg.QueueDepth = 8
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reordered accesses still drain fully through Flush, and Reset
+	// restores a working queue.
+	for i := 0; i < 20; i++ {
+		ch.Access(false, int64(i*16), 0)
+	}
+	ch.Flush()
+	if got := ch.Stats().Reads; got != 20 {
+		t.Errorf("drained %d reads, want 20", got)
+	}
+	ch.Reset()
+	for i := 0; i < 4; i++ {
+		ch.Access(false, int64(i*16), 0)
+	}
+	ch.Flush()
+	if got := ch.Stats().Reads; got != 4 {
+		t.Errorf("post-reset drained %d reads, want 4", got)
+	}
+}

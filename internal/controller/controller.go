@@ -1,0 +1,490 @@
+// Package controller implements the per-channel memory controller of the
+// paper's channel model (Fig. 2): it maps burst requests onto DRAM commands
+// (precharge, activate, read, write, refresh, power-down entry/exit),
+// enforces the device's timing constraints cycle-accurately, and accounts
+// the state residency the power model consumes.
+//
+// The controller processes requests in order, one burst at a time, the way
+// the paper's single-master load ("predominantly from a single source")
+// reaches each channel. Bank-level parallelism still arises because
+// consecutive bursts may target different banks whose activates overlap
+// earlier bursts' data transfers.
+package controller
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/mapping"
+	"repro/internal/stats"
+)
+
+// PagePolicy selects what happens to a row after an access.
+type PagePolicy int
+
+const (
+	// OpenPage leaves the accessed row open; subsequent accesses to the
+	// same row need only a column command. The paper uses open page for
+	// all shown results.
+	OpenPage PagePolicy = iota
+	// ClosedPage precharges the bank immediately after every access
+	// (auto-precharge); evaluated as an ablation.
+	ClosedPage
+)
+
+// String names the policy.
+func (p PagePolicy) String() string {
+	switch p {
+	case OpenPage:
+		return "open-page"
+	case ClosedPage:
+		return "closed-page"
+	default:
+		return fmt.Sprintf("PagePolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes one channel controller.
+type Config struct {
+	Speed  dram.Speed
+	Mux    mapping.Multiplexing
+	Policy PagePolicy
+	// PowerDown enables the paper's aggressive power saving: the bank
+	// cluster enters a power-down state after the first idle clock cycle
+	// and pays tXP on exit.
+	PowerDown bool
+	// RefreshDisabled turns periodic refresh off (test/ablation use only;
+	// real DRAM always refreshes).
+	RefreshDisabled bool
+	// RecordLatency enables the per-access latency histogram.
+	RecordLatency bool
+	// RefreshPostpone allows deferring up to this many due refreshes
+	// while the channel streams, catching up during idle gaps — the
+	// DDR-style postponement that keeps refresh out of the data path.
+	// Zero keeps the paper's immediate refresh.
+	RefreshPostpone int
+	// PrechargeOnIdle closes all banks before entering power-down, so
+	// idle time rests in the cheaper precharge power-down state at the
+	// cost of re-activating rows on wake.
+	PrechargeOnIdle bool
+	// SelfRefreshThreshold is the idle-gap length (cycles) beyond which
+	// the cluster enters self-refresh instead of power-down; exit costs
+	// tXSR and resets the refresh timer. Zero means the default of
+	// 4 x tREFI; negative disables self-refresh.
+	SelfRefreshThreshold int64
+	// WriteBufferDepth > 0 enables a posted-write buffer of that many
+	// bursts: writes are accepted immediately and drained back-to-back,
+	// amortizing bus turnarounds (an "advanced control mechanism" per the
+	// paper's conclusions). Zero keeps the paper's baseline behaviour.
+	// Read-after-write hazards are assumed forwarded from the buffer at
+	// no DRAM cost (data values are not modeled).
+	WriteBufferDepth int
+}
+
+// Controller is the cycle-level model of one channel: memory controller,
+// DRAM interconnect and bank cluster. All times are in DRAM clock cycles
+// from the start of the simulation.
+type Controller struct {
+	cfg    Config
+	mapper mapping.BankMapper
+	banks  []bankState
+
+	cmdClock      int64 // next free command-bus cycle
+	busFreeAt     int64 // first cycle the data bus is free
+	lastRdDataEnd int64
+	lastWrDataEnd int64
+	lastXferWrite bool
+	haveXfer      bool
+	lastActAt     int64 // most recent ACT on any bank (tRRD)
+	actHist       [4]int64
+	actHistIdx    int
+	actCount      int64
+	srThreshold   int64
+	refreshDebt   int
+	nextRefreshAt int64
+	firstCmdAt    int64
+	haveCmd       bool
+
+	wbuf []mapping.Location // posted writes awaiting drain
+
+	st  stats.Channel
+	lat stats.Histogram
+}
+
+type bankState struct {
+	open        bool
+	row         int
+	rdwrReady   int64 // earliest RD/WR command (tRCD after ACT)
+	preReady    int64 // earliest PRE (tRAS, tRTP, write recovery)
+	actReady    int64 // earliest ACT (tRP after PRE, tRC after ACT, tRFC)
+	lastDataEnd int64
+	accesses    int64
+	activates   int64
+}
+
+// New builds a channel controller. The multiplexing type in cfg selects the
+// bank mapper used by Decode-driven entry points.
+func New(cfg Config) (*Controller, error) {
+	mapper, err := mapping.NewBankMapper(cfg.Speed.Geometry, cfg.Mux)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Policy != OpenPage && cfg.Policy != ClosedPage {
+		return nil, fmt.Errorf("controller: unknown page policy %d", int(cfg.Policy))
+	}
+	if cfg.Speed.TCK <= 0 {
+		return nil, fmt.Errorf("controller: unresolved speed (use dram.Resolve)")
+	}
+	if cfg.WriteBufferDepth < 0 {
+		return nil, fmt.Errorf("controller: negative write buffer depth %d", cfg.WriteBufferDepth)
+	}
+	if cfg.RefreshPostpone < 0 {
+		return nil, fmt.Errorf("controller: negative refresh postponement %d", cfg.RefreshPostpone)
+	}
+	c := &Controller{
+		cfg:    cfg,
+		mapper: mapper,
+		banks:  make([]bankState, cfg.Speed.Geometry.Banks),
+	}
+	c.nextRefreshAt = cfg.Speed.REFI
+	switch {
+	case cfg.SelfRefreshThreshold > 0:
+		c.srThreshold = cfg.SelfRefreshThreshold
+	case cfg.SelfRefreshThreshold == 0:
+		c.srThreshold = 4 * cfg.Speed.REFI
+	default:
+		c.srThreshold = 0 // disabled
+	}
+	return c, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// cmdAt reserves the command bus at or after t and returns the issue cycle.
+func (c *Controller) cmdAt(t int64) int64 {
+	if t < c.cmdClock {
+		t = c.cmdClock
+	}
+	c.cmdClock = t + 1
+	if !c.haveCmd {
+		c.firstCmdAt = t
+		c.haveCmd = true
+	}
+	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// refresh closes all banks and performs one auto-refresh.
+func (c *Controller) refresh(earliest int64) {
+	// Precharge-all: wait for every open bank's precharge window.
+	pre := max64(earliest, c.nextRefreshAt)
+	anyOpen := false
+	for i := range c.banks {
+		if c.banks[i].open {
+			anyOpen = true
+			pre = max64(pre, c.banks[i].preReady)
+		}
+	}
+	refReady := pre
+	if anyOpen {
+		t := c.cmdAt(pre)
+		c.st.Precharges++
+		refReady = t + c.cfg.Speed.RP
+		for i := range c.banks {
+			c.banks[i].open = false
+		}
+	}
+	ref := c.cmdAt(refReady)
+	c.st.Refreshes++
+	done := ref + c.cfg.Speed.RFC
+	for i := range c.banks {
+		c.banks[i].actReady = max64(c.banks[i].actReady, done)
+	}
+	c.nextRefreshAt += c.cfg.Speed.REFI
+}
+
+// wake accounts an idle gap before arrival and returns the earliest command
+// cycle, including the power-down or self-refresh exit penalty when one
+// applies.
+func (c *Controller) wake(arrival int64) int64 {
+	earliest := arrival
+	if c.haveXfer || c.haveCmd {
+		idleFrom := max64(c.cmdClock, c.busFreeAt)
+		gap := arrival - idleFrom
+		switch {
+		case gap > 1 && c.cfg.PowerDown && c.srThreshold > 0 && gap-1 >= c.srThreshold:
+			// Long idle: self-refresh maintains the cells at the
+			// lowest current; exit costs tXSR and the periodic
+			// refresh timer restarts.
+			c.st.SelfRefreshCycles += gap - 1
+			c.st.SelfRefreshEntries++
+			for i := range c.banks {
+				c.banks[i].open = false // SR entry precharges all
+			}
+			earliest = arrival + c.cfg.Speed.XSR
+			c.nextRefreshAt = arrival + c.cfg.Speed.REFI
+		case gap > 1 && c.cfg.PowerDown:
+			// The cluster powers down after the first idle cycle
+			// and needs tXP before the next command. With all
+			// banks closed it rests in the cheaper precharge
+			// power-down state.
+			idle := gap - 1
+			// Postponed refreshes catch up inside the gap when it
+			// is long enough; each costs tRP+tRFC of the idle time.
+			if c.refreshDebt > 0 {
+				cost := c.cfg.Speed.RP + c.cfg.Speed.RFC
+				for c.refreshDebt > 0 && idle >= cost {
+					c.refreshDebt--
+					c.st.Refreshes++
+					idle -= cost
+					for i := range c.banks {
+						c.banks[i].open = false
+					}
+				}
+			}
+			if c.cfg.PrechargeOnIdle && !c.allBanksClosed() && idle > c.cfg.Speed.RP {
+				// Precharge-all before dropping into power-down.
+				c.st.Precharges++
+				idle -= c.cfg.Speed.RP
+				for i := range c.banks {
+					c.banks[i].open = false
+				}
+			}
+			if idle < 0 {
+				idle = 0
+			}
+			c.st.PowerDownCycles += idle
+			if c.allBanksClosed() {
+				c.st.PrechargePDCycles += idle
+			}
+			c.st.PowerDownExits++
+			earliest = arrival + c.cfg.Speed.XP
+		}
+	}
+	return earliest
+}
+
+// allBanksClosed reports whether no bank holds an open row.
+func (c *Controller) allBanksClosed() bool {
+	for i := range c.banks {
+		if c.banks[i].open {
+			return false
+		}
+	}
+	return true
+}
+
+// Access processes one burst at the decoded location. arrival is the cycle
+// the request reaches the controller; the returned cycle is when its last
+// data beat leaves the bus. With a write buffer configured, writes are
+// posted: they return their acceptance cycle immediately and reach the DRAM
+// when the buffer drains (buffer full, or Flush).
+func (c *Controller) Access(write bool, loc mapping.Location, arrival int64) int64 {
+	if arrival < 0 {
+		arrival = 0
+	}
+	if write && c.cfg.WriteBufferDepth > 0 {
+		// Posted write: buffered with no DRAM interaction, so the
+		// cluster's power state is untouched until the drain.
+		c.wbuf = append(c.wbuf, loc)
+		if len(c.wbuf) >= c.cfg.WriteBufferDepth {
+			return c.drainWrites(c.wake(arrival))
+		}
+		return arrival
+	}
+	return c.perform(write, loc, c.wake(arrival), arrival)
+}
+
+// drainWrites replays the posted writes back-to-back: one bus turnaround
+// for the whole batch instead of one per write.
+func (c *Controller) drainWrites(earliest int64) int64 {
+	var end int64
+	for _, loc := range c.wbuf {
+		end = c.perform(true, loc, earliest, earliest)
+	}
+	c.wbuf = c.wbuf[:0]
+	return end
+}
+
+// Flush drains any posted writes and returns the channel makespan.
+func (c *Controller) Flush() int64 {
+	if len(c.wbuf) > 0 {
+		c.drainWrites(c.wake(max64(c.cmdClock, c.busFreeAt)))
+	}
+	return c.st.BusyCycles
+}
+
+// perform executes one burst against the DRAM, no earlier than earliest.
+func (c *Controller) perform(write bool, loc mapping.Location, earliest, arrival int64) int64 {
+	s := c.cfg.Speed
+	attendAt := max64(arrival, max64(c.cmdClock, c.busFreeAt))
+
+	// Serve any due refresh before the access, unless postponement has
+	// headroom to keep the stream flowing.
+	if !c.cfg.RefreshDisabled {
+		for c.nextRefreshAt <= max64(earliest, c.cmdClock) {
+			if c.refreshDebt < c.cfg.RefreshPostpone {
+				c.refreshDebt++
+				c.nextRefreshAt += c.cfg.Speed.REFI
+				continue
+			}
+			c.refresh(earliest)
+		}
+	}
+
+	b := &c.banks[loc.Bank]
+	b.accesses++
+	switch {
+	case b.open && b.row == loc.Row:
+		c.st.RowHits++
+	case b.open:
+		c.st.RowConflicts++
+		t := c.cmdAt(max64(earliest, b.preReady))
+		c.st.Precharges++
+		b.open = false
+		b.actReady = max64(b.actReady, t+s.RP)
+		c.activate(b, loc.Row, earliest)
+	default:
+		c.st.RowMisses++
+		c.activate(b, loc.Row, earliest)
+	}
+
+	var dataEnd int64
+	if write {
+		cand := max64(earliest, b.rdwrReady)
+		// Data must find the bus free; turning the bus around after a
+		// read costs one bubble cycle.
+		cand = max64(cand, c.busFreeAt-s.CWL)
+		if c.haveXfer && !c.lastXferWrite {
+			cand = max64(cand, c.lastRdDataEnd+1-s.CWL)
+		}
+		t := c.cmdAt(cand)
+		dataEnd = t + s.CWL + s.BurstCycles
+		c.lastWrDataEnd = dataEnd
+		c.lastXferWrite = true
+		// Write recovery gates the following precharge.
+		b.preReady = max64(b.preReady, dataEnd+s.WR)
+		c.st.Writes++
+		c.st.WriteBusCycles += s.BurstCycles
+	} else {
+		cand := max64(earliest, b.rdwrReady)
+		cand = max64(cand, c.busFreeAt-s.CL)
+		if c.haveXfer && c.lastXferWrite {
+			// tWTR: internal write-to-read turnaround from the end
+			// of write data, plus the bus bubble.
+			cand = max64(cand, c.lastWrDataEnd+s.WTR)
+			cand = max64(cand, c.lastWrDataEnd+1-s.CL)
+		}
+		t := c.cmdAt(cand)
+		dataEnd = t + s.CL + s.BurstCycles
+		c.lastRdDataEnd = dataEnd
+		c.lastXferWrite = false
+		b.preReady = max64(b.preReady, t+s.RTP)
+		c.st.Reads++
+		c.st.ReadBusCycles += s.BurstCycles
+	}
+	c.haveXfer = true
+	c.busFreeAt = dataEnd
+	b.lastDataEnd = dataEnd
+	if dataEnd > c.st.BusyCycles {
+		c.st.BusyCycles = dataEnd
+	}
+
+	if c.cfg.Policy == ClosedPage {
+		// Auto-precharge: the bank closes itself once its restore and
+		// recovery windows elapse; no explicit PRE command is spent.
+		t := max64(b.preReady, dataEnd)
+		b.open = false
+		b.actReady = max64(b.actReady, t+s.RP)
+	}
+
+	if c.cfg.RecordLatency {
+		// Service latency: completion relative to when the channel
+		// could first attend to this request (its arrival, or the end
+		// of the preceding work under back-to-back load). Under paced
+		// load this includes the power-down wake.
+		c.lat.Observe(dataEnd - attendAt)
+	}
+	return dataEnd
+}
+
+// activate opens row in bank b no earlier than earliest.
+func (c *Controller) activate(b *bankState, row int, earliest int64) {
+	s := c.cfg.Speed
+	cand := max64(earliest, b.actReady)
+	if c.haveActs() {
+		cand = max64(cand, c.lastActAt+s.RRD)
+	}
+	// Four-activate window: the fifth ACT waits for the oldest of the
+	// last four plus tFAW.
+	if s.FAW > 0 && c.actCount >= 4 {
+		cand = max64(cand, c.actHist[c.actHistIdx]+s.FAW)
+	}
+	t := c.cmdAt(cand)
+	c.actHist[c.actHistIdx] = t
+	c.actHistIdx = (c.actHistIdx + 1) % 4
+	c.actCount++
+	c.lastActAt = t
+	b.open = true
+	b.row = row
+	b.rdwrReady = t + s.RCD
+	b.preReady = t + s.RAS
+	b.actReady = t + s.RC
+	b.activates++
+	c.st.Activates++
+}
+
+func (c *Controller) haveActs() bool { return c.st.Activates > 0 }
+
+// AccessAddr decodes a channel-local byte address and performs the burst.
+func (c *Controller) AccessAddr(write bool, local int64, arrival int64) int64 {
+	return c.Access(write, c.mapper.Decode(local), arrival)
+}
+
+// Decode maps a channel-local byte address to its DRAM coordinate.
+func (c *Controller) Decode(local int64) mapping.Location {
+	return c.mapper.Decode(local)
+}
+
+// BankStats describes one bank's share of the channel's activity — useful
+// for judging buffer placement and bank balance.
+type BankStats struct {
+	Bank      int
+	Accesses  int64
+	Activates int64
+}
+
+// BankBalance returns per-bank access and activate counts.
+func (c *Controller) BankBalance() []BankStats {
+	out := make([]BankStats, len(c.banks))
+	for i := range c.banks {
+		out[i] = BankStats{Bank: i, Accesses: c.banks[i].accesses, Activates: c.banks[i].activates}
+	}
+	return out
+}
+
+// Stats returns the accumulated counters.
+func (c *Controller) Stats() stats.Channel { return c.st }
+
+// Latency returns the per-access latency histogram (empty unless
+// RecordLatency was set).
+func (c *Controller) Latency() *stats.Histogram { return &c.lat }
+
+// BusyCycles returns the channel makespan: the cycle the last data beat
+// left the bus.
+func (c *Controller) BusyCycles() int64 { return c.st.BusyCycles }
+
+// Reset returns the controller to its initial state, keeping configuration.
+func (c *Controller) Reset() {
+	mapper := c.mapper
+	cfg := c.cfg
+	*c = Controller{cfg: cfg, mapper: mapper, banks: make([]bankState, cfg.Speed.Geometry.Banks)}
+	c.nextRefreshAt = cfg.Speed.REFI
+}

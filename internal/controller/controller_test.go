@@ -1,0 +1,489 @@
+package controller
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+	"repro/internal/mapping"
+	"repro/internal/units"
+)
+
+func speed400(t *testing.T) dram.Speed {
+	t.Helper()
+	s, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), 400*units.MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newCtl(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func defaultCfg(t *testing.T) Config {
+	return Config{Speed: speed400(t), Mux: mapping.RBC, Policy: OpenPage, PowerDown: true}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.Policy = PagePolicy(9)
+	if _, err := New(cfg); err == nil {
+		t.Error("expected page policy error")
+	}
+	cfg = defaultCfg(t)
+	cfg.Mux = mapping.Multiplexing(9)
+	if _, err := New(cfg); err == nil {
+		t.Error("expected multiplexing error")
+	}
+	if _, err := New(Config{Mux: mapping.RBC}); err == nil {
+		t.Error("expected unresolved-speed error")
+	}
+}
+
+// First read to a closed bank: ACT at 0, RD at tRCD, data ends CL+BL/2 later.
+func TestColdReadLatency(t *testing.T) {
+	c := newCtl(t, defaultCfg(t))
+	s := c.Config().Speed
+	end := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	want := s.RCD + s.CL + s.BurstCycles // 6+6+2 = 14 @400MHz
+	if end != want {
+		t.Errorf("cold read data end = %d, want %d", end, want)
+	}
+	st := c.Stats()
+	if st.Activates != 1 || st.Reads != 1 || st.RowMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// A row hit needs only the column access.
+func TestRowHitBackToBack(t *testing.T) {
+	c := newCtl(t, defaultCfg(t))
+	s := c.Config().Speed
+	e1 := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	e2 := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, 0)
+	// Second read streams seamlessly: data end advances by exactly the
+	// burst time.
+	if e2 != e1+s.BurstCycles {
+		t.Errorf("streamed read end = %d, want %d", e2, e1+s.BurstCycles)
+	}
+	if st := c.Stats(); st.RowHits != 1 {
+		t.Errorf("row hits = %d, want 1", st.RowHits)
+	}
+}
+
+// A conflicting row in the same bank pays PRE + ACT + RD.
+func TestRowConflictPaysPrechargeActivate(t *testing.T) {
+	c := newCtl(t, defaultCfg(t))
+	s := c.Config().Speed
+	c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	end := c.Access(false, mapping.Location{Bank: 0, Row: 1, Column: 0}, 0)
+	// PRE cannot issue before tRAS (16) expires; then RP+RCD+CL+burst.
+	want := s.RAS + s.RP + s.RCD + s.CL + s.BurstCycles
+	if end != want {
+		t.Errorf("conflict read end = %d, want %d", end, want)
+	}
+	if st := c.Stats(); st.RowConflicts != 1 || st.Precharges != 1 || st.Activates != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Accesses to different banks overlap the second bank's ACT with the first
+// bank's data: bank-level parallelism keeps the bus saturated.
+func TestBankInterleavingHidesActivates(t *testing.T) {
+	c := newCtl(t, defaultCfg(t))
+	s := c.Config().Speed
+	// Stream reads sweeping full rows bank after bank, exactly what RBC
+	// mapping produces for a sequential stream: 128 bursts per row, four
+	// banks per row index.
+	var end int64
+	n := 0
+	for rep := 0; rep < 4; rep++ {
+		for bank := 0; bank < 4; bank++ {
+			for col := 0; col < 512; col += 4 {
+				end = c.Access(false, mapping.Location{Bank: bank, Row: rep, Column: col}, 0)
+				n++
+			}
+		}
+	}
+	// Ideal data cycles: n bursts x 2 cycles. Allow the cold-start ramp
+	// plus a small overhead margin.
+	ideal := int64(n) * s.BurstCycles
+	if end > ideal+ideal/10+s.RCD+s.CL {
+		t.Errorf("interleaved stream took %d cycles for %d ideal", end, ideal)
+	}
+	util := c.Stats().BusUtilization()
+	if util < 0.85 {
+		t.Errorf("bus utilization = %.2f, want >= 0.85", util)
+	}
+}
+
+// Write-to-read turnaround inserts the tWTR gap.
+func TestWriteToReadTurnaround(t *testing.T) {
+	c := newCtl(t, defaultCfg(t))
+	s := c.Config().Speed
+	wEnd := c.Access(true, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	rEnd := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, 0)
+	// Read command waits for write data end + tWTR.
+	wantMin := wEnd + s.WTR + s.CL + s.BurstCycles
+	if rEnd < wantMin {
+		t.Errorf("read after write ends at %d, want >= %d", rEnd, wantMin)
+	}
+}
+
+// Read-to-write needs only the one-cycle bus bubble.
+func TestReadToWriteBubble(t *testing.T) {
+	c := newCtl(t, defaultCfg(t))
+	s := c.Config().Speed
+	rEnd := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	wEnd := c.Access(true, mapping.Location{Bank: 0, Row: 0, Column: 4}, 0)
+	if want := rEnd + 1 + s.BurstCycles; wEnd != want {
+		t.Errorf("write after read ends at %d, want %d", wEnd, want)
+	}
+}
+
+// Writes gate the following precharge by write recovery.
+func TestWriteRecoveryGatesPrecharge(t *testing.T) {
+	c := newCtl(t, defaultCfg(t))
+	s := c.Config().Speed
+	wEnd := c.Access(true, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	end := c.Access(false, mapping.Location{Bank: 0, Row: 5, Column: 0}, 0)
+	// PRE >= write data end + tWR, then RP + RCD + CL + burst.
+	wantMin := wEnd + s.WR + s.RP + s.RCD + s.CL + s.BurstCycles
+	if end < wantMin {
+		t.Errorf("post-write conflict ends at %d, want >= %d", end, wantMin)
+	}
+}
+
+// Closed-page pays an activate on every access, even same-row.
+func TestClosedPagePolicy(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.Policy = ClosedPage
+	c := newCtl(t, cfg)
+	c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, 0)
+	st := c.Stats()
+	if st.Activates != 2 {
+		t.Errorf("closed page activates = %d, want 2", st.Activates)
+	}
+	if st.RowHits != 0 {
+		t.Errorf("closed page row hits = %d, want 0", st.RowHits)
+	}
+	// No explicit precharge commands are spent (auto-precharge).
+	if st.Precharges != 0 {
+		t.Errorf("closed page precharges = %d, want 0", st.Precharges)
+	}
+}
+
+// Closed page is never faster than open page for a row-local stream.
+func TestClosedPageSlowerForStreaming(t *testing.T) {
+	run := func(policy PagePolicy) int64 {
+		cfg := defaultCfg(t)
+		cfg.Policy = policy
+		c := newCtl(t, cfg)
+		var end int64
+		for col := 0; col < 512; col += 4 {
+			end = c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: col}, 0)
+		}
+		return end
+	}
+	open, closed := run(OpenPage), run(ClosedPage)
+	if closed <= open {
+		t.Errorf("closed page (%d) should be slower than open page (%d)", closed, open)
+	}
+}
+
+// Refresh steals tRP+tRFC around every tREFI boundary.
+func TestRefreshInterruptsStream(t *testing.T) {
+	cfg := defaultCfg(t)
+	c := newCtl(t, cfg)
+	s := cfg.Speed
+	// Stream until well past one refresh interval.
+	bursts := int(s.REFI/s.BurstCycles) + 100
+	var end int64
+	for i := 0; i < bursts; i++ {
+		bank := (i / 128) % 4
+		row := i / 512
+		col := (i * 4) % 512
+		end = c.Access(false, mapping.Location{Bank: bank, Row: row, Column: col}, 0)
+	}
+	st := c.Stats()
+	if st.Refreshes < 1 {
+		t.Fatalf("refreshes = %d, want >= 1", st.Refreshes)
+	}
+	// The stream must have paid at least tRFC beyond pure data time.
+	if end < int64(bursts)*s.BurstCycles+s.RFC {
+		t.Errorf("refresh cost not visible: end = %d", end)
+	}
+
+	// With refresh disabled, no REF commands appear.
+	cfg.RefreshDisabled = true
+	c2 := newCtl(t, cfg)
+	for i := 0; i < bursts; i++ {
+		c2.Access(false, mapping.Location{Bank: 0, Row: i / 512, Column: (i * 4) % 512}, 0)
+	}
+	if got := c2.Stats().Refreshes; got != 0 {
+		t.Errorf("disabled refresh count = %d", got)
+	}
+}
+
+// An idle gap enters power-down and pays tXP on wake.
+func TestPowerDownGapAccounting(t *testing.T) {
+	cfg := defaultCfg(t)
+	c := newCtl(t, cfg)
+	s := cfg.Speed
+	end := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	// Arrive 1000 cycles later.
+	arrival := end + 1000
+	e2 := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, arrival)
+	st := c.Stats()
+	if st.PowerDownExits != 1 {
+		t.Errorf("power-down exits = %d, want 1", st.PowerDownExits)
+	}
+	if st.PowerDownCycles < 900 {
+		t.Errorf("power-down cycles = %d, want ~1000", st.PowerDownCycles)
+	}
+	// Wake penalty: data cannot end before arrival + tXP + CL + burst.
+	if want := arrival + s.XP + s.CL + s.BurstCycles; e2 < want {
+		t.Errorf("woken access ends at %d, want >= %d", e2, want)
+	}
+
+	// Without power-down, the same gap costs nothing.
+	cfg.PowerDown = false
+	c2 := newCtl(t, cfg)
+	end = c2.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	e2nd := c2.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, end+1000)
+	if got := c2.Stats().PowerDownCycles; got != 0 {
+		t.Errorf("power-down cycles = %d with power-down disabled", got)
+	}
+	if e2nd != end+1000+s.CL+s.BurstCycles {
+		t.Errorf("no-PD woken access ends at %d", e2nd)
+	}
+}
+
+// AccessAddr decodes channel-local addresses consistently with the mapper.
+func TestAccessAddrMatchesDecode(t *testing.T) {
+	cfg := defaultCfg(t)
+	c1 := newCtl(t, cfg)
+	c2 := newCtl(t, cfg)
+	mapper, err := mapping.NewBankMapper(cfg.Speed.Geometry, cfg.Mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []int64{0, 16, 2048, 8192, 1 << 20}
+	for _, a := range addrs {
+		e1 := c1.AccessAddr(false, a, 0)
+		e2 := c2.Access(false, mapper.Decode(a), 0)
+		if e1 != e2 {
+			t.Errorf("addr %d: AccessAddr end %d != Access end %d", a, e1, e2)
+		}
+	}
+}
+
+// RecordLatency populates the histogram.
+func TestLatencyHistogram(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.RecordLatency = true
+	c := newCtl(t, cfg)
+	for i := 0; i < 10; i++ {
+		c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: i * 4}, 0)
+	}
+	if got := c.Latency().Count(); got != 10 {
+		t.Errorf("latency samples = %d, want 10", got)
+	}
+	if c.Latency().Max() <= 0 {
+		t.Error("latencies should be positive")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := newCtl(t, defaultCfg(t))
+	c.Access(false, mapping.Location{Bank: 1, Row: 3, Column: 0}, 0)
+	c.Reset()
+	if c.Stats() != (Controller{}).st {
+		t.Errorf("stats not cleared: %+v", c.Stats())
+	}
+	// Behaves like a fresh controller.
+	s := c.Config().Speed
+	end := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	if want := s.RCD + s.CL + s.BurstCycles; end != want {
+		t.Errorf("post-reset cold read = %d, want %d", end, want)
+	}
+}
+
+// Properties: completion times are monotone in request order, never precede
+// arrival, and the data bus never exceeds one transfer at a time (ensured by
+// utilization <= 1).
+func TestAccessOrderingProperties(t *testing.T) {
+	cfg := defaultCfg(t)
+	f := func(ops []uint16) bool {
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		var last int64
+		var arrival int64
+		for _, op := range ops {
+			write := op&1 == 1
+			bank := int(op>>1) % 4
+			row := int(op>>3) % 64
+			col := (int(op>>9) % 128) * 4
+			end := c.Access(write, mapping.Location{Bank: bank, Row: row, Column: col}, arrival)
+			if end <= last || end < arrival {
+				return false
+			}
+			last = end
+			if op%7 == 0 {
+				arrival += int64(op % 64)
+			}
+		}
+		st := c.Stats()
+		if st.BusyCycles > 0 && st.BusUtilization() > 1 {
+			return false
+		}
+		// Row outcome counts cover every access.
+		return st.RowHits+st.RowMisses+st.RowConflicts == st.Accesses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Doubling the clock roughly halves the streaming time (paper: "close to 2x
+// speedup can be achieved by using double clock frequency").
+func TestFrequencyScaling(t *testing.T) {
+	run := func(freq units.Frequency) units.Duration {
+		s, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(Config{Speed: s, Mux: mapping.RBC, Policy: OpenPage, PowerDown: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var end int64
+		for i := 0; i < 4096; i++ {
+			bank := (i / 128) % 4
+			row := i / 512
+			col := (i * 4) % 512
+			end = c.Access(false, mapping.Location{Bank: bank, Row: row, Column: col}, 0)
+		}
+		return s.CycleDuration(end)
+	}
+	t200 := run(200 * units.MHz)
+	t400 := run(400 * units.MHz)
+	ratio := t200.Seconds() / t400.Seconds()
+	if ratio < 1.85 || ratio > 2.15 {
+		t.Errorf("200->400MHz speedup = %.2f, want ~2", ratio)
+	}
+}
+
+func TestPagePolicyString(t *testing.T) {
+	if OpenPage.String() != "open-page" || ClosedPage.String() != "closed-page" {
+		t.Error("bad policy names")
+	}
+	if got := PagePolicy(3).String(); got != "PagePolicy(3)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Cross-configuration property: for any valid (frequency, multiplexing,
+// policy, power-down, extensions) combination and any access pattern, the
+// controller maintains its accounting invariants.
+func TestControllerInvariantsAcrossConfigs(t *testing.T) {
+	f := func(sel uint32, ops []uint16) bool {
+		freq := dram.EvaluatedFrequencies[int(sel)%5]
+		speed, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), freq)
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			Speed:            speed,
+			Mux:              []mapping.Multiplexing{mapping.RBC, mapping.BRC}[int(sel>>3)%2],
+			Policy:           []PagePolicy{OpenPage, ClosedPage}[int(sel>>4)%2],
+			PowerDown:        sel>>5&1 == 1,
+			WriteBufferDepth: int(sel >> 6 % 4 * 8),
+			RefreshPostpone:  int(sel >> 9 % 4),
+			PrechargeOnIdle:  sel>>11&1 == 1,
+		}
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		var arrival int64
+		for _, op := range ops {
+			write := op&1 == 1
+			loc := mapping.Location{
+				Bank:   int(op>>1) % 4,
+				Row:    int(op>>3) % 128,
+				Column: (int(op>>10) % 128) * 4,
+			}
+			c.Access(write, loc, arrival)
+			if op%5 == 0 {
+				arrival += int64(op % 512)
+			}
+		}
+		c.Flush()
+		st := c.Stats()
+		// Accounting invariants.
+		if st.Reads+st.Writes != int64(len(ops)) {
+			return false
+		}
+		if st.ReadBusCycles != st.Reads*speed.BurstCycles {
+			return false
+		}
+		if st.WriteBusCycles != st.Writes*speed.BurstCycles {
+			return false
+		}
+		if st.RowHits+st.RowMisses+st.RowConflicts != st.Accesses() {
+			return false
+		}
+		if st.PrechargePDCycles > st.PowerDownCycles {
+			return false
+		}
+		if st.PowerDownCycles+st.SelfRefreshCycles > st.BusyCycles && st.BusyCycles > 0 {
+			return false
+		}
+		if st.BusyCycles > 0 && st.BusUtilization() > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Bank balance accounting covers every access, and a sequential RBC sweep
+// touches the banks evenly.
+func TestBankBalance(t *testing.T) {
+	c := newCtl(t, defaultCfg(t))
+	for i := 0; i < 512; i++ {
+		c.Access(false, mapping.Location{Bank: (i / 128) % 4, Row: 0, Column: (i * 4) % 512}, 0)
+	}
+	banks := c.BankBalance()
+	if len(banks) != 4 {
+		t.Fatalf("banks = %d", len(banks))
+	}
+	var accSum, actSum int64
+	for _, b := range banks {
+		if b.Accesses != 128 {
+			t.Errorf("bank %d accesses = %d, want 128", b.Bank, b.Accesses)
+		}
+		accSum += b.Accesses
+		actSum += b.Activates
+	}
+	st := c.Stats()
+	if accSum != st.Accesses() {
+		t.Errorf("bank access sum %d != total %d", accSum, st.Accesses())
+	}
+	if actSum != st.Activates {
+		t.Errorf("bank activate sum %d != total %d", actSum, st.Activates)
+	}
+}

@@ -1,0 +1,157 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mapping"
+	"repro/internal/units"
+)
+
+// The four-activate window delays the fifth closely spaced ACT. On the
+// paper's device tRC and the bus rate dominate, so tFAW never binds there
+// (verified below); a synthetic fast-timing device exposes the mechanism.
+func TestFourActivateWindow(t *testing.T) {
+	if s := speed400(t); s.FAW <= 0 {
+		t.Fatal("default device should resolve a tFAW")
+	}
+
+	fast := dram.DefaultTiming()
+	fast.TRCD = 5 * units.Nanosecond
+	fast.TRP = 5 * units.Nanosecond
+	fast.TRAS = 10 * units.Nanosecond
+	fast.TRC = 15 * units.Nanosecond
+	fast.TRRD = units.Duration(2500) // 2.5 ns = 1 cycle at 400 MHz
+	fast.TFAW = 60 * units.Nanosecond
+
+	run := func(faw units.Duration) int64 {
+		tm := fast
+		tm.TFAW = faw
+		speed, err := dram.Resolve(dram.DefaultGeometry(), tm, 400*units.MHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Speed: speed, Mux: mapping.RBC, Policy: ClosedPage, PowerDown: true}
+		c := newCtl(t, cfg)
+		var end int64
+		for i := 0; i < 8; i++ {
+			end = c.Access(false, mapping.Location{Bank: i % 4, Row: i, Column: 0}, 0)
+		}
+		if got := c.Stats().Activates; got != 8 {
+			t.Fatalf("activates = %d, want 8", got)
+		}
+		return end
+	}
+	withFAW := run(60 * units.Nanosecond)
+	without := run(0)
+	if withFAW <= without {
+		t.Errorf("tFAW should delay rapid activates: %d vs %d cycles", withFAW, without)
+	}
+
+	// On the paper's device the window is covered by tRC and the data
+	// rate: identical makespans with and without tFAW.
+	paperRun := func(faw units.Duration) int64 {
+		tm := dram.DefaultTiming()
+		tm.TFAW = faw
+		speed, err := dram.Resolve(dram.DefaultGeometry(), tm, 400*units.MHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Speed: speed, Mux: mapping.RBC, Policy: ClosedPage, PowerDown: true}
+		c := newCtl(t, cfg)
+		var end int64
+		for i := 0; i < 8; i++ {
+			end = c.Access(false, mapping.Location{Bank: i % 4, Row: i, Column: 0}, 0)
+		}
+		return end
+	}
+	if a, b := paperRun(50*units.Nanosecond), paperRun(0); a != b {
+		t.Errorf("tFAW binds on the paper device unexpectedly: %d vs %d", a, b)
+	}
+}
+
+// Short idles use power-down; a gap past the threshold enters self-refresh,
+// pays tXSR, and resets the refresh timer.
+func TestSelfRefreshOnLongIdle(t *testing.T) {
+	cfg := defaultCfg(t)
+	c := newCtl(t, cfg)
+	s := cfg.Speed
+	end := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+
+	// A medium gap: power-down, not self-refresh.
+	end = c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, end+1000)
+	st := c.Stats()
+	if st.SelfRefreshEntries != 0 || st.PowerDownExits != 1 {
+		t.Fatalf("medium gap stats: %+v", st)
+	}
+
+	// A gap beyond 4 x tREFI: self-refresh.
+	longGap := 5 * s.REFI
+	arrival := end + longGap
+	e2 := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 8}, arrival)
+	st = c.Stats()
+	if st.SelfRefreshEntries != 1 {
+		t.Fatalf("self-refresh entries = %d, want 1 (stats %+v)", st.SelfRefreshEntries, st)
+	}
+	if st.SelfRefreshCycles < longGap-10 {
+		t.Errorf("self-refresh cycles = %d, want ~%d", st.SelfRefreshCycles, longGap)
+	}
+	// Exit pays tXSR, and the bank was precharged by SR entry: the access
+	// is a row miss (ACT) again.
+	if want := arrival + s.XSR + s.RCD + s.CL + s.BurstCycles; e2 < want {
+		t.Errorf("post-SR access ends at %d, want >= %d", e2, want)
+	}
+	if st.RowMisses < 2 {
+		t.Errorf("SR entry should close pages: misses = %d", st.RowMisses)
+	}
+}
+
+func TestSelfRefreshDisabled(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.SelfRefreshThreshold = -1
+	c := newCtl(t, cfg)
+	s := cfg.Speed
+	end := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, end+10*s.REFI)
+	st := c.Stats()
+	if st.SelfRefreshEntries != 0 {
+		t.Errorf("self-refresh fired while disabled: %+v", st)
+	}
+	if st.PowerDownExits != 1 {
+		t.Errorf("long gap should still power down: %+v", st)
+	}
+}
+
+func TestCustomSelfRefreshThreshold(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.SelfRefreshThreshold = 500
+	c := newCtl(t, cfg)
+	end := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, end+600)
+	if got := c.Stats().SelfRefreshEntries; got != 1 {
+		t.Errorf("custom threshold: entries = %d, want 1", got)
+	}
+}
+
+// Power-down while every bank is closed counts as precharge power-down.
+func TestPrechargePowerDownClassification(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.Policy = ClosedPage // banks auto-close after each access
+	c := newCtl(t, cfg)
+	end := c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, end+1000)
+	st := c.Stats()
+	if st.PowerDownCycles == 0 || st.PrechargePDCycles != st.PowerDownCycles {
+		t.Errorf("closed-page idle should be precharge PD: %+v", st)
+	}
+
+	// Open-page idle keeps a row open: active power-down.
+	cfg.Policy = OpenPage
+	c2 := newCtl(t, cfg)
+	end = c2.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	c2.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, end+1000)
+	st = c2.Stats()
+	if st.PowerDownCycles == 0 || st.PrechargePDCycles != 0 {
+		t.Errorf("open-page idle should be active PD: %+v", st)
+	}
+}

@@ -1,0 +1,103 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/mapping"
+)
+
+// streamBursts issues n row-friendly read bursts at the given arrival pace
+// (0 = saturated) and returns the controller.
+func streamBursts(t *testing.T, cfg Config, n int, pace int64) *Controller {
+	t.Helper()
+	c := newCtl(t, cfg)
+	var arrival int64
+	for i := 0; i < n; i++ {
+		bank := (i / 128) % 4
+		row := i / 512
+		col := (i * 4) % 512
+		c.Access(false, mapping.Location{Bank: bank, Row: row, Column: col}, arrival)
+		arrival += pace
+	}
+	return c
+}
+
+func TestRefreshPostponeRejectsNegative(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.RefreshPostpone = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// Postponement removes refresh interruptions from a saturated stream: the
+// makespan shrinks by roughly the refresh time saved.
+func TestRefreshPostponeSpeedsSaturatedStream(t *testing.T) {
+	cfg := defaultCfg(t)
+	n := int(cfg.Speed.REFI) * 3 // several refresh intervals worth of bursts
+	base := streamBursts(t, cfg, n, 0)
+
+	cfg.RefreshPostpone = 8
+	postponed := streamBursts(t, cfg, n, 0)
+
+	if postponed.BusyCycles() >= base.BusyCycles() {
+		t.Errorf("postponement did not help: %d vs %d cycles",
+			postponed.BusyCycles(), base.BusyCycles())
+	}
+	// The postponed refreshes are debt, not skipped: at most 8 deferred.
+	debtGap := base.Stats().Refreshes - postponed.Stats().Refreshes
+	if debtGap < 1 || debtGap > 8 {
+		t.Errorf("refresh debt = %d, want 1..8", debtGap)
+	}
+}
+
+// Postponed refreshes catch up inside an idle gap for free.
+func TestRefreshCatchUpInIdleGap(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.RefreshPostpone = 8
+	c := newCtl(t, cfg)
+	s := cfg.Speed
+	// Stream past two refresh intervals: refreshes deferred.
+	var end int64
+	n := int(s.REFI) * 2 / 2 // bursts at ~2 cycles each cover 2 intervals
+	for i := 0; i < n; i++ {
+		end = c.Access(false, mapping.Location{Bank: (i / 128) % 4, Row: i / 512, Column: (i * 4) % 512}, 0)
+	}
+	deferredBefore := c.Stats().Refreshes
+	// A long idle gap: the debt retires inside it.
+	c.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, end+10_000)
+	after := c.Stats().Refreshes
+	if after <= deferredBefore {
+		t.Errorf("no refresh catch-up in gap: %d -> %d", deferredBefore, after)
+	}
+}
+
+// Precharge-on-idle converts idle time into the cheaper precharge
+// power-down state.
+func TestPrechargeOnIdle(t *testing.T) {
+	base := defaultCfg(t)
+	c1 := newCtl(t, base)
+	end := c1.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	c1.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, end+1000)
+	st := c1.Stats()
+	if st.PrechargePDCycles != 0 {
+		t.Fatalf("baseline idle should be active PD: %+v", st)
+	}
+
+	cfg := base
+	cfg.PrechargeOnIdle = true
+	c2 := newCtl(t, cfg)
+	end = c2.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 0}, 0)
+	e2 := c2.Access(false, mapping.Location{Bank: 0, Row: 0, Column: 4}, end+1000)
+	st = c2.Stats()
+	if st.PrechargePDCycles == 0 || st.PrechargePDCycles != st.PowerDownCycles {
+		t.Errorf("idle should be precharge PD: %+v", st)
+	}
+	// The wake access pays a fresh activate (row was closed).
+	if st.RowMisses < 2 {
+		t.Errorf("expected a re-activate after idle precharge: %+v", st)
+	}
+	if e2 <= end+1000 {
+		t.Errorf("woken access time %d implausible", e2)
+	}
+}

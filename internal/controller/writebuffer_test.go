@@ -1,0 +1,112 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/mapping"
+)
+
+func TestWriteBufferRejectsNegativeDepth(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.WriteBufferDepth = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("expected depth error")
+	}
+}
+
+// Posted writes are accepted immediately and only reach the DRAM when the
+// buffer fills or is flushed.
+func TestWriteBufferPostsAndDrains(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.WriteBufferDepth = 4
+	c := newCtl(t, cfg)
+	for i := 0; i < 3; i++ {
+		got := c.Access(true, mapping.Location{Bank: 0, Row: 0, Column: i * 4}, int64(i))
+		if got != int64(i) {
+			t.Errorf("posted write %d returned %d, want acceptance cycle %d", i, got, i)
+		}
+	}
+	if st := c.Stats(); st.Writes != 0 {
+		t.Fatalf("writes reached DRAM before drain: %+v", st)
+	}
+	// The fourth write fills the buffer and drains everything.
+	end := c.Access(true, mapping.Location{Bank: 0, Row: 0, Column: 12}, 3)
+	st := c.Stats()
+	if st.Writes != 4 {
+		t.Errorf("drained %d writes, want 4", st.Writes)
+	}
+	if end <= 3 {
+		t.Errorf("drain completion %d should be a real DRAM time", end)
+	}
+}
+
+func TestWriteBufferFlush(t *testing.T) {
+	cfg := defaultCfg(t)
+	cfg.WriteBufferDepth = 16
+	c := newCtl(t, cfg)
+	for i := 0; i < 5; i++ {
+		c.Access(true, mapping.Location{Bank: 0, Row: 0, Column: i * 4}, 0)
+	}
+	if c.Stats().Writes != 0 {
+		t.Fatal("writes drained early")
+	}
+	end := c.Flush()
+	if got := c.Stats().Writes; got != 5 {
+		t.Errorf("flush drained %d writes, want 5", got)
+	}
+	if end != c.BusyCycles() || end <= 0 {
+		t.Errorf("flush makespan = %d", end)
+	}
+	// Idempotent.
+	if again := c.Flush(); again != end {
+		t.Errorf("second flush changed makespan: %d vs %d", again, end)
+	}
+}
+
+// Batching writes amortizes bus turnarounds on an interleaved read/write
+// pattern: the buffered controller finishes sooner.
+func TestWriteBufferReducesTurnarounds(t *testing.T) {
+	run := func(depth int) int64 {
+		cfg := defaultCfg(t)
+		cfg.WriteBufferDepth = depth
+		c := newCtl(t, cfg)
+		// Alternate reads (bank 0) and writes (bank 1), the preprocess
+		// stage's pattern.
+		for i := 0; i < 512; i++ {
+			col := (i * 4) % 512
+			row := i / 128
+			c.Access(false, mapping.Location{Bank: 0, Row: row, Column: col}, 0)
+			c.Access(true, mapping.Location{Bank: 1, Row: row, Column: col}, 0)
+		}
+		return c.Flush()
+	}
+	base := run(0)
+	buffered := run(32)
+	if buffered >= base {
+		t.Errorf("write buffer did not help: %d vs %d cycles", buffered, base)
+	}
+	// The gain is the turnaround overhead: expect at least 10 %.
+	if float64(buffered) > 0.9*float64(base) {
+		t.Errorf("write buffer gain too small: %d vs %d cycles", buffered, base)
+	}
+}
+
+// The buffered controller moves exactly the same data.
+func TestWriteBufferConservesTraffic(t *testing.T) {
+	run := func(depth int) (reads, writes int64) {
+		cfg := defaultCfg(t)
+		cfg.WriteBufferDepth = depth
+		c := newCtl(t, cfg)
+		for i := 0; i < 100; i++ {
+			c.Access(i%3 == 0, mapping.Location{Bank: i % 4, Row: i % 8, Column: (i * 4) % 512}, 0)
+		}
+		c.Flush()
+		st := c.Stats()
+		return st.Reads, st.Writes
+	}
+	r0, w0 := run(0)
+	r8, w8 := run(8)
+	if r0 != r8 || w0 != w8 {
+		t.Errorf("traffic differs: %d/%d vs %d/%d", r0, w0, r8, w8)
+	}
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/mapping"
+	"repro/internal/units"
+	"repro/internal/usecase"
+)
+
+// simulate runs a sampled simulation for tests.
+func simulate(t *testing.T, format string, channels int, freqMHz float64, fraction float64) Result {
+	t.Helper()
+	w, err := WorkloadFor(format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = fraction
+	res, err := Simulate(w, PaperMemory(channels, units.Frequency(freqMHz)*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWorkloadFor(t *testing.T) {
+	if _, err := WorkloadFor("1080p30"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkloadFor("nope"); err == nil {
+		t.Error("expected error for unknown format")
+	}
+}
+
+func TestSimulateValidates(t *testing.T) {
+	w, _ := WorkloadFor("720p30")
+	w.SampleFraction = -0.5
+	if _, err := Simulate(w, PaperMemory(1, 400*units.MHz)); err == nil {
+		t.Error("expected fraction error")
+	}
+	w.SampleFraction = 0
+	if _, err := Simulate(w, PaperMemory(0, 400*units.MHz)); err == nil {
+		t.Error("expected channels error")
+	}
+	if _, err := Simulate(w, PaperMemory(1, 50*units.MHz)); err == nil {
+		t.Error("expected frequency error")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	period := 33 * units.Millisecond
+	tests := []struct {
+		at   units.Duration
+		want Verdict
+	}{
+		{20 * units.Millisecond, Feasible},
+		{28 * units.Millisecond, Feasible}, // just under 0.85*33 = 28.05
+		{29 * units.Millisecond, Marginal},
+		{33 * units.Millisecond, Marginal},
+		{34 * units.Millisecond, Infeasible},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.at, period); got != tt.want {
+			t.Errorf("Classify(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Infeasible.String() != "infeasible" || Marginal.String() != "MARGINAL" || Feasible.String() != "ok" {
+		t.Error("bad verdict names")
+	}
+	if got := Verdict(9).String(); got != "Verdict(9)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Fig. 3 narrative: at one channel, 200 and 266 MHz cannot meet the 720p30
+// real-time requirement, 333 MHz is marginal, and 400+ MHz meets it.
+func TestFig3Classifications(t *testing.T) {
+	want := map[float64]Verdict{
+		200: Infeasible,
+		266: Infeasible,
+		333: Marginal,
+		400: Feasible,
+		533: Feasible,
+	}
+	for freq, v := range want {
+		res := simulate(t, "720p30", 1, freq, 0.05)
+		if res.Verdict != v {
+			t.Errorf("720p30 1ch @%vMHz: verdict %v (access %v), want %v",
+				freq, res.Verdict, res.AccessTime, v)
+		}
+	}
+}
+
+// Fig. 4 / conclusions at 400 MHz: the complete feasibility matrix the paper
+// reports. F = feasible (safe side), M = marginal, I = infeasible.
+func TestFig4ClassificationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow")
+	}
+	want := map[string]map[int]Verdict{
+		// Level 3.1 is achievable with all interleaving schemes.
+		"720p30": {1: Feasible, 2: Feasible, 4: Feasible, 8: Feasible},
+		// Level 3.2 requires at least two channels.
+		"720p60": {1: Infeasible, 2: Feasible, 4: Feasible, 8: Feasible},
+		// To be on the safe side, 1080p employs at minimum four channels.
+		"1080p30": {1: Infeasible, 2: Marginal, 4: Feasible, 8: Feasible},
+		// Level 4.2 requires the 8-channel configuration.
+		"1080p60": {1: Infeasible, 2: Infeasible, 4: Marginal, 8: Feasible},
+		// 2160p30 needs all eight channels.
+		"2160p30": {1: Infeasible, 2: Infeasible, 4: Infeasible, 8: Marginal},
+		// 2160p60 is beyond every configuration ("doubtful").
+		"2160p60": {1: Infeasible, 2: Infeasible, 4: Infeasible, 8: Infeasible},
+	}
+	for format, row := range want {
+		for ch, v := range row {
+			res := simulate(t, format, ch, 400, 0.04)
+			if res.Verdict != v {
+				t.Errorf("%s %dch @400MHz: verdict %v (access %v of %v), want %v",
+					format, ch, res.Verdict, res.AccessTime, res.FramePeriod, v)
+			}
+		}
+	}
+}
+
+// Fig. 5 power anchors from the paper's prose, +-10 %.
+func TestFig5PowerAnchors(t *testing.T) {
+	anchors := []struct {
+		format   string
+		channels int
+		wantMW   float64
+	}{
+		{"720p30", 1, 150},
+		{"720p30", 8, 205},
+		{"1080p30", 4, 345},
+		{"2160p30", 8, 1280},
+	}
+	for _, a := range anchors {
+		res := simulate(t, a.format, a.channels, 400, 0.1)
+		got := res.TotalPower.Milliwatts()
+		if math.Abs(got-a.wantMW)/a.wantMW > 0.10 {
+			t.Errorf("%s %dch power = %.1f mW, want %v +-10%%", a.format, a.channels, got, a.wantMW)
+		}
+	}
+}
+
+// Interface power stacks at ~4-5 mW per channel at 400 MHz (paper: "the
+// approximate interface power of 5 mW per channel").
+func TestInterfacePowerPerChannel(t *testing.T) {
+	res := simulate(t, "720p30", 4, 400, 0.05)
+	perChannel := res.InterfacePower.Milliwatts() / 4
+	if perChannel < 3.5 || perChannel > 5.5 {
+		t.Errorf("interface power per channel = %.2f mW, want ~4-5", perChannel)
+	}
+}
+
+// Doubling channels gives close to 2x speedup (paper section IV).
+func TestChannelSpeedup(t *testing.T) {
+	prev := simulate(t, "720p30", 1, 400, 0.05)
+	for _, ch := range []int{2, 4, 8} {
+		cur := simulate(t, "720p30", ch, 400, 0.05)
+		ratio := prev.AccessTime.Seconds() / cur.AccessTime.Seconds()
+		if ratio < 1.9 || ratio > 2.1 {
+			t.Errorf("%dch -> %dch speedup = %.2f, want ~2", ch/2, ch, ratio)
+		}
+		prev = cur
+	}
+}
+
+// Sustained channel efficiency sits in the calibrated band and is flat
+// across channel counts (the paper's figures scale linearly).
+func TestEfficiencyBand(t *testing.T) {
+	var effs []float64
+	for _, ch := range []int{1, 2, 8} {
+		res := simulate(t, "1080p30", ch, 400, 0.05)
+		effs = append(effs, res.Efficiency)
+	}
+	for _, e := range effs {
+		if e < 0.70 || e > 0.78 {
+			t.Errorf("efficiency %.3f outside calibrated band [0.70, 0.78]", e)
+		}
+	}
+	for i := 1; i < len(effs); i++ {
+		if math.Abs(effs[i]-effs[0]) > 0.02 {
+			t.Errorf("efficiency not flat across channels: %v", effs)
+		}
+	}
+}
+
+// Sampling extrapolates consistently: a 5 % sample predicts the 20 % sample
+// within a small tolerance.
+func TestSamplingConsistency(t *testing.T) {
+	small := simulate(t, "720p30", 2, 400, 0.05)
+	large := simulate(t, "720p30", 2, 400, 0.20)
+	diff := math.Abs(small.AccessTime.Seconds()-large.AccessTime.Seconds()) / large.AccessTime.Seconds()
+	if diff > 0.02 {
+		t.Errorf("sampled access times differ by %.2f%%: %v vs %v",
+			diff*100, small.AccessTime, large.AccessTime)
+	}
+	pdiff := math.Abs(small.TotalPower.Milliwatts()-large.TotalPower.Milliwatts()) / large.TotalPower.Milliwatts()
+	if pdiff > 0.02 {
+		t.Errorf("sampled powers differ by %.2f%%", pdiff*100)
+	}
+}
+
+// BRC is never faster than RBC on the recording load (paper section IV:
+// RBC achieved "somewhat better performance").
+func TestRBCBeatsBRC(t *testing.T) {
+	w, _ := WorkloadFor("720p30")
+	w.SampleFraction = 0.05
+	rbc, err := Simulate(w, PaperMemory(2, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := PaperMemory(2, 400*units.MHz)
+	mc.Mux = mapping.BRC
+	brc, err := Simulate(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rbc.AccessTime >= brc.AccessTime {
+		t.Errorf("RBC (%v) should beat BRC (%v)", rbc.AccessTime, brc.AccessTime)
+	}
+}
+
+// Disabling power-down raises power substantially at low utilization while
+// barely changing access time.
+func TestPowerDownAblation(t *testing.T) {
+	w, _ := WorkloadFor("720p30")
+	w.SampleFraction = 0.05
+	on, err := Simulate(w, PaperMemory(8, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := PaperMemory(8, 400*units.MHz)
+	mc.DisablePowerDown = true
+	off, err := Simulate(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.TotalPower < units.Power(1.5)*on.TotalPower {
+		t.Errorf("power-down ablation: %.0f mW vs %.0f mW, want >= 1.5x",
+			off.TotalPower.Milliwatts(), on.TotalPower.Milliwatts())
+	}
+	timeDiff := math.Abs(off.AccessTime.Seconds()-on.AccessTime.Seconds()) / on.AccessTime.Seconds()
+	if timeDiff > 0.05 {
+		t.Errorf("power-down changed access time by %.1f%%", timeDiff*100)
+	}
+}
+
+// Closed page loses to open page on the streaming recording load.
+func TestPagePolicyAblation(t *testing.T) {
+	w, _ := WorkloadFor("720p30")
+	w.SampleFraction = 0.02
+	open, err := Simulate(w, PaperMemory(1, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := PaperMemory(1, 400*units.MHz)
+	mc.Policy = controller.ClosedPage
+	closed, err := Simulate(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.AccessTime >= closed.AccessTime {
+		t.Errorf("open page (%v) should beat closed page (%v)",
+			open.AccessTime, closed.AccessTime)
+	}
+}
+
+// The XDR comparison: 8 channels at 400 MHz offer ~25 GB/s peak, and the
+// recording power stays between ~4 % and ~27 % of the XDR interface's 5 W.
+func TestXDRComparisonRange(t *testing.T) {
+	low := simulate(t, "720p30", 8, 400, 0.1)
+	high := simulate(t, "2160p30", 8, 400, 0.1)
+	if got := low.PeakBandwidth.GBps(); math.Abs(got-25.6) > 0.01 {
+		t.Errorf("8ch peak = %v GB/s, want 25.6", got)
+	}
+	lowFrac := low.TotalPower.Milliwatts() / 5000
+	highFrac := high.TotalPower.Milliwatts() / 5000
+	if lowFrac < 0.03 || lowFrac > 0.06 {
+		t.Errorf("720p30 power fraction of XDR = %.3f, want ~0.04", lowFrac)
+	}
+	if highFrac < 0.20 || highFrac > 0.30 {
+		t.Errorf("2160p30 power fraction of XDR = %.3f, want ~0.25", highFrac)
+	}
+}
+
+// Required bandwidth fields reproduce the Table I anchors.
+func TestResultBandwidthFields(t *testing.T) {
+	res := simulate(t, "1080p30", 4, 400, 0.05)
+	if got := res.RequiredBandwidth.GBps(); math.Abs(got-4.3)/4.3 > 0.05 {
+		t.Errorf("required bandwidth = %.2f GB/s, want ~4.3", got)
+	}
+	if res.AchievedBandwidth <= 0 || res.AchievedBandwidth > res.PeakBandwidth {
+		t.Errorf("achieved bandwidth %v outside (0, peak %v]", res.AchievedBandwidth, res.PeakBandwidth)
+	}
+	if res.FrameBytes <= 0 || res.FramePeriod <= 0 {
+		t.Errorf("result fields: %+v", res)
+	}
+	if len(res.PerChannel) != 4 {
+		t.Errorf("per-channel breakdowns = %d, want 4", len(res.PerChannel))
+	}
+}
+
+// Custom use-case parameters flow through (fewer reference frames lower the
+// load and the access time).
+func TestWorkloadParamsFlowThrough(t *testing.T) {
+	base, _ := WorkloadFor("1080p30")
+	base.SampleFraction = 0.05
+	light := base
+	p := usecase.DefaultParams()
+	p.ReferenceFrames = 1
+	light.Params = p
+	rBase, err := Simulate(base, PaperMemory(4, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLight, err := Simulate(light, PaperMemory(4, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLight.FrameBytes >= rBase.FrameBytes || rLight.AccessTime >= rBase.AccessTime {
+		t.Errorf("lighter workload not lighter: %v vs %v", rLight.AccessTime, rBase.AccessTime)
+	}
+}
+
+// The posted-write-buffer extension improves sustained efficiency on the
+// recording load without changing the traffic.
+func TestWriteBufferExtension(t *testing.T) {
+	w, _ := WorkloadFor("720p30")
+	w.SampleFraction = 0.05
+	base, err := Simulate(w, PaperMemory(1, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := PaperMemory(1, 400*units.MHz)
+	mc.WriteBufferDepth = 32
+	buf, err := Simulate(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.AccessTime >= base.AccessTime {
+		t.Errorf("write buffer did not help: %v vs %v", buf.AccessTime, base.AccessTime)
+	}
+	if buf.Totals.Writes != base.Totals.Writes {
+		t.Errorf("write buffer changed traffic: %d vs %d writes", buf.Totals.Writes, base.Totals.Writes)
+	}
+	if buf.Efficiency <= base.Efficiency {
+		t.Errorf("efficiency did not improve: %.3f vs %.3f", buf.Efficiency, base.Efficiency)
+	}
+}
+
+// RecordLatency populates a merged per-burst latency histogram.
+func TestLatencyRecording(t *testing.T) {
+	w, _ := WorkloadFor("720p30")
+	w.SampleFraction = 0.02
+	w.RecordLatency = true
+	res, err := Simulate(w, PaperMemory(2, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency == nil || res.Latency.Count() == 0 {
+		t.Fatal("latency histogram empty")
+	}
+	// Streamed bursts complete every BL/2 = 2 cycles; the median service
+	// latency bound sits there, and the tail covers row misses.
+	if res.Latency.Quantile(0.5) < 2 {
+		t.Errorf("median latency upper bound = %d cycles, implausibly low", res.Latency.Quantile(0.5))
+	}
+	if res.Latency.Max() < 10 {
+		t.Errorf("max latency = %d cycles, should cover row misses", res.Latency.Max())
+	}
+	// Without the flag, no histogram.
+	w.RecordLatency = false
+	res2, err := Simulate(w, PaperMemory(2, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Latency != nil {
+		t.Error("latency histogram present without RecordLatency")
+	}
+}
+
+// The FR-FCFS reorder-window extension never hurts and improves the
+// conflicted recording streams.
+func TestReorderQueueExtension(t *testing.T) {
+	w, _ := WorkloadFor("1080p30")
+	w.SampleFraction = 0.05
+	base, err := Simulate(w, PaperMemory(4, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := PaperMemory(4, 400*units.MHz)
+	mc.QueueDepth = 16
+	q, err := Simulate(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.AccessTime > base.AccessTime {
+		t.Errorf("reorder window slowed the load: %v vs %v", q.AccessTime, base.AccessTime)
+	}
+	if q.Totals.Accesses() != base.Totals.Accesses() {
+		t.Errorf("traffic differs: %d vs %d", q.Totals.Accesses(), base.Totals.Accesses())
+	}
+	// Row hit rate improves: that is the mechanism.
+	if q.Totals.RowHitRate() < base.Totals.RowHitRate() {
+		t.Errorf("hit rate fell: %.4f vs %.4f", q.Totals.RowHitRate(), base.Totals.RowHitRate())
+	}
+}

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// The abstract's headline result: full-HD recording on four 32-bit channels
+// at 400 MHz.
+func ExampleSimulate() {
+	w, err := core.WorkloadFor("1080p30")
+	if err != nil {
+		panic(err)
+	}
+	w.SampleFraction = 0.1 // sample the frame; results extrapolate
+
+	res, err := core.Simulate(w, core.PaperMemory(4, 400*units.MHz))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("required: %.1f GB/s\n", res.RequiredBandwidth.GBps())
+	fmt.Printf("verdict:  %v\n", res.Verdict)
+	fmt.Printf("power:    %.0f mW\n", res.TotalPower.Milliwatts())
+	// Output:
+	// required: 4.2 GB/s
+	// verdict:  ok
+	// power:    345 mW
+}
+
+// Classify applies the paper's real-time criterion with its 15 % processing
+// margin.
+func ExampleClassify() {
+	period := 33300 * units.Microsecond // one 30 fps frame
+	fmt.Println(core.Classify(20*units.Millisecond, period))
+	fmt.Println(core.Classify(30*units.Millisecond, period))
+	fmt.Println(core.Classify(40*units.Millisecond, period))
+	// Output:
+	// ok
+	// MARGINAL
+	// infeasible
+}
+
+// Table I regenerates from the use-case equations alone — no simulation.
+func ExampleRunTableI() {
+	cols, err := core.RunTableI(core.RunOptions{}.Params)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range cols[:3] {
+		fmt.Printf("%s: %.0f MB/s\n", c.Format.Name, c.Bandwidth.MBps())
+	}
+	// Output:
+	// 720p30: 1890 MB/s
+	// 720p60: 3707 MB/s
+	// 1080p30: 4162 MB/s
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/mapping"
+	"repro/internal/memsys"
+	"repro/internal/units"
+	"repro/internal/usecase"
+	"repro/internal/video"
+	"repro/internal/xdr"
+)
+
+// RunOptions configures the experiment runners.
+type RunOptions struct {
+	// SampleFraction in (0,1] bounds simulation cost; zero means the
+	// default 0.2 (the traffic is homogeneous, so results match the full
+	// frame within a fraction of a percent).
+	SampleFraction float64
+	// Params overrides the use-case constants; zero value means the
+	// paper defaults.
+	Params usecase.Params
+}
+
+func (o RunOptions) fraction() float64 {
+	if o.SampleFraction == 0 {
+		return 0.2
+	}
+	return o.SampleFraction
+}
+
+func (o RunOptions) workload(format string) (Workload, error) {
+	w, err := WorkloadFor(format)
+	if err != nil {
+		return Workload{}, err
+	}
+	w.Params = o.Params
+	w.SampleFraction = o.fraction()
+	return w, nil
+}
+
+// EvaluatedChannelCounts are the channel configurations of the paper.
+var EvaluatedChannelCounts = []int{1, 2, 4, 8}
+
+// PaperFrequency is the clock of figures 4 and 5.
+const PaperFrequency = 400 * units.MHz
+
+// FormatNames lists the frame formats of figures 4 and 5, in figure order.
+var FormatNames = []string{"720p30", "720p60", "1080p30", "1080p60", "2160p30", "2160p60"}
+
+// TableIColumn is one H.264-level column of Table I.
+type TableIColumn struct {
+	Level           video.Level
+	Format          video.FrameFormat
+	ReferenceFrames int
+	// Stages holds per-stage traffic in Fig. 1 order.
+	Stages [usecase.NumStages]usecase.StageTraffic
+	// ImageTotal, CodingTotal and FrameTotal are the Table I total rows
+	// (bits per frame); PerSecond and Bandwidth are the bottom rows.
+	ImageTotal  units.Bits
+	CodingTotal units.Bits
+	FrameTotal  units.Bits
+	PerSecond   units.Bits
+	Bandwidth   units.Bandwidth
+}
+
+// RunTableI regenerates Table I: the memory bandwidth requirement of every
+// stage of the recording chain for the five evaluated H.264/AVC levels.
+func RunTableI(params usecase.Params) ([]TableIColumn, error) {
+	if params == (usecase.Params{}) {
+		params = usecase.DefaultParams()
+	}
+	var cols []TableIColumn
+	for _, prof := range video.EvaluatedProfiles {
+		l, err := usecase.New(prof, params)
+		if err != nil {
+			return nil, err
+		}
+		col := TableIColumn{
+			Level:           prof.Level,
+			Format:          prof.Format,
+			ReferenceFrames: l.ReferenceFrames(),
+			Stages:          l.Stages,
+			ImageTotal:      l.ImageProcessingBits(),
+			CodingTotal:     l.VideoCodingBits(),
+			FrameTotal:      l.FrameBits(),
+			PerSecond:       l.BitsPerSecond(),
+			Bandwidth:       l.Bandwidth(),
+		}
+		cols = append(cols, col)
+	}
+	return cols, nil
+}
+
+// FigPoint is one simulated point of figures 3, 4 or 5.
+type FigPoint struct {
+	Format   string
+	Channels int
+	Freq     units.Frequency
+	Result   Result
+}
+
+// RunFig3 regenerates Fig. 3: the effect of memory clock frequency on the
+// per-frame access time for one encoded 720p30 frame (H.264 level 3.1), for
+// 1, 2, 4 and 8 channels across the DDR2 clock range.
+func RunFig3(opt RunOptions) ([]FigPoint, error) {
+	w, err := opt.workload("720p30")
+	if err != nil {
+		return nil, err
+	}
+	freqs := []units.Frequency{200 * units.MHz, 266 * units.MHz, 333 * units.MHz, 400 * units.MHz, 533 * units.MHz}
+	var points []FigPoint
+	for _, ch := range EvaluatedChannelCounts {
+		for _, f := range freqs {
+			res, err := Simulate(w, PaperMemory(ch, f))
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, FigPoint{Format: "720p30", Channels: ch, Freq: f, Result: res})
+		}
+	}
+	return points, nil
+}
+
+// RunFormatMatrix regenerates the simulation matrix behind figures 4 and 5:
+// every evaluated frame format on 1, 2, 4 and 8 channels at 400 MHz.
+// Fig. 4 reads the access times, Fig. 5 the powers.
+func RunFormatMatrix(opt RunOptions) ([]FigPoint, error) {
+	var points []FigPoint
+	for _, format := range FormatNames {
+		w, err := opt.workload(format)
+		if err != nil {
+			return nil, err
+		}
+		for _, ch := range EvaluatedChannelCounts {
+			res, err := Simulate(w, PaperMemory(ch, PaperFrequency))
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, FigPoint{Format: format, Channels: ch, Freq: PaperFrequency, Result: res})
+		}
+	}
+	return points, nil
+}
+
+// XDRRow compares one recording format's memory power against the XDR
+// baseline.
+type XDRRow struct {
+	Format string
+	// MemoryPower is the 8-channel mobile memory's average power.
+	MemoryPower units.Power
+	// Verdict is the real-time classification of the 8-channel run.
+	Verdict Verdict
+	// Ratio is MemoryPower over the XDR typical power (the paper's
+	// "4 % to 25 % of the XDR value").
+	Ratio float64
+	// XDRAccessTime estimates the same frame on the XDR baseline.
+	XDRAccessTime units.Duration
+}
+
+// XDRComparison is the paper's closing comparison: the 8-channel 400 MHz
+// mobile memory against the Cell BE's dual-channel XDR interface.
+type XDRComparison struct {
+	Mobile   units.Bandwidth // 8-channel peak
+	XDR      xdr.Interface
+	Rows     []XDRRow
+	MinRatio float64
+	MaxRatio float64
+}
+
+// RunXDRComparison regenerates the comparison across the recording formats
+// the 8-channel configuration can serve.
+func RunXDRComparison(opt RunOptions) (XDRComparison, error) {
+	base := xdr.CellBE()
+	cmp := XDRComparison{XDR: base, MinRatio: 1}
+	for _, format := range FormatNames {
+		w, err := opt.workload(format)
+		if err != nil {
+			return XDRComparison{}, err
+		}
+		res, err := Simulate(w, PaperMemory(8, PaperFrequency))
+		if err != nil {
+			return XDRComparison{}, err
+		}
+		cmp.Mobile = res.PeakBandwidth
+		if res.Verdict == Infeasible {
+			continue // the paper compares only formats the memory serves
+		}
+		row := XDRRow{
+			Format:        format,
+			MemoryPower:   res.TotalPower,
+			Verdict:       res.Verdict,
+			Ratio:         base.PowerRatio(res.TotalPower),
+			XDRAccessTime: base.AccessTime(res.FrameBytes),
+		}
+		cmp.Rows = append(cmp.Rows, row)
+		if row.Ratio < cmp.MinRatio {
+			cmp.MinRatio = row.Ratio
+		}
+		if row.Ratio > cmp.MaxRatio {
+			cmp.MaxRatio = row.Ratio
+		}
+	}
+	if len(cmp.Rows) == 0 {
+		return XDRComparison{}, fmt.Errorf("core: no feasible formats for the XDR comparison")
+	}
+	return cmp, nil
+}
+
+// AblationRow compares the paper's baseline configuration against one
+// design-choice variant on the same workload.
+type AblationRow struct {
+	Name     string
+	Workload string
+	Baseline Result
+	Variant  Result
+}
+
+// RunAblations regenerates the design-choice ablations the paper discusses:
+// RBC vs BRC address multiplexing (A1), aggressive power-down on/off (A2),
+// and open vs closed page policy (A3).
+func RunAblations(opt RunOptions) ([]AblationRow, error) {
+	var rows []AblationRow
+
+	// A1: address multiplexing, on the bandwidth-critical 1080p30 load.
+	w, err := opt.workload("1080p30")
+	if err != nil {
+		return nil, err
+	}
+	base, err := Simulate(w, PaperMemory(4, PaperFrequency))
+	if err != nil {
+		return nil, err
+	}
+	mc := PaperMemory(4, PaperFrequency)
+	mc.Mux = mapping.BRC
+	brc, err := Simulate(w, mc)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{Name: "RBC vs BRC multiplexing", Workload: "1080p30 4ch", Baseline: base, Variant: brc})
+
+	// A2: power-down, on the low-utilization 8-channel 720p30 point where
+	// idle power dominates.
+	w720, err := opt.workload("720p30")
+	if err != nil {
+		return nil, err
+	}
+	pdOn, err := Simulate(w720, PaperMemory(8, PaperFrequency))
+	if err != nil {
+		return nil, err
+	}
+	mc = PaperMemory(8, PaperFrequency)
+	mc.DisablePowerDown = true
+	pdOff, err := Simulate(w720, mc)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{Name: "power-down vs always-standby", Workload: "720p30 8ch", Baseline: pdOn, Variant: pdOff})
+
+	// A3: page policy, on the single-channel streaming point.
+	open, err := Simulate(w720, PaperMemory(1, PaperFrequency))
+	if err != nil {
+		return nil, err
+	}
+	mc = PaperMemory(1, PaperFrequency)
+	mc.Policy = controller.ClosedPage
+	closed, err := Simulate(w720, mc)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{Name: "open vs closed page", Workload: "720p30 1ch", Baseline: open, Variant: closed})
+
+	// A4 (extension): the posted-write buffer from the conclusions'
+	// "advanced control mechanisms" — batched write drains amortize bus
+	// turnarounds on the read/write-interleaved recording streams.
+	mc = PaperMemory(1, PaperFrequency)
+	mc.WriteBufferDepth = 32
+	buffered, err := Simulate(w720, mc)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{Name: "write buffer (depth 32) vs none", Workload: "720p30 1ch", Baseline: open, Variant: buffered})
+
+	return rows, nil
+}
+
+// InterleavePoint is one Table II granularity variant's result.
+type InterleavePoint struct {
+	// Granularity is the channel-interleaving chunk in bytes.
+	Granularity int64
+	Result      Result
+	// IsolatedLatency is the time to serve one isolated reference-fetch
+	// transaction on an otherwise idle memory: the single-transaction
+	// parallelism the paper's 16-byte choice buys ("all the channels can
+	// be used in a single master transaction").
+	IsolatedLatency units.Duration
+}
+
+// RunInterleaveSweep evaluates the channel-interleaving granularity of
+// Table II on the bandwidth-critical 1080p30 4-channel point. The sweep
+// exposes a genuine trade-off: coarser chunks lengthen each channel's
+// sequential runs and so RAISE saturated throughput a little, but they
+// strand individual transactions on fewer channels, multiplying the
+// latency of the isolated accesses the paper's choice optimizes.
+func RunInterleaveSweep(opt RunOptions) ([]InterleavePoint, error) {
+	w, err := opt.workload("1080p30")
+	if err != nil {
+		return nil, err
+	}
+	var points []InterleavePoint
+	for _, g := range []int64{16, 32, 64, 128, 256} {
+		mc := PaperMemory(4, PaperFrequency)
+		mc.InterleaveGranularity = g
+		res, err := Simulate(w, mc)
+		if err != nil {
+			return nil, err
+		}
+		lat, err := isolatedTransactionLatency(mc, 256)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, InterleavePoint{Granularity: g, Result: res, IsolatedLatency: lat})
+	}
+	return points, nil
+}
+
+// isolatedTransactionLatency serves one transaction of the given size on a
+// fresh, idle memory and returns its completion time.
+func isolatedTransactionLatency(mc MemoryConfig, bytes int64) (units.Duration, error) {
+	sys, err := memsys.New(mc.memsysConfig())
+	if err != nil {
+		return 0, err
+	}
+	run, err := sys.Run(memsys.NewSliceSource([]memsys.Request{{Addr: 0, Bytes: bytes}}))
+	if err != nil {
+		return 0, err
+	}
+	return run.Time, nil
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/usecase"
+)
+
+func TestRunTableI(t *testing.T) {
+	cols, err := RunTableI(usecase.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 5 {
+		t.Fatalf("Table I has %d columns, want 5 levels", len(cols))
+	}
+	// Column order follows the paper: 3.1, 3.2, 4, 4.2, 5.2.
+	wantLevels := []string{"3.1", "3.2", "4", "4.2", "5.2"}
+	for i, c := range cols {
+		if c.Level.Number != wantLevels[i] {
+			t.Errorf("column %d level %s, want %s", i, c.Level.Number, wantLevels[i])
+		}
+		if c.FrameTotal != c.ImageTotal+c.CodingTotal {
+			t.Errorf("level %s: totals inconsistent", c.Level.Number)
+		}
+		if c.ReferenceFrames != 4 {
+			t.Errorf("level %s: %d reference frames, want 4", c.Level.Number, c.ReferenceFrames)
+		}
+	}
+	// The bandwidth anchors (last row of Table I).
+	anchors := map[int]float64{0: 1.9, 2: 4.3, 3: 8.6} // GB/s
+	for i, want := range anchors {
+		got := cols[i].Bandwidth.GBps()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("column %d bandwidth = %.2f GB/s, want ~%.1f", i, got, want)
+		}
+	}
+	// 1080p60 is exactly double 1080p30 minus the display/bitstream
+	// differences; sanity: strictly greater than 1.9x.
+	if r := cols[3].Bandwidth / cols[2].Bandwidth; r < 1.9 || r > 2.1 {
+		t.Errorf("1080p60/1080p30 = %.2f, want ~2", float64(r))
+	}
+}
+
+func TestRunTableICustomParams(t *testing.T) {
+	p := usecase.DefaultParams()
+	p.ReferenceFrames = 2
+	cols, err := RunTableI(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunTableI(usecase.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[0].ReferenceFrames != 2 {
+		t.Errorf("reference frames = %d, want 2", cols[0].ReferenceFrames)
+	}
+	if cols[0].FrameTotal >= base[0].FrameTotal {
+		t.Error("fewer reference frames should shrink the frame load")
+	}
+}
+
+func TestRunFig3Shape(t *testing.T) {
+	points, err := RunFig3(RunOptions{SampleFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 channel counts x 5 frequencies.
+	if len(points) != 20 {
+		t.Fatalf("Fig. 3 has %d points, want 20", len(points))
+	}
+	// Within a channel count, access time falls monotonically with clock.
+	byChannels := map[int][]FigPoint{}
+	for _, p := range points {
+		byChannels[p.Channels] = append(byChannels[p.Channels], p)
+	}
+	for ch, ps := range byChannels {
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Result.AccessTime >= ps[i-1].Result.AccessTime {
+				t.Errorf("%dch: access time not monotone in clock", ch)
+			}
+		}
+	}
+	// The headline narrative: 1ch passes only from 400 MHz (333 marginal).
+	for _, p := range byChannels[1] {
+		want := Feasible
+		switch p.Freq.MHz() {
+		case 200, 266:
+			want = Infeasible
+		case 333:
+			want = Marginal
+		}
+		if p.Result.Verdict != want {
+			t.Errorf("1ch @%v: %v, want %v", p.Freq, p.Result.Verdict, want)
+		}
+	}
+}
+
+func TestRunFormatMatrixShape(t *testing.T) {
+	points, err := RunFormatMatrix(RunOptions{SampleFraction: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(FormatNames)*len(EvaluatedChannelCounts) {
+		t.Fatalf("matrix has %d points, want %d", len(points), len(FormatNames)*4)
+	}
+	// Power grows with channel count within a feasible format (more idle
+	// channels cost background and interface power).
+	var prev Result
+	for i, p := range points {
+		if p.Format != "720p30" {
+			break
+		}
+		if i > 0 && p.Result.TotalPower <= prev.TotalPower {
+			t.Errorf("720p30: power not increasing with channels: %v vs %v",
+				p.Result.TotalPower, prev.TotalPower)
+		}
+		prev = p.Result
+	}
+	// Every point carries the 400 MHz clock.
+	for _, p := range points {
+		if p.Freq != PaperFrequency {
+			t.Errorf("point at %v, want %v", p.Freq, PaperFrequency)
+		}
+	}
+}
+
+func TestRunXDRComparison(t *testing.T) {
+	cmp, err := RunXDRComparison(RunOptions{SampleFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: similar bandwidth (25.6 GB/s both sides).
+	if math.Abs(cmp.Mobile.GBps()-25.6) > 0.01 {
+		t.Errorf("mobile peak = %v GB/s, want 25.6", cmp.Mobile.GBps())
+	}
+	if math.Abs(cmp.XDR.PeakBandwidth().GBps()-25.6) > 0.01 {
+		t.Errorf("XDR peak = %v GB/s", cmp.XDR.PeakBandwidth().GBps())
+	}
+	// "Power consumption from 4% to 25% of the XDR value".
+	if cmp.MinRatio < 0.03 || cmp.MinRatio > 0.06 {
+		t.Errorf("min ratio = %.3f, want ~0.04", cmp.MinRatio)
+	}
+	if cmp.MaxRatio < 0.20 || cmp.MaxRatio > 0.30 {
+		t.Errorf("max ratio = %.3f, want ~0.25", cmp.MaxRatio)
+	}
+	// Infeasible formats (2160p60) are excluded.
+	for _, r := range cmp.Rows {
+		if r.Format == "2160p60" {
+			t.Error("infeasible format in XDR comparison")
+		}
+		if r.Verdict == Infeasible {
+			t.Errorf("%s: infeasible row in comparison", r.Format)
+		}
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	rows, err := RunAblations(RunOptions{SampleFraction: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("ablations = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "RBC vs BRC multiplexing", "open vs closed page":
+			if r.Variant.AccessTime <= r.Baseline.AccessTime {
+				t.Errorf("%s: variant (%v) should be slower than baseline (%v)",
+					r.Name, r.Variant.AccessTime, r.Baseline.AccessTime)
+			}
+		case "power-down vs always-standby":
+			if r.Variant.TotalPower <= r.Baseline.TotalPower {
+				t.Errorf("%s: variant (%v) should burn more than baseline (%v)",
+					r.Name, r.Variant.TotalPower, r.Baseline.TotalPower)
+			}
+		case "write buffer (depth 32) vs none":
+			if r.Variant.AccessTime >= r.Baseline.AccessTime {
+				t.Errorf("%s: buffered variant (%v) should beat baseline (%v)",
+					r.Name, r.Variant.AccessTime, r.Baseline.AccessTime)
+			}
+		default:
+			t.Errorf("unexpected ablation %q", r.Name)
+		}
+	}
+}
+
+func TestRunOptionsDefaults(t *testing.T) {
+	var o RunOptions
+	if o.fraction() != 0.2 {
+		t.Errorf("default fraction = %v, want 0.2", o.fraction())
+	}
+	o.SampleFraction = 0.5
+	if o.fraction() != 0.5 {
+		t.Errorf("fraction = %v, want 0.5", o.fraction())
+	}
+	if _, err := o.workload("bogus"); err == nil {
+		t.Error("expected error for bogus format")
+	}
+}
+
+func TestRunGeometrySweep(t *testing.T) {
+	points, err := RunGeometrySweep(RunOptions{SampleFraction: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 9 {
+		t.Fatalf("sweep has %d points, want 9", len(points))
+	}
+	paper, err := PaperGeometryPoint(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.RowBytes != 2048 {
+		t.Errorf("paper row = %d bytes, want 2048", paper.RowBytes)
+	}
+	// At fixed row size, more banks never hurt: concurrent streams
+	// conflict less.
+	byCols := map[int]map[int]GeometryPoint{}
+	for _, p := range points {
+		if byCols[p.Columns] == nil {
+			byCols[p.Columns] = map[int]GeometryPoint{}
+		}
+		byCols[p.Columns][p.Banks] = p
+	}
+	for cols, banks := range byCols {
+		if banks[8].Result.AccessTime > banks[2].Result.AccessTime {
+			t.Errorf("cols=%d: 8 banks (%v) slower than 2 banks (%v)",
+				cols, banks[8].Result.AccessTime, banks[2].Result.AccessTime)
+		}
+	}
+	// The organization matters substantially — the 2-bank small-row
+	// corner nearly doubles the access time — but stays within ~2x.
+	spread := GeometrySpread(points)
+	if spread <= 0 || spread > 1.2 {
+		t.Errorf("geometry spread = %.2f, want (0, 1.2]", spread)
+	}
+	if GeometrySpread(nil) != 0 {
+		t.Error("empty spread should be 0")
+	}
+	if _, err := PaperGeometryPoint(nil); err == nil {
+		t.Error("expected missing-point error")
+	}
+}
+
+func TestRunOperatingPoints(t *testing.T) {
+	points, err := RunOperatingPoints(RunOptions{SampleFraction: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(FormatNames)*len(EvaluatedChannelCounts) {
+		t.Fatalf("points = %d", len(points))
+	}
+	byKey := map[string]OperatingPoint{}
+	for _, p := range points {
+		byKey[fmt.Sprintf("%s/%d", p.Format, p.Channels)] = p
+	}
+	// Paper narrative: 720p30 on one channel first becomes safe at 400 MHz.
+	if got := byKey["720p30/1"].MinFreq; got != 400*units.MHz {
+		t.Errorf("720p30/1ch min clock = %v, want 400 MHz", got)
+	}
+	// On two channels the lowest evaluated clock already suffices.
+	if got := byKey["720p30/2"].MinFreq; got != 200*units.MHz {
+		t.Errorf("720p30/2ch min clock = %v, want 200 MHz", got)
+	}
+	// 2160p60 never fits.
+	if got := byKey["2160p60/8"].MinFreq; got != 0 {
+		t.Errorf("2160p60/8ch min clock = %v, want none", got)
+	}
+	// Running at the minimum clock saves power wherever there is slack.
+	p := byKey["720p30/2"]
+	if p.Saving <= 0 || p.PowerAtMin >= p.PowerAtMax {
+		t.Errorf("no DVFS saving: %+v", p)
+	}
+	// More channels lower the feasible clock monotonically (or keep it).
+	for _, format := range []string{"720p30", "1080p30"} {
+		var prev units.Frequency
+		for _, ch := range EvaluatedChannelCounts {
+			cur := byKey[fmt.Sprintf("%s/%d", format, ch)].MinFreq
+			if prev != 0 && cur != 0 && cur > prev {
+				t.Errorf("%s: min clock rose from %v to %v at %d channels", format, prev, cur, ch)
+			}
+			if cur != 0 {
+				prev = cur
+			}
+		}
+	}
+}
+
+// The Table II granularity trade-off: coarser interleaving lengthens
+// per-channel runs (saturated throughput improves slightly) but multiplies
+// the latency of an isolated transaction, which the paper's 16-byte choice
+// minimizes by spreading every master transaction over all channels.
+func TestRunInterleaveSweep(t *testing.T) {
+	points, err := RunInterleaveSweep(RunOptions{SampleFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Granularity != 16 {
+		t.Fatalf("first point granularity %d", points[0].Granularity)
+	}
+	// Isolated-transaction latency grows monotonically with granularity
+	// and the paper's 16B is the minimum.
+	for i := 1; i < len(points); i++ {
+		if points[i].IsolatedLatency < points[i-1].IsolatedLatency {
+			t.Errorf("isolated latency fell from %v to %v at granularity %d",
+				points[i-1].IsolatedLatency, points[i].IsolatedLatency, points[i].Granularity)
+		}
+	}
+	first, last := points[0], points[len(points)-1]
+	if float64(last.IsolatedLatency) < 1.5*float64(first.IsolatedLatency) {
+		t.Errorf("coarse interleave latency %v not substantially above 16B's %v",
+			last.IsolatedLatency, first.IsolatedLatency)
+	}
+	// Saturated access time moves only mildly (within ~15 % either way):
+	// granularity is a latency knob, not a throughput cliff.
+	for _, p := range points[1:] {
+		ratio := p.Result.AccessTime.Seconds() / first.Result.AccessTime.Seconds()
+		if ratio < 0.8 || ratio > 1.15 {
+			t.Errorf("granularity %d moved access time by %.2fx", p.Granularity, ratio)
+		}
+	}
+}

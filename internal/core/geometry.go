@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// GeometryPoint is one device-organization variant's result.
+type GeometryPoint struct {
+	// Banks and Columns describe the variant; rows are derived to keep
+	// the paper's 512 Mb cluster capacity.
+	Banks   int
+	Columns int
+	// RowBytes is the derived open-page size.
+	RowBytes int64
+	Result   Result
+}
+
+// RunGeometrySweep explores the bank-cluster organization space around the
+// paper's device (4 banks x 512 columns x 32 bit): bank counts 2/4/8 and
+// row sizes 1/2/4 KB at constant 512 Mb capacity, on the bandwidth-critical
+// 1080p30 4-channel point. The paper fixes one organization; this sweep
+// shows how much of the result depends on that choice (more banks absorb
+// the concurrent streams' conflicts; larger rows amortize activates).
+func RunGeometrySweep(opt RunOptions) ([]GeometryPoint, error) {
+	w, err := opt.workload("1080p30")
+	if err != nil {
+		return nil, err
+	}
+	capacityBits := dram.DefaultGeometry().CapacityBits()
+	var points []GeometryPoint
+	for _, banks := range []int{2, 4, 8} {
+		for _, columns := range []int{256, 512, 1024} {
+			g := dram.DefaultGeometry()
+			g.Banks = banks
+			g.Columns = columns
+			g.Rows = int(int64(capacityBits) / (int64(banks) * int64(columns) * int64(g.WordBits)))
+			if err := g.Validate(); err != nil {
+				return nil, fmt.Errorf("core: geometry %d banks x %d cols: %w", banks, columns, err)
+			}
+			if g.CapacityBits() != capacityBits {
+				return nil, fmt.Errorf("core: geometry %d banks x %d cols: capacity %v, want %v",
+					banks, columns, g.CapacityBits(), capacityBits)
+			}
+			mc := PaperMemory(4, PaperFrequency)
+			mc.Geometry = g
+			res, err := Simulate(w, mc)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, GeometryPoint{
+				Banks:    banks,
+				Columns:  columns,
+				RowBytes: g.RowBytes(),
+				Result:   res,
+			})
+		}
+	}
+	return points, nil
+}
+
+// PaperGeometryPoint returns the sweep point matching the paper's device.
+func PaperGeometryPoint(points []GeometryPoint) (GeometryPoint, error) {
+	def := dram.DefaultGeometry()
+	for _, p := range points {
+		if p.Banks == def.Banks && p.Columns == def.Columns {
+			return p, nil
+		}
+	}
+	return GeometryPoint{}, fmt.Errorf("core: paper geometry not in sweep")
+}
+
+// GeometrySpread returns the relative access-time spread across the sweep:
+// (max-min)/min — how sensitive the headline result is to the device
+// organization.
+func GeometrySpread(points []GeometryPoint) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	min, max := points[0].Result.AccessTime, points[0].Result.AccessTime
+	for _, p := range points[1:] {
+		if p.Result.AccessTime < min {
+			min = p.Result.AccessTime
+		}
+		if p.Result.AccessTime > max {
+			max = p.Result.AccessTime
+		}
+	}
+	if min <= 0 {
+		return 0
+	}
+	return float64(max-min) / float64(min)
+}

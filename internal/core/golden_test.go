@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/usecase"
+)
+
+// Golden regression values frozen from the calibrated model. Table I values
+// are exact (pure arithmetic); figure-matrix values carry a 2 % tolerance
+// (simulation sampling). Any change to the load model, device timing or
+// power constants that moves these is a deliberate recalibration and must
+// update this file and EXPERIMENTS.md together.
+
+func TestTableIGolden(t *testing.T) {
+	golden := []struct {
+		format               string
+		image, coding, frame int64 // bits per frame
+		mbps                 float64
+	}{
+		{"720p30", 210960384, 293134931, 504095315, 1890},
+		{"720p60", 201744384, 292580264, 494324648, 3707},
+		{"1080p30", 447047268, 662820691, 1109867959, 4162},
+		{"1080p60", 437831268, 663466024, 1101297292, 8260},
+		{"2160p30", 1702035456, 2653073064, 4355108520, 16332},
+	}
+	cols, err := RunTableI(usecase.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != len(golden) {
+		t.Fatalf("columns = %d, want %d", len(cols), len(golden))
+	}
+	for i, g := range golden {
+		c := cols[i]
+		if c.Format.Name != g.format {
+			t.Errorf("column %d is %s, want %s", i, c.Format.Name, g.format)
+			continue
+		}
+		if int64(c.ImageTotal) != g.image {
+			t.Errorf("%s image total = %d, want %d", g.format, int64(c.ImageTotal), g.image)
+		}
+		if int64(c.CodingTotal) != g.coding {
+			t.Errorf("%s coding total = %d, want %d", g.format, int64(c.CodingTotal), g.coding)
+		}
+		if int64(c.FrameTotal) != g.frame {
+			t.Errorf("%s frame total = %d, want %d", g.format, int64(c.FrameTotal), g.frame)
+		}
+		if math.Abs(c.Bandwidth.MBps()-g.mbps) > 1 {
+			t.Errorf("%s bandwidth = %.0f MB/s, want %.0f", g.format, c.Bandwidth.MBps(), g.mbps)
+		}
+	}
+}
+
+func TestFormatMatrixGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow")
+	}
+	golden := []struct {
+		format   string
+		channels int
+		accessMs float64
+		powerMW  float64
+		verdict  Verdict
+	}{
+		{"720p30", 1, 26.639, 150.2, Feasible},
+		{"720p30", 2, 13.358, 158.2, Feasible},
+		{"720p30", 4, 6.681, 174.0, Feasible},
+		{"720p30", 8, 3.360, 205.8, Feasible},
+		{"720p60", 1, 26.204, 185.6, Infeasible},
+		{"720p60", 2, 13.145, 295.7, Feasible},
+		{"720p60", 4, 6.578, 311.5, Feasible},
+		{"720p60", 8, 3.308, 343.7, Feasible},
+		{"1080p30", 1, 58.551, 186.2, Infeasible},
+		{"1080p30", 2, 29.290, 329.1, Marginal},
+		{"1080p30", 4, 14.645, 344.7, Feasible},
+		{"1080p30", 8, 7.357, 376.9, Feasible},
+		{"1080p60", 1, 58.228, 186.0, Infeasible},
+		{"1080p60", 2, 29.131, 371.8, Infeasible},
+		{"1080p60", 4, 14.573, 654.0, Marginal},
+		{"1080p60", 8, 7.318, 686.8, Feasible},
+		{"2160p30", 1, 230.399, 186.0, Infeasible},
+		{"2160p30", 2, 115.201, 371.9, Infeasible},
+		{"2160p30", 4, 57.597, 743.8, Infeasible},
+		{"2160p30", 8, 28.822, 1294.3, Marginal},
+		{"2160p60", 1, 228.627, 186.1, Infeasible},
+		{"2160p60", 2, 114.317, 372.3, Infeasible},
+		{"2160p60", 4, 57.147, 744.6, Infeasible},
+		{"2160p60", 8, 28.600, 1488.6, Infeasible},
+	}
+	points, err := RunFormatMatrix(RunOptions{SampleFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(golden) {
+		t.Fatalf("points = %d, want %d", len(points), len(golden))
+	}
+	const tol = 0.02
+	for i, g := range golden {
+		p := points[i]
+		if p.Format != g.format || p.Channels != g.channels {
+			t.Errorf("point %d is %s/%d, want %s/%d", i, p.Format, p.Channels, g.format, g.channels)
+			continue
+		}
+		if got := p.Result.AccessTime.Milliseconds(); math.Abs(got-g.accessMs)/g.accessMs > tol {
+			t.Errorf("%s/%dch access = %.3f ms, golden %.3f", g.format, g.channels, got, g.accessMs)
+		}
+		if got := p.Result.TotalPower.Milliwatts(); math.Abs(got-g.powerMW)/g.powerMW > tol {
+			t.Errorf("%s/%dch power = %.1f mW, golden %.1f", g.format, g.channels, got, g.powerMW)
+		}
+		if p.Result.Verdict != g.verdict {
+			t.Errorf("%s/%dch verdict = %v, golden %v", g.format, g.channels, p.Result.Verdict, g.verdict)
+		}
+	}
+}

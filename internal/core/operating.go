@@ -1,0 +1,67 @@
+package core
+
+import (
+	"repro/internal/dram"
+	"repro/internal/units"
+)
+
+// OperatingPoint is the lowest-power feasible clock for one (format,
+// channels) pair — the DVFS question the paper's frequency sweep implies:
+// since burst and standby energy per frame are roughly clock-independent
+// while the interface power of equation (1) scales linearly with f, the
+// energy-optimal operating point is the lowest clock that still meets the
+// real-time requirement with margin.
+type OperatingPoint struct {
+	Format   string
+	Channels int
+	// MinFreq is the lowest evaluated clock with a Feasible verdict;
+	// zero when no clock suffices.
+	MinFreq units.Frequency
+	// PowerAtMin and PowerAtMax are the average powers at the chosen
+	// clock and at the top 533 MHz clock.
+	PowerAtMin units.Power
+	PowerAtMax units.Power
+	// Saving is 1 - PowerAtMin/PowerAtMax.
+	Saving float64
+}
+
+// RunOperatingPoints sweeps every format and channel count over the DDR2
+// clock range and reports the lowest feasible clock and its power saving
+// against running flat-out at 533 MHz.
+func RunOperatingPoints(opt RunOptions) ([]OperatingPoint, error) {
+	var points []OperatingPoint
+	for _, format := range FormatNames {
+		w, err := opt.workload(format)
+		if err != nil {
+			return nil, err
+		}
+		for _, ch := range EvaluatedChannelCounts {
+			op := OperatingPoint{Format: format, Channels: ch}
+			var atMin, atMax *Result
+			for _, freq := range dram.EvaluatedFrequencies {
+				res, err := Simulate(w, PaperMemory(ch, freq))
+				if err != nil {
+					return nil, err
+				}
+				if res.Verdict == Feasible && op.MinFreq == 0 {
+					op.MinFreq = freq
+					r := res
+					atMin = &r
+				}
+				if freq == dram.EvaluatedFrequencies[len(dram.EvaluatedFrequencies)-1] {
+					r := res
+					atMax = &r
+				}
+			}
+			if atMin != nil && atMax != nil && atMax.Verdict != Infeasible {
+				op.PowerAtMin = atMin.TotalPower
+				op.PowerAtMax = atMax.TotalPower
+				if atMax.TotalPower > 0 {
+					op.Saving = 1 - float64(atMin.TotalPower)/float64(atMax.TotalPower)
+				}
+			}
+			points = append(points, op)
+		}
+	}
+	return points, nil
+}

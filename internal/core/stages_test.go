@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestSimulateStagesValidates(t *testing.T) {
+	w, _ := WorkloadFor("720p30")
+	w.SampleFraction = 2
+	if _, err := SimulateStages(w, PaperMemory(1, 400*units.MHz)); err == nil {
+		t.Error("expected fraction error")
+	}
+	w.SampleFraction = 0.05
+	if _, err := SimulateStages(w, PaperMemory(0, 400*units.MHz)); err == nil {
+		t.Error("expected channels error")
+	}
+}
+
+func TestStageAttributionSumsToFrame(t *testing.T) {
+	w, _ := WorkloadFor("720p30")
+	w.SampleFraction = 0.05
+	mc := PaperMemory(2, 400*units.MHz)
+
+	stages, err := SimulateStages(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := Simulate(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sumTime float64
+	var sumBytes int64
+	for _, s := range stages {
+		if s.Time < 0 || s.Bytes < 0 || s.Energy < 0 {
+			t.Errorf("stage %s has negative attribution: %+v", s.Name, s)
+		}
+		sumTime += s.Time.Seconds()
+		sumBytes += s.Bytes
+	}
+	// Per-stage times sum to the whole-frame access time (same traffic,
+	// same system, interleaving differs only at stage boundaries).
+	rel := math.Abs(sumTime-whole.AccessTime.Seconds()) / whole.AccessTime.Seconds()
+	if rel > 0.05 {
+		t.Errorf("stage time sum %.4g s vs whole frame %.4g s (%.1f%%)",
+			sumTime, whole.AccessTime.Seconds(), rel*100)
+	}
+	brel := math.Abs(float64(sumBytes-whole.FrameBytes)) / float64(whole.FrameBytes)
+	if brel > 0.01 {
+		t.Errorf("stage bytes %d vs frame %d", sumBytes, whole.FrameBytes)
+	}
+}
+
+// The encoder stage dominates both time and energy, echoing section II.
+func TestEncoderStageDominates(t *testing.T) {
+	w, _ := WorkloadFor("1080p30")
+	w.SampleFraction = 0.05
+	stages, err := SimulateStages(w, PaperMemory(4, 400*units.MHz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc StageResult
+	for _, s := range stages {
+		if s.Name == "Video encoder" {
+			enc = s
+		}
+	}
+	if enc.Name == "" {
+		t.Fatal("encoder stage missing")
+	}
+	for _, s := range stages {
+		if s.Name == enc.Name {
+			continue
+		}
+		if s.Time > enc.Time {
+			t.Errorf("stage %s time %v exceeds encoder %v", s.Name, s.Time, enc.Time)
+		}
+		if s.Energy > enc.Energy {
+			t.Errorf("stage %s energy %v exceeds encoder %v", s.Name, s.Energy, enc.Energy)
+		}
+	}
+	// Per-stage efficiency stays physical.
+	for _, s := range stages {
+		if s.Efficiency < 0 || s.Efficiency > 1 {
+			t.Errorf("stage %s efficiency %v", s.Name, s.Efficiency)
+		}
+	}
+}

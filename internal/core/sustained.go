@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/load"
+	"repro/internal/memsys"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/usecase"
+)
+
+// SustainedResult extends Result for a paced multi-frame run: instead of
+// asking "how fast can one frame's accesses complete?" (the saturated
+// access-time experiments of the figures), it runs the recorder the way a
+// device does — each frame's traffic spread across its frame slot, the
+// memory powering down in every gap — and reports whether the memory keeps
+// up and what the realistic average power is.
+type SustainedResult struct {
+	Result
+	// Frames is the number of simulated frame slots.
+	Frames int
+	// Lateness is how far past the last frame slot the final memory
+	// access completed; <= 0 means the memory kept up.
+	Lateness units.Duration
+	// PowerDownResidency is the mean fraction of the run each channel
+	// spent in power-down (in-run gaps plus trailing slack).
+	PowerDownResidency float64
+	// PowerDownExits counts power-down wakeups across all channels —
+	// each costs tXP of latency.
+	PowerDownExits int64
+}
+
+// SimulateSustained runs frames consecutive paced frame slots of the
+// workload. Traffic is spread over (1-ProcessingMargin) of each slot,
+// modeling the processing share the paper reserves.
+func SimulateSustained(w Workload, mc MemoryConfig, frames int) (SustainedResult, error) {
+	if frames <= 0 {
+		return SustainedResult{}, fmt.Errorf("core: %d frames", frames)
+	}
+	if w.Params == (usecase.Params{}) {
+		w.Params = usecase.DefaultParams()
+	}
+	fraction := w.SampleFraction
+	if fraction == 0 {
+		fraction = 1
+	}
+	if fraction < 0 || fraction > 1 {
+		return SustainedResult{}, fmt.Errorf("core: sample fraction %v outside (0,1]", fraction)
+	}
+
+	ucLoad, err := usecase.New(w.Profile, w.Params)
+	if err != nil {
+		return SustainedResult{}, err
+	}
+	sys, err := memsys.New(mc.memsysConfig())
+	if err != nil {
+		return SustainedResult{}, err
+	}
+	gen, err := load.New(ucLoad, mc.Channels, sys.Speed().Geometry, w.Load)
+	if err != nil {
+		return SustainedResult{}, err
+	}
+
+	speed := sys.Speed()
+	framePeriod := w.Profile.Format.FramePeriod()
+	periodCycles := framePeriod.Cycles(speed.Freq)
+	paceCycles := int64(float64(periodCycles) * (1 - ProcessingMargin))
+	src, err := gen.Paced(fraction, periodCycles, paceCycles, frames)
+	if err != nil {
+		return SustainedResult{}, err
+	}
+	run, err := sys.Run(src)
+	if err != nil {
+		return SustainedResult{}, err
+	}
+
+	scale := 1 / fraction
+	cycles := int64(float64(run.Cycles) * scale)
+	makespan := speed.CycleDuration(cycles)
+	runWindow := units.Duration(int64(frames)) * framePeriod
+	windowCycles := int64(frames) * periodCycles
+	if cycles > windowCycles {
+		windowCycles = cycles
+	}
+
+	res := SustainedResult{
+		Frames:   frames,
+		Lateness: makespan - runWindow,
+	}
+	res.Format = w.Profile.Format
+	res.Level = w.Profile.Level
+	res.Channels = mc.Channels
+	res.Freq = mc.Freq
+	res.FrameBytes = gen.FrameBytes()
+	res.FramePeriod = framePeriod
+	// Per-frame access budget semantics: the sustained run is feasible
+	// when it never falls behind its slots.
+	res.AccessTime = speed.CycleDuration(cycles / int64(frames))
+	if res.Lateness <= 0 {
+		res.Verdict = Feasible
+	} else if float64(res.Lateness) <= ProcessingMargin*float64(runWindow) {
+		res.Verdict = Marginal
+	} else {
+		res.Verdict = Infeasible
+	}
+	res.RequiredBandwidth = units.Bandwidth(float64(res.FrameBytes) / framePeriod.Seconds())
+	if makespan > 0 {
+		res.AchievedBandwidth = units.Bandwidth(float64(res.FrameBytes) * float64(frames) / makespan.Seconds())
+	}
+	res.PeakBandwidth = sys.PeakBandwidth()
+	if res.PeakBandwidth > 0 {
+		res.Efficiency = float64(res.AchievedBandwidth) / float64(res.PeakBandwidth)
+	}
+
+	ds := power.DefaultDatasheet()
+	if mc.Datasheet != nil {
+		ds = *mc.Datasheet
+	}
+	iface := power.DefaultInterface()
+	if mc.Interface != nil {
+		iface = *mc.Interface
+	}
+	pm, err := power.NewModel(ds, iface, speed)
+	if err != nil {
+		return SustainedResult{}, err
+	}
+	var pdCycles int64
+	for _, chStats := range run.PerChannel {
+		scaled := scaleStats(chStats, scale)
+		if scaled.BusyCycles > windowCycles {
+			scaled.BusyCycles = windowCycles
+		}
+		b, err := pm.ChannelEnergy(scaled, windowCycles, !mc.DisablePowerDown)
+		if err != nil {
+			return SustainedResult{}, err
+		}
+		res.PerChannel = append(res.PerChannel, b)
+		res.TotalPower += b.AveragePower()
+		res.InterfacePower += b.InterfacePower()
+		res.Totals.Add(scaled)
+		pdCycles += scaled.PowerDownCycles + (windowCycles - scaled.BusyCycles)
+		res.PowerDownExits += scaled.PowerDownExits
+	}
+	if n := int64(len(run.PerChannel)) * windowCycles; n > 0 {
+		res.PowerDownResidency = float64(pdCycles) / float64(n)
+	}
+	return res, nil
+}

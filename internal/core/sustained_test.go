@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func sustained(t *testing.T, format string, channels int, freqMHz float64, frames int, fraction float64) SustainedResult {
+	t.Helper()
+	w, err := WorkloadFor(format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = fraction
+	res, err := SimulateSustained(w, PaperMemory(channels, units.Frequency(freqMHz)*units.MHz), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimulateSustainedValidates(t *testing.T) {
+	w, _ := WorkloadFor("720p30")
+	if _, err := SimulateSustained(w, PaperMemory(1, 400*units.MHz), 0); err == nil {
+		t.Error("expected frames error")
+	}
+	w.SampleFraction = 2
+	if _, err := SimulateSustained(w, PaperMemory(1, 400*units.MHz), 1); err == nil {
+		t.Error("expected fraction error")
+	}
+	w.SampleFraction = 0
+	if _, err := SimulateSustained(w, PaperMemory(0, 400*units.MHz), 1); err == nil {
+		t.Error("expected channels error")
+	}
+}
+
+// A feasible configuration keeps up: the paced run never falls behind its
+// frame slots, and the channels power down inside the run.
+func TestSustainedFeasibleKeepsUp(t *testing.T) {
+	res := sustained(t, "720p30", 4, 400, 3, 0.1)
+	if res.Verdict != Feasible {
+		t.Errorf("verdict = %v (lateness %v), want feasible", res.Verdict, res.Lateness)
+	}
+	if res.Lateness > 0 {
+		t.Errorf("lateness = %v, want <= 0", res.Lateness)
+	}
+	if res.PowerDownExits == 0 {
+		t.Error("paced run should enter and exit power-down between transactions")
+	}
+	if res.PowerDownResidency <= 0.3 {
+		t.Errorf("power-down residency = %.2f, want substantial for a 4ch 720p30 load", res.PowerDownResidency)
+	}
+	if res.Frames != 3 {
+		t.Errorf("frames = %d", res.Frames)
+	}
+}
+
+// An overloaded configuration falls behind monotonically.
+func TestSustainedOverloadFallsBehind(t *testing.T) {
+	res := sustained(t, "1080p30", 1, 400, 2, 0.1)
+	if res.Verdict == Feasible {
+		t.Errorf("1080p30 on one channel should not keep up (lateness %v)", res.Lateness)
+	}
+	if res.Lateness <= 0 {
+		t.Errorf("lateness = %v, want positive", res.Lateness)
+	}
+}
+
+// Sustained power sits somewhat above the saturated-mode estimate: the
+// burst energy and slack residency match, but every paced transaction pays
+// the power-down wake (tXP plus the CAS pipeline restart) in active
+// standby, and refresh closes pages throughout the window — costs the
+// frame-burst methodology of Fig. 5 does not see. The gap is bounded.
+func TestSustainedPowerAboveSaturatedBounded(t *testing.T) {
+	sat := simulate(t, "720p30", 4, 400, 0.1)
+	sus := sustained(t, "720p30", 4, 400, 2, 0.1)
+	if sus.TotalPower <= sat.TotalPower {
+		t.Errorf("sustained power %.1f mW should exceed saturated %.1f mW (wake costs)",
+			sus.TotalPower.Milliwatts(), sat.TotalPower.Milliwatts())
+	}
+	rel := math.Abs(sus.TotalPower.Milliwatts()-sat.TotalPower.Milliwatts()) / sat.TotalPower.Milliwatts()
+	if rel > 0.30 {
+		t.Errorf("sustained power %.1f mW vs saturated %.1f mW (%.0f%% apart, want <= 30%%)",
+			sus.TotalPower.Milliwatts(), sat.TotalPower.Milliwatts(), rel*100)
+	}
+}
+
+// Self-similar sampling: a small fraction predicts a larger one.
+func TestSustainedSamplingConsistency(t *testing.T) {
+	small := sustained(t, "720p30", 2, 400, 2, 0.05)
+	large := sustained(t, "720p30", 2, 400, 2, 0.2)
+	pdiff := math.Abs(small.TotalPower.Milliwatts()-large.TotalPower.Milliwatts()) / large.TotalPower.Milliwatts()
+	if pdiff > 0.05 {
+		t.Errorf("sampled sustained powers differ by %.1f%%: %.1f vs %.1f mW",
+			pdiff*100, small.TotalPower.Milliwatts(), large.TotalPower.Milliwatts())
+	}
+	rdiff := math.Abs(small.PowerDownResidency - large.PowerDownResidency)
+	if rdiff > 0.05 {
+		t.Errorf("power-down residency differs: %.3f vs %.3f",
+			small.PowerDownResidency, large.PowerDownResidency)
+	}
+}
+
+// More channels at the same load increase power-down residency (each
+// channel is idler), which is why the multi-channel power overhead stays
+// moderate.
+func TestSustainedResidencyGrowsWithChannels(t *testing.T) {
+	r2 := sustained(t, "720p30", 2, 400, 2, 0.1)
+	r8 := sustained(t, "720p30", 8, 400, 2, 0.1)
+	if r8.PowerDownResidency <= r2.PowerDownResidency {
+		t.Errorf("residency 8ch (%.3f) should exceed 2ch (%.3f)",
+			r8.PowerDownResidency, r2.PowerDownResidency)
+	}
+}
+
+// Precharge-on-idle is a trade-off, not a free win: closing the pages saves
+// (IDD3P - IDD2P) during the gap but costs one re-activation on wake, so it
+// LOSES on the recording load's short inter-transaction gaps (break-even is
+// roughly ActPrechargeEnergy / (IDD3P-IDD2P) ~ a thousand cycles). The test
+// documents the regression and checks the accounting that explains it.
+func TestPrechargeOnIdleTradeoffAtShortGaps(t *testing.T) {
+	w, _ := WorkloadFor("1080p30")
+	w.SampleFraction = 0.1
+	base, err := SimulateSustained(w, PaperMemory(4, 400*units.MHz), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := PaperMemory(4, 400*units.MHz)
+	mc.PrechargeOnIdle = true
+	opt, err := SimulateSustained(w, mc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Verdict != Feasible {
+		t.Fatalf("optimized run verdict %v", opt.Verdict)
+	}
+	// The gaps here are tens of cycles: re-activation energy dominates.
+	if opt.TotalPower <= base.TotalPower {
+		t.Errorf("expected precharge-on-idle to cost power at short gaps: %.1f vs %.1f mW",
+			opt.TotalPower.Milliwatts(), base.TotalPower.Milliwatts())
+	}
+	if opt.Totals.Activates <= base.Totals.Activates {
+		t.Error("precharge-on-idle should add re-activations")
+	}
+	// The accounting sees the cheaper PD state even though it loses net.
+	if opt.Totals.PrechargePDCycles == 0 {
+		t.Error("no precharge power-down cycles recorded")
+	}
+	if base.Totals.PrechargePDCycles >= opt.Totals.PrechargePDCycles {
+		t.Error("precharge-on-idle should raise precharge PD residency")
+	}
+}
+
+// Refresh postponement alone never hurts the paced run: due refreshes
+// retire inside gaps instead of interrupting transactions.
+func TestRefreshPostponeOnSustained(t *testing.T) {
+	w, _ := WorkloadFor("1080p30")
+	w.SampleFraction = 0.1
+	base, err := SimulateSustained(w, PaperMemory(4, 400*units.MHz), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := PaperMemory(4, 400*units.MHz)
+	mc.RefreshPostpone = 8
+	opt, err := SimulateSustained(w, mc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Verdict != Feasible {
+		t.Fatalf("verdict %v", opt.Verdict)
+	}
+	// Within 1% on power (refresh energy is charged by time either way)
+	// and never later.
+	if opt.Lateness > base.Lateness {
+		t.Errorf("postponement increased lateness: %v vs %v", opt.Lateness, base.Lateness)
+	}
+	rel := math.Abs(opt.TotalPower.Milliwatts()-base.TotalPower.Milliwatts()) / base.TotalPower.Milliwatts()
+	if rel > 0.02 {
+		t.Errorf("postponement moved power by %.1f%%", rel*100)
+	}
+}

@@ -1,0 +1,43 @@
+// Package interconnect models the two interconnects of the paper's
+// architecture (Fig. 2): the on-chip interconnect between the memory masters
+// and the memory controllers, and the per-channel DRAM interconnect between
+// a controller and its bank cluster (the 3D die-stack connection).
+//
+// Both are full-bandwidth pipelines: they add latency, never throughput
+// limits, matching the paper's transaction-level abstraction.
+package interconnect
+
+import "fmt"
+
+// Link is a fixed-latency, full-width pipe measured in DRAM clock cycles.
+type Link struct {
+	// RequestCycles delays a request from master to memory.
+	RequestCycles int64
+	// ResponseCycles delays read data back to the master.
+	ResponseCycles int64
+}
+
+// Validate rejects negative latencies.
+func (l Link) Validate() error {
+	if l.RequestCycles < 0 || l.ResponseCycles < 0 {
+		return fmt.Errorf("interconnect: negative latency %+v", l)
+	}
+	return nil
+}
+
+// Deliver returns when a request issued at t reaches the far side.
+func (l Link) Deliver(t int64) int64 { return t + l.RequestCycles }
+
+// Complete returns when a response produced at t reaches the master.
+func (l Link) Complete(t int64) int64 { return t + l.ResponseCycles }
+
+// RoundTrip returns the total latency contribution of the link.
+func (l Link) RoundTrip() int64 { return l.RequestCycles + l.ResponseCycles }
+
+// DefaultDRAMLink returns the die-stacked DRAM interconnect: one cycle each
+// way, reflecting the very short vertical 3D connection the paper assumes.
+func DefaultDRAMLink() Link { return Link{RequestCycles: 1, ResponseCycles: 1} }
+
+// DefaultOnChipLink returns the on-chip interconnect between the load model
+// and the memory controllers.
+func DefaultOnChipLink() Link { return Link{RequestCycles: 2, ResponseCycles: 2} }

@@ -1,0 +1,48 @@
+package interconnect
+
+import "testing"
+
+func TestLinkDelays(t *testing.T) {
+	l := Link{RequestCycles: 3, ResponseCycles: 2}
+	if got := l.Deliver(10); got != 13 {
+		t.Errorf("Deliver(10) = %d, want 13", got)
+	}
+	if got := l.Complete(20); got != 22 {
+		t.Errorf("Complete(20) = %d, want 22", got)
+	}
+	if got := l.RoundTrip(); got != 5 {
+		t.Errorf("RoundTrip() = %d, want 5", got)
+	}
+}
+
+func TestZeroLinkIsTransparent(t *testing.T) {
+	var l Link
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Deliver(7) != 7 || l.Complete(7) != 7 || l.RoundTrip() != 0 {
+		t.Error("zero link must add no latency")
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	if err := (Link{RequestCycles: -1}).Validate(); err == nil {
+		t.Error("expected error for negative request latency")
+	}
+	if err := (Link{ResponseCycles: -1}).Validate(); err == nil {
+		t.Error("expected error for negative response latency")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if err := DefaultDRAMLink().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := DefaultOnChipLink().Validate(); err != nil {
+		t.Error(err)
+	}
+	// The 3D die-stack link is shorter than the on-chip interconnect.
+	if DefaultDRAMLink().RoundTrip() >= DefaultOnChipLink().RoundTrip() {
+		t.Error("DRAM link should be shorter than the on-chip link")
+	}
+}

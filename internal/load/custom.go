@@ -1,0 +1,213 @@
+package load
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/usecase"
+)
+
+// BufferSpec declares one frame buffer for a custom workload.
+type BufferSpec struct {
+	Name string
+	Size int64
+}
+
+// StreamSpec declares one sequential stream of a custom workload stage.
+type StreamSpec struct {
+	Name string
+	// Write selects the direction.
+	Write bool
+	// Buffer indexes the workload's BufferSpec list.
+	Buffer int
+	// Bytes is the per-frame payload.
+	Bytes int64
+	// Run is the per-channel bytes per stream visit (a multiple of the
+	// 16-byte burst); the generator multiplies by the channel count.
+	Run int64
+}
+
+// StageSpec declares one state of a custom load state machine.
+type StageSpec struct {
+	Name    string
+	Streams []StreamSpec
+}
+
+// NewCustom builds a generator for an arbitrary staged workload: buffers are
+// placed with the same bank-phase-rotating allocator the recording chain
+// uses, and each stage's streams are interleaved proportionally at their
+// declared run granularities. This is the extension point for workloads
+// beyond the paper's recording chain (playback, synthetic traffic, ...).
+func NewCustom(buffers []BufferSpec, stages []StageSpec, channels int, g dram.Geometry, cfg Config) (*Generator, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if channels <= 0 {
+		return nil, fmt.Errorf("load: %d channels", channels)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(buffers) == 0 {
+		return nil, fmt.Errorf("load: no buffers")
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("load: no stages")
+	}
+
+	gen := &Generator{cfg: cfg, channels: channels, capacity: g.Bytes() * int64(channels)}
+	al := newAllocator(channels, g)
+	al.next = cfg.BaseAddress
+	for _, b := range buffers {
+		if b.Size <= 0 {
+			return nil, fmt.Errorf("load: buffer %q with size %d", b.Name, b.Size)
+		}
+		gen.buffers = append(gen.buffers, al.alloc(b.Name, b.Size))
+	}
+
+	for si, sp := range stages {
+		st := stage{id: usecase.StageID(si)}
+		for _, sm := range sp.Streams {
+			if sm.Buffer < 0 || sm.Buffer >= len(buffers) {
+				return nil, fmt.Errorf("load: stage %q stream %q references buffer %d of %d",
+					sp.Name, sm.Name, sm.Buffer, len(buffers))
+			}
+			if sm.Bytes < 0 {
+				return nil, fmt.Errorf("load: stage %q stream %q with %d bytes", sp.Name, sm.Name, sm.Bytes)
+			}
+			if sm.Run < 16 || sm.Run%16 != 0 {
+				return nil, fmt.Errorf("load: stage %q stream %q run %d (want multiple of 16)",
+					sp.Name, sm.Name, sm.Run)
+			}
+			if sm.Bytes == 0 {
+				continue
+			}
+			st.streams = append(st.streams, stream{
+				name:  sm.Name,
+				write: sm.Write,
+				base:  gen.buffers[sm.Buffer].Base,
+				bytes: sm.Bytes,
+				run:   sm.Run * int64(channels),
+			})
+		}
+		if len(st.streams) > 0 {
+			gen.stages = append(gen.stages, st)
+		}
+	}
+	if len(gen.stages) == 0 {
+		return nil, fmt.Errorf("load: workload has no traffic")
+	}
+	return gen, nil
+}
+
+// NewPlayback builds the load generator for the playback (decode + display)
+// use case, mapping its stages onto buffers and stream granularities the
+// same way the recording chain is mapped.
+func NewPlayback(pb usecase.PlaybackLoad, channels int, g dram.Geometry, cfg Config) (*Generator, error) {
+	cfg.fillDefaults()
+	f := pb.Profile.Format
+	reconBytes := f.Pixels() * 3 / 2 // YUV420
+	dispYUVBytes := pb.Params.Display.Pixels() * 2
+	dispRGBBytes := pb.Params.Display.Pixels() * 3
+	refs := pb.ReferenceFrames()
+
+	buffers := []BufferSpec{
+		{Name: "pb-card", Size: 1 << 20},
+		{Name: "pb-video-es", Size: 1 << 20},
+		{Name: "pb-audio-es", Size: 1 << 16},
+	}
+	refBase := len(buffers)
+	for i := 0; i < refs; i++ {
+		buffers = append(buffers, BufferSpec{Name: fmt.Sprintf("pb-reference-%d", i), Size: reconBytes})
+	}
+	recon := len(buffers)
+	buffers = append(buffers,
+		BufferSpec{Name: "pb-reconstructed", Size: reconBytes},
+		BufferSpec{Name: "pb-display-yuv", Size: dispYUVBytes},
+		BufferSpec{Name: "pb-display-rgb", Size: dispRGBBytes},
+	)
+	dispYUV, dispRGB := recon+1, recon+2
+
+	rd := func(id usecase.PlaybackStageID) int64 { return pb.Stages[id].ReadBits.Bytes() }
+	wr := func(id usecase.PlaybackStageID) int64 { return pb.Stages[id].WriteBits.Bytes() }
+
+	dec := pb.Stages[usecase.PbVideoDecoder]
+	vBytes := int64(float64(pb.Profile.Level.MaxBitrate) / float64(f.FPS) / 8)
+	refTraffic := dec.ReadBits.Bytes() - vBytes
+	if refTraffic < 0 {
+		refTraffic = 0
+	}
+	decStreams := []StreamSpec{
+		{Name: "dec-bs", Buffer: 1, Bytes: vBytes, Run: cfg.BitstreamRun},
+	}
+	for i := 0; i < refs; i++ {
+		decStreams = append(decStreams, StreamSpec{
+			Name: fmt.Sprintf("dec-ref%d", i), Buffer: refBase + i,
+			Bytes: refTraffic / int64(refs), Run: cfg.RefRun,
+		})
+	}
+	decStreams = append(decStreams, StreamSpec{
+		Name: "dec-recon", Write: true, Buffer: recon, Bytes: wr(usecase.PbVideoDecoder), Run: cfg.CodingRun,
+	})
+
+	stages := []StageSpec{
+		{Name: "memory card", Streams: []StreamSpec{
+			{Name: "card-rd", Buffer: 0, Bytes: rd(usecase.PbMemoryCard), Run: cfg.BitstreamRun},
+		}},
+		{Name: "demultiplex", Streams: []StreamSpec{
+			{Name: "demux-rd", Buffer: 0, Bytes: rd(usecase.PbDemultiplex), Run: cfg.BitstreamRun},
+			{Name: "demux-wr-v", Write: true, Buffer: 1, Bytes: vBytes, Run: cfg.BitstreamRun},
+			{Name: "demux-wr-a", Write: true, Buffer: 2, Bytes: wr(usecase.PbDemultiplex) - vBytes, Run: cfg.BitstreamRun},
+		}},
+		{Name: "video decoder", Streams: decStreams},
+		{Name: "scale to display", Streams: []StreamSpec{
+			{Name: "scale-rd", Buffer: recon, Bytes: rd(usecase.PbScaleToDisplay), Run: cfg.ImageRun},
+			{Name: "scale-wr", Write: true, Buffer: dispYUV, Bytes: wr(usecase.PbScaleToDisplay), Run: cfg.ImageRun},
+		}},
+		{Name: "display ctrl", Streams: []StreamSpec{
+			{Name: "disp-rd", Buffer: dispRGB, Bytes: rd(usecase.PbDisplayCtrl), Run: cfg.ImageRun},
+		}},
+		{Name: "audio decoder", Streams: []StreamSpec{
+			{Name: "audio-rd", Buffer: 2, Bytes: rd(usecase.PbAudioDecoder), Run: cfg.BitstreamRun},
+		}},
+	}
+	return NewCustom(buffers, stages, channels, g, cfg)
+}
+
+// NewViewfinder builds the load generator for the viewfinder (preview)
+// use case.
+func NewViewfinder(vf usecase.ViewfinderLoad, channels int, g dram.Geometry, cfg Config) (*Generator, error) {
+	cfg.fillDefaults()
+	n := vf.Format.Pixels()
+	buffers := []BufferSpec{
+		{Name: "vf-sensor", Size: n * 2},
+		{Name: "vf-preprocessed", Size: n * 2},
+		{Name: "vf-yuv", Size: n * 2},
+		{Name: "vf-display-yuv", Size: vf.Params.Display.Pixels() * 2},
+		{Name: "vf-display-rgb", Size: vf.Params.Display.Pixels() * 3},
+	}
+	rd := func(id usecase.ViewfinderStageID) int64 { return vf.Stages[id].ReadBits.Bytes() }
+	wr := func(id usecase.ViewfinderStageID) int64 { return vf.Stages[id].WriteBits.Bytes() }
+	stages := []StageSpec{
+		{Name: "camera", Streams: []StreamSpec{
+			{Name: "camera-wr", Write: true, Buffer: 0, Bytes: wr(usecase.VfCameraIF), Run: cfg.ImageRun},
+		}},
+		{Name: "preprocess", Streams: []StreamSpec{
+			{Name: "pre-rd", Buffer: 0, Bytes: rd(usecase.VfPreprocess), Run: cfg.ImageRun},
+			{Name: "pre-wr", Write: true, Buffer: 1, Bytes: wr(usecase.VfPreprocess), Run: cfg.ImageRun},
+		}},
+		{Name: "bayer to yuv", Streams: []StreamSpec{
+			{Name: "b2y-rd", Buffer: 1, Bytes: rd(usecase.VfBayerToYUV), Run: cfg.ImageRun},
+			{Name: "b2y-wr", Write: true, Buffer: 2, Bytes: wr(usecase.VfBayerToYUV), Run: cfg.ImageRun},
+		}},
+		{Name: "scale to display", Streams: []StreamSpec{
+			{Name: "scale-rd", Buffer: 2, Bytes: rd(usecase.VfScaleToDisplay), Run: cfg.ImageRun},
+			{Name: "scale-wr", Write: true, Buffer: 3, Bytes: wr(usecase.VfScaleToDisplay), Run: cfg.ImageRun},
+		}},
+		{Name: "display ctrl", Streams: []StreamSpec{
+			{Name: "disp-rd", Buffer: 4, Bytes: rd(usecase.VfDisplayCtrl), Run: cfg.ImageRun},
+		}},
+	}
+	return NewCustom(buffers, stages, channels, g, cfg)
+}

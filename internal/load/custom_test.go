@@ -1,0 +1,266 @@
+package load
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memsys"
+	"repro/internal/usecase"
+	"repro/internal/video"
+)
+
+func customSpec() ([]BufferSpec, []StageSpec) {
+	buffers := []BufferSpec{
+		{Name: "in", Size: 1 << 20},
+		{Name: "out", Size: 1 << 20},
+	}
+	stages := []StageSpec{
+		{Name: "copy", Streams: []StreamSpec{
+			{Name: "rd", Buffer: 0, Bytes: 1 << 18, Run: 128},
+			{Name: "wr", Write: true, Buffer: 1, Bytes: 1 << 18, Run: 128},
+		}},
+	}
+	return buffers, stages
+}
+
+func TestNewCustomValidates(t *testing.T) {
+	buffers, stages := customSpec()
+	g := dram.DefaultGeometry()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"zero channels", func() error {
+			_, err := NewCustom(buffers, stages, 0, g, Config{})
+			return err
+		}},
+		{"no buffers", func() error {
+			_, err := NewCustom(nil, stages, 2, g, Config{})
+			return err
+		}},
+		{"no stages", func() error {
+			_, err := NewCustom(buffers, nil, 2, g, Config{})
+			return err
+		}},
+		{"bad buffer size", func() error {
+			_, err := NewCustom([]BufferSpec{{Name: "x", Size: 0}}, stages, 2, g, Config{})
+			return err
+		}},
+		{"bad buffer ref", func() error {
+			bad := []StageSpec{{Name: "s", Streams: []StreamSpec{{Buffer: 9, Bytes: 64, Run: 64}}}}
+			_, err := NewCustom(buffers, bad, 2, g, Config{})
+			return err
+		}},
+		{"bad run", func() error {
+			bad := []StageSpec{{Name: "s", Streams: []StreamSpec{{Buffer: 0, Bytes: 64, Run: 60}}}}
+			_, err := NewCustom(buffers, bad, 2, g, Config{})
+			return err
+		}},
+		{"negative bytes", func() error {
+			bad := []StageSpec{{Name: "s", Streams: []StreamSpec{{Buffer: 0, Bytes: -1, Run: 64}}}}
+			_, err := NewCustom(buffers, bad, 2, g, Config{})
+			return err
+		}},
+		{"empty traffic", func() error {
+			empty := []StageSpec{{Name: "s", Streams: []StreamSpec{{Buffer: 0, Bytes: 0, Run: 64}}}}
+			_, err := NewCustom(buffers, empty, 2, g, Config{})
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.run() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNewCustomEmitsDeclaredTraffic(t *testing.T) {
+	buffers, stages := customSpec()
+	gen, err := NewCustom(buffers, stages, 2, dram.DefaultGeometry(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gen.FrameBytes(); got != 2<<18 {
+		t.Errorf("frame bytes = %d, want %d", got, 2<<18)
+	}
+	src, err := gen.Frame(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd, wr int64
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if r.Write {
+			wr += r.Bytes
+		} else {
+			rd += r.Bytes
+		}
+	}
+	if rd != 1<<18 || wr != 1<<18 {
+		t.Errorf("emitted %d/%d, want %d each", rd, wr, 1<<18)
+	}
+}
+
+func TestBaseAddressSeparatesWorkloads(t *testing.T) {
+	buffers, stages := customSpec()
+	g := dram.DefaultGeometry()
+	a, err := NewCustom(buffers, stages, 2, g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := int64(16 << 20)
+	b, err := NewCustom(buffers, stages, 2, g, Config{BaseAddress: offset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ba := range a.Buffers() {
+		bb := b.Buffers()[i]
+		if bb.Base < offset {
+			t.Errorf("offset buffer %q at %d, want >= %d", bb.Name, bb.Base, offset)
+		}
+		if bb.Base-ba.Base < offset {
+			t.Errorf("buffer %q offset %d, want >= %d", bb.Name, bb.Base-ba.Base, offset)
+		}
+	}
+	if _, err := NewCustom(buffers, stages, 2, g, Config{BaseAddress: -1}); err == nil {
+		t.Error("expected negative base address error")
+	}
+}
+
+func TestNewPlaybackGenerator(t *testing.T) {
+	prof, err := video.ProfileFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := usecase.NewPlayback(prof, usecase.DefaultPlaybackParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewPlayback(pb, 2, dram.DefaultGeometry(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator carries (within rounding) the playback load.
+	want := pb.FrameBits().Bytes()
+	got := gen.FrameBytes()
+	diff := want - got
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 64 {
+		t.Errorf("playback generator frame bytes = %d, want ~%d", got, want)
+	}
+	// And it runs on the memory subsystem.
+	src, err := gen.Frame(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := memsys.New(memsys.PaperConfig(2, 400e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bursts == 0 || res.BytesRead == 0 || res.BytesWritten == 0 {
+		t.Errorf("playback run empty: %+v", res)
+	}
+}
+
+// Recording and playback merged onto one memory move the sum of their
+// traffic and do not overlap buffers.
+func TestMergedRecordPlayback(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	rec, err := usecase.New(prof, usecase.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recGen, err := New(rec, 2, dram.DefaultGeometry(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := usecase.NewPlayback(prof, usecase.DefaultPlaybackParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place playback above the recording buffers.
+	var recTop int64
+	for _, b := range recGen.Buffers() {
+		if end := b.Base + b.Size; end > recTop {
+			recTop = end
+		}
+	}
+	pbGen, err := NewPlayback(pb, 2, dram.DefaultGeometry(), Config{BaseAddress: recTop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pbuf := range pbGen.Buffers() {
+		for _, rbuf := range recGen.Buffers() {
+			if pbuf.Base < rbuf.Base+rbuf.Size && rbuf.Base < pbuf.Base+pbuf.Size {
+				t.Errorf("buffers %q and %q overlap", pbuf.Name, rbuf.Name)
+			}
+		}
+	}
+
+	recSrc, err := recGen.Frame(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbSrc, err := pbGen.Frame(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := memsys.New(memsys.PaperConfig(4, 400e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(memsys.Merge(recSrc, pbSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(float64(recGen.FrameBytes()+pbGen.FrameBytes()) * 0.05)
+	got := res.BytesRead + res.BytesWritten
+	if diff := got - want; diff < -2048 || diff > 2048 {
+		t.Errorf("merged traffic = %d bytes, want ~%d", got, want)
+	}
+}
+
+func TestNewViewfinderGenerator(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	vf, err := usecase.NewViewfinder(prof.Format, usecase.DefaultViewfinderParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewViewfinder(vf, 2, dram.DefaultGeometry(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vf.FrameBits().Bytes()
+	got := gen.FrameBytes()
+	diff := want - got
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 64 {
+		t.Errorf("viewfinder generator frame bytes = %d, want ~%d", got, want)
+	}
+	src, err := gen.Frame(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := memsys.New(memsys.PaperConfig(2, 400e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bursts == 0 {
+		t.Error("viewfinder run empty")
+	}
+}

@@ -1,0 +1,395 @@
+package load
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memsys"
+	"repro/internal/usecase"
+	"repro/internal/video"
+)
+
+func gen(t *testing.T, format string, channels int) *Generator {
+	t.Helper()
+	prof, err := video.ProfileFor(format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := usecase.New(prof, usecase.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(l, channels, dram.DefaultGeometry(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func drain(t *testing.T, src memsys.Source) []memsys.Request {
+	t.Helper()
+	var reqs []memsys.Request
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return reqs
+		}
+		if r.Bytes <= 0 {
+			t.Fatalf("empty request %+v", r)
+		}
+		reqs = append(reqs, r)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{ImageRun: 8, RefRun: 64, CodingRun: 192, BitstreamRun: 64},
+		{ImageRun: 100, RefRun: 64, CodingRun: 192, BitstreamRun: 64},
+		{ImageRun: 192, RefRun: -16, CodingRun: 192, BitstreamRun: 64},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	l, err := usecase.New(prof, usecase.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(l, 0, dram.DefaultGeometry(), Config{}); err == nil {
+		t.Error("expected channels error")
+	}
+	g := dram.DefaultGeometry()
+	g.Banks = 3
+	if _, err := New(l, 2, g, Config{}); err == nil {
+		t.Error("expected geometry error")
+	}
+	if _, err := New(l, 2, dram.DefaultGeometry(), Config{ImageRun: 24}); err == nil {
+		t.Error("expected config error")
+	}
+}
+
+// The generated frame traffic reproduces the use-case volume exactly.
+func TestFrameTrafficMatchesUseCase(t *testing.T) {
+	for _, format := range []string{"720p30", "1080p30"} {
+		prof, _ := video.ProfileFor(format)
+		l, err := usecase.New(prof, usecase.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(l, 4, dram.DefaultGeometry(), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := l.FrameBytes()
+		got := g.FrameBytes()
+		// Per-stream byte rounding may drift a few bytes either way.
+		diff := want - got
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 64 {
+			t.Errorf("%s: generator frame bytes = %d, use case = %d", format, got, want)
+		}
+
+		src, err := g.Frame(1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		var reads, writes int64
+		for {
+			r, ok := src.Next()
+			if !ok {
+				break
+			}
+			sum += r.Bytes
+			if r.Write {
+				writes += r.Bytes
+			} else {
+				reads += r.Bytes
+			}
+		}
+		if sum != got {
+			t.Errorf("%s: emitted %d bytes, want %d", format, sum, got)
+		}
+		if reads == 0 || writes == 0 {
+			t.Errorf("%s: reads=%d writes=%d", format, reads, writes)
+		}
+	}
+}
+
+func TestFractionTruncates(t *testing.T) {
+	g := gen(t, "720p30", 2)
+	full, err := g.Frame(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenth, err := g.Frame(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumOf := func(src memsys.Source) int64 {
+		var s int64
+		for {
+			r, ok := src.Next()
+			if !ok {
+				return s
+			}
+			s += r.Bytes
+		}
+	}
+	f, p := sumOf(full), sumOf(tenth)
+	ratio := float64(p) / float64(f)
+	if ratio < 0.095 || ratio > 0.105 {
+		t.Errorf("sampled fraction = %.4f, want ~0.1", ratio)
+	}
+	if _, err := g.Frame(0); err == nil {
+		t.Error("expected error for fraction 0")
+	}
+	if _, err := g.Frame(1.5); err == nil {
+		t.Error("expected error for fraction > 1")
+	}
+}
+
+// Master transactions span all channels: their size scales with M so the
+// per-channel run is constant (see package comment).
+func TestTransactionSizeScalesWithChannels(t *testing.T) {
+	max := func(ch int) int64 {
+		g := gen(t, "720p30", ch)
+		src, err := g.Frame(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m int64
+		for _, r := range drain(t, src) {
+			if r.Bytes > m {
+				m = r.Bytes
+			}
+		}
+		return m
+	}
+	if m1, m8 := max(1), max(8); m8 != 8*m1 {
+		t.Errorf("max transaction: 1ch=%d, 8ch=%d, want 8x scaling", m1, m8)
+	}
+}
+
+func TestBuffersDoNotOverlapWithinCapacity(t *testing.T) {
+	g := gen(t, "720p30", 4) // 256 MB capacity comfortably fits 720p
+	bufs := g.Buffers()
+	if len(bufs) < 10 {
+		t.Fatalf("only %d buffers placed", len(bufs))
+	}
+	for i, a := range bufs {
+		if a.Base < 0 || a.Size <= 0 {
+			t.Errorf("buffer %s: base=%d size=%d", a.Name, a.Base, a.Size)
+		}
+		for _, b := range bufs[i+1:] {
+			if a.Base < b.Base+b.Size && b.Base < a.Base+a.Size {
+				t.Errorf("buffers %s and %s overlap", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestBufferBankPhasesRotate(t *testing.T) {
+	g := gen(t, "720p30", 2)
+	geom := dram.DefaultGeometry()
+	rowSpan := geom.RowBytes() * 2
+	bufs := g.Buffers()
+	// Consecutive buffers start in different banks.
+	for i := 1; i < len(bufs); i++ {
+		prev := (bufs[i-1].Base / rowSpan) % int64(geom.Banks)
+		cur := (bufs[i].Base / rowSpan) % int64(geom.Banks)
+		if prev == cur {
+			t.Errorf("buffers %s and %s share bank phase %d",
+				bufs[i-1].Name, bufs[i].Name, cur)
+		}
+	}
+}
+
+// Streams of one stage interleave rather than run back to back.
+func TestStageStreamsInterleave(t *testing.T) {
+	g := gen(t, "720p30", 1)
+	src, err := g.Frame(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := drain(t, src)
+	// Find a window with both reads and writes in close succession
+	// (the preprocess stage alternates).
+	switches := 0
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Write != reqs[i-1].Write {
+			switches++
+		}
+	}
+	if switches < 10 {
+		t.Errorf("only %d read/write switches; streams are not interleaved", switches)
+	}
+}
+
+// The generated traffic runs on the memory subsystem end to end.
+func TestFrameRunsOnMemSys(t *testing.T) {
+	g := gen(t, "720p30", 2)
+	src, err := g.Frame(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := memsys.New(memsys.PaperConfig(2, 400e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Bursts <= 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+	// Sustained efficiency lands in the calibrated band.
+	if u := res.BusUtilization(); u < 0.60 || u > 0.90 {
+		t.Errorf("bus utilization = %.3f, want calibrated 0.60..0.90", u)
+	}
+}
+
+// 2160p buffers exceed a single channel's capacity; addresses wrap rather
+// than fail (the paper still evaluates those configurations).
+func TestLargeFormatWrapsAddresses(t *testing.T) {
+	g := gen(t, "2160p30", 1)
+	src, err := g.Frame(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := dram.DefaultGeometry().Bytes()
+	for _, r := range drain(t, src) {
+		if r.Addr < 0 || r.Addr >= capacity {
+			t.Errorf("address %d outside wrapped capacity %d", r.Addr, capacity)
+		}
+	}
+}
+
+// The generator is deterministic: two instances emit identical streams.
+func TestGeneratorDeterministic(t *testing.T) {
+	a := gen(t, "720p30", 2)
+	b := gen(t, "720p30", 2)
+	srcA, err := a.Frame(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcB, err := b.Frame(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		ra, okA := srcA.Next()
+		rb, okB := srcB.Next()
+		if okA != okB {
+			t.Fatalf("streams end at different points (%d)", i)
+		}
+		if !okA {
+			break
+		}
+		if ra != rb {
+			t.Fatalf("request %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+// Per-stage sources cover exactly the whole frame.
+func TestStageFrameCoversFrame(t *testing.T) {
+	g := gen(t, "720p30", 2)
+	if g.StageCount() < 8 {
+		t.Fatalf("stage count = %d", g.StageCount())
+	}
+	var sum int64
+	for i := 0; i < g.StageCount(); i++ {
+		src, err := g.StageFrame(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			r, ok := src.Next()
+			if !ok {
+				break
+			}
+			sum += r.Bytes
+		}
+		if g.StageName(i) == "" {
+			t.Errorf("stage %d has no name", i)
+		}
+	}
+	if sum != g.FrameBytes() {
+		t.Errorf("stage sum %d != frame %d", sum, g.FrameBytes())
+	}
+	if _, err := g.StageFrame(-1, 1); err == nil {
+		t.Error("expected stage range error")
+	}
+	if _, err := g.StageFrame(g.StageCount(), 1); err == nil {
+		t.Error("expected stage range error")
+	}
+	if _, err := g.StageFrame(0, 0); err == nil {
+		t.Error("expected fraction error")
+	}
+	if got := g.StageName(99); got != "stage(99)" {
+		t.Errorf("StageName(99) = %q", got)
+	}
+}
+
+// Stream pacing within a stage is proportional: at any point of the
+// emission, each stream's progress tracks its share of the stage.
+func TestStreamPacingProportional(t *testing.T) {
+	g := gen(t, "720p30", 1)
+	// Stage for the encoder: multiple streams with very different sizes.
+	var encStage int
+	for i := 0; i < g.StageCount(); i++ {
+		if g.StageName(i) == "Video encoder" {
+			encStage = i
+		}
+	}
+	src, err := g.StageFrame(encStage, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[bool]int64{}
+	emitted := map[bool]int64{}
+	var reqs []struct {
+		write bool
+		bytes int64
+	}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		totals[r.Write] += r.Bytes
+		reqs = append(reqs, struct {
+			write bool
+			bytes int64
+		}{r.Write, r.Bytes})
+	}
+	// Walk the stream; at the halfway point both directions should be
+	// roughly half done.
+	var seen int64
+	grand := totals[true] + totals[false]
+	for _, r := range reqs {
+		emitted[r.write] += r.bytes
+		seen += r.bytes
+		if seen >= grand/2 {
+			break
+		}
+	}
+	for _, dir := range []bool{true, false} {
+		frac := float64(emitted[dir]) / float64(totals[dir])
+		if frac < 0.40 || frac > 0.60 {
+			t.Errorf("direction write=%v at %.2f done at stream midpoint, want ~0.5", dir, frac)
+		}
+	}
+}

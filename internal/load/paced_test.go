@@ -1,0 +1,120 @@
+package load
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+func TestPacedValidates(t *testing.T) {
+	g := gen(t, "720p30", 2)
+	cases := []struct {
+		fraction     float64
+		period, pace int64
+		frames       int
+	}{
+		{0.1, 1000, 900, 0},  // frames
+		{0.1, 0, 900, 1},     // period
+		{0.1, 1000, 0, 1},    // pace
+		{0.1, 1000, 2000, 1}, // pace > period
+		{0, 1000, 900, 1},    // fraction
+		{1e-9, 1000, 900, 1}, // fraction collapses the slot
+	}
+	for i, c := range cases {
+		if _, err := g.Paced(c.fraction, c.period, c.pace, c.frames); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPacedArrivalsMonotoneWithinSlots(t *testing.T) {
+	g := gen(t, "720p30", 2)
+	const period, pace = 1_000_000, 850_000
+	src, err := g.Paced(0.05, period, pace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effPeriod := int64(float64(period) * 0.05)
+	effPace := int64(float64(pace) * 0.05)
+	var prev int64 = -1
+	var frames int
+	var lastFrame int64 = -1
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if r.Arrival < prev {
+			t.Fatalf("arrival went backwards: %d after %d", r.Arrival, prev)
+		}
+		prev = r.Arrival
+		frame := r.Arrival / effPeriod
+		if frame != lastFrame {
+			frames++
+			lastFrame = frame
+		}
+		// Every arrival stays inside its slot's pace window.
+		if off := r.Arrival % effPeriod; off > effPace {
+			t.Fatalf("arrival offset %d beyond pace window %d", off, effPace)
+		}
+	}
+	if frames != 3 {
+		t.Errorf("traffic spanned %d slots, want 3", frames)
+	}
+}
+
+func TestPacedEmitsSameTrafficAsFrames(t *testing.T) {
+	g := gen(t, "720p30", 2)
+	paced, err := g.Paced(0.05, 1_000_000, 900_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pacedBytes int64
+	for {
+		r, ok := paced.Next()
+		if !ok {
+			break
+		}
+		pacedBytes += r.Bytes
+	}
+	single, err := g.Frame(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frameBytes int64
+	for {
+		r, ok := single.Next()
+		if !ok {
+			break
+		}
+		frameBytes += r.Bytes
+	}
+	if pacedBytes != 2*frameBytes {
+		t.Errorf("paced traffic = %d bytes, want 2 frames = %d", pacedBytes, 2*frameBytes)
+	}
+}
+
+func TestPacedRunsOnMemSys(t *testing.T) {
+	g := gen(t, "720p30", 2)
+	// One 30 fps frame at 400 MHz is ~13.3M cycles; pace over 85 %.
+	src, err := g.Paced(0.02, 13_333_333, 11_333_333, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := memsys.New(memsys.PaperConfig(2, 400e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := res.Totals()
+	if tot.PowerDownExits == 0 || tot.PowerDownCycles == 0 {
+		t.Errorf("paced run should power down between transactions: %+v", tot)
+	}
+	// The makespan tracks the pacing, not the saturated service time.
+	if res.Cycles < 266_666 {
+		t.Errorf("makespan %d shorter than one scaled slot", res.Cycles)
+	}
+}

@@ -1,0 +1,191 @@
+// Package mapping implements the paper's address decoding: byte addresses
+// are first interleaved over the memory channels at 16-byte granularity
+// (Table II), and the per-channel local address is then multiplexed onto
+// bank, row and column using either the Row-Bank-Column (RBC) or
+// Bank-Row-Column (BRC) scheme evaluated in section IV.
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// ChannelInterleave distributes byte addresses over M channels in
+// granularity-sized chunks: addresses [0,G) go to channel 0, [G,2G) to
+// channel 1, ..., [MG, MG+G) back to channel 0 (paper Table II).
+type ChannelInterleave struct {
+	channels    int
+	granularity int64
+}
+
+// NewChannelInterleave builds the interleave. The paper's granularity is 16
+// bytes: minimum burst size four times the 4-byte word.
+func NewChannelInterleave(channels int, granularity int64) (ChannelInterleave, error) {
+	if channels <= 0 {
+		return ChannelInterleave{}, fmt.Errorf("mapping: %d channels", channels)
+	}
+	if granularity <= 0 {
+		return ChannelInterleave{}, fmt.Errorf("mapping: granularity %d", granularity)
+	}
+	return ChannelInterleave{channels: channels, granularity: granularity}, nil
+}
+
+// Channels returns the channel count M.
+func (ci ChannelInterleave) Channels() int { return ci.channels }
+
+// Granularity returns the interleaving chunk size in bytes.
+func (ci ChannelInterleave) Granularity() int64 { return ci.granularity }
+
+// Channel returns the channel serving the byte address.
+func (ci ChannelInterleave) Channel(addr int64) int {
+	return int((addr / ci.granularity) % int64(ci.channels))
+}
+
+// Local returns the channel-local byte address: the address with the
+// interleaving bits removed, so each channel sees a dense address space.
+func (ci ChannelInterleave) Local(addr int64) int64 {
+	chunk := addr / ci.granularity
+	return (chunk/int64(ci.channels))*ci.granularity + addr%ci.granularity
+}
+
+// Global is the inverse of (Channel, Local): it reconstructs the system
+// byte address from a channel index and a channel-local address.
+func (ci ChannelInterleave) Global(channel int, local int64) int64 {
+	chunk := local / ci.granularity
+	return (chunk*int64(ci.channels)+int64(channel))*ci.granularity + local%ci.granularity
+}
+
+// Multiplexing selects how a channel-local address is split into bank, row
+// and column.
+type Multiplexing int
+
+const (
+	// RBC (row-bank-column) keeps the bank bits between row and column:
+	// a sequential stream walks all columns of a row, then the same row of
+	// the next bank, exposing bank-level parallelism. The paper found RBC
+	// "somewhat better" and uses it for all shown results.
+	RBC Multiplexing = iota
+	// BRC (bank-row-column) keeps the bank bits on top: a sequential
+	// stream stays inside one bank and pays a full precharge-activate on
+	// every row crossing.
+	BRC
+)
+
+// String returns the paper's abbreviation for the multiplexing type.
+func (m Multiplexing) String() string {
+	switch m {
+	case RBC:
+		return "RBC"
+	case BRC:
+		return "BRC"
+	default:
+		return fmt.Sprintf("Multiplexing(%d)", int(m))
+	}
+}
+
+// Location is a decoded DRAM coordinate within one channel.
+type Location struct {
+	Bank int
+	Row  int
+	// Column is the word-aligned column index of the first word of the
+	// access's burst.
+	Column int
+}
+
+// BankMapper decodes channel-local byte addresses to DRAM coordinates.
+type BankMapper struct {
+	geom dram.Geometry
+	mux  Multiplexing
+}
+
+// NewBankMapper builds a mapper for the geometry and multiplexing type.
+func NewBankMapper(g dram.Geometry, mux Multiplexing) (BankMapper, error) {
+	if err := g.Validate(); err != nil {
+		return BankMapper{}, err
+	}
+	if mux != RBC && mux != BRC {
+		return BankMapper{}, fmt.Errorf("mapping: unknown multiplexing %d", int(mux))
+	}
+	return BankMapper{geom: g, mux: mux}, nil
+}
+
+// Geometry returns the device geometry the mapper decodes for.
+func (bm BankMapper) Geometry() dram.Geometry { return bm.geom }
+
+// Multiplexing returns the configured multiplexing type.
+func (bm BankMapper) Multiplexing() Multiplexing { return bm.mux }
+
+// Decode splits a channel-local byte address into bank, row and column.
+// Addresses wrap modulo the cluster capacity (the load model never exceeds
+// it, but wrapping keeps the mapper total).
+func (bm BankMapper) Decode(local int64) Location {
+	g := bm.geom
+	rowBytes := g.RowBytes()
+	wordBytes := int64(g.WordBits) / 8
+
+	local %= g.Bytes()
+	if local < 0 {
+		local += g.Bytes()
+	}
+	col := int((local % rowBytes) / wordBytes)
+	upper := local / rowBytes
+	switch bm.mux {
+	case RBC:
+		bank := int(upper % int64(g.Banks))
+		row := int(upper / int64(g.Banks))
+		return Location{Bank: bank, Row: row, Column: col}
+	default: // BRC
+		row := int(upper % int64(g.Rows))
+		bank := int(upper / int64(g.Rows))
+		return Location{Bank: bank, Row: row, Column: col}
+	}
+}
+
+// Encode is the inverse of Decode for word-aligned locations.
+func (bm BankMapper) Encode(loc Location) int64 {
+	g := bm.geom
+	rowBytes := g.RowBytes()
+	wordBytes := int64(g.WordBits) / 8
+
+	var upper int64
+	switch bm.mux {
+	case RBC:
+		upper = int64(loc.Row)*int64(g.Banks) + int64(loc.Bank)
+	default: // BRC
+		upper = int64(loc.Bank)*int64(g.Rows) + int64(loc.Row)
+	}
+	return upper*rowBytes + int64(loc.Column)*wordBytes
+}
+
+// AddressMap combines the two decoding steps: system byte address to
+// (channel, bank, row, column).
+type AddressMap struct {
+	Interleave ChannelInterleave
+	Banks      BankMapper
+}
+
+// NewAddressMap builds the paper's address map: 16-byte channel interleave
+// over the given channel count, then bank multiplexing.
+func NewAddressMap(channels int, g dram.Geometry, mux Multiplexing) (AddressMap, error) {
+	ci, err := NewChannelInterleave(channels, g.BurstBytes())
+	if err != nil {
+		return AddressMap{}, err
+	}
+	bm, err := NewBankMapper(g, mux)
+	if err != nil {
+		return AddressMap{}, err
+	}
+	return AddressMap{Interleave: ci, Banks: bm}, nil
+}
+
+// Decode maps a system byte address to its channel and DRAM coordinate.
+func (am AddressMap) Decode(addr int64) (channel int, loc Location) {
+	channel = am.Interleave.Channel(addr)
+	return channel, am.Banks.Decode(am.Interleave.Local(addr))
+}
+
+// CapacityBytes returns the total capacity of the mapped memory.
+func (am AddressMap) CapacityBytes() int64 {
+	return int64(am.Interleave.Channels()) * am.Banks.Geometry().Bytes()
+}

@@ -1,0 +1,222 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+func TestTableIIInterleaving(t *testing.T) {
+	// Paper Table II: with M channels and 16-byte granularity, addresses
+	// 0..15 live in bank cluster 0, 16..31 in cluster 1, and address
+	// 16*M wraps to cluster 0.
+	for _, m := range []int{1, 2, 4, 8} {
+		ci, err := NewChannelInterleave(m, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := int64(0); a < 16; a++ {
+			if got := ci.Channel(a); got != 0 {
+				t.Errorf("M=%d: addr %d -> channel %d, want 0", m, a, got)
+			}
+		}
+		if m > 1 {
+			if got := ci.Channel(16); got != 1 {
+				t.Errorf("M=%d: addr 16 -> channel %d, want 1", m, got)
+			}
+		}
+		if got := ci.Channel(16 * int64(m)); got != 0 {
+			t.Errorf("M=%d: addr 16M -> channel %d, want 0 (wrap)", m, got)
+		}
+		if got := ci.Channel(16*int64(m) - 1); got != m-1 {
+			t.Errorf("M=%d: addr 16M-1 -> channel %d, want %d", m, got, m-1)
+		}
+	}
+}
+
+func TestLocalAddressesAreDense(t *testing.T) {
+	ci, err := NewChannelInterleave(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walking the global address space, each channel must see a dense,
+	// strictly increasing local address sequence.
+	next := make(map[int]int64)
+	for a := int64(0); a < 4*16*8; a++ {
+		ch := ci.Channel(a)
+		if got := ci.Local(a); got != next[ch] {
+			t.Fatalf("addr %d: channel %d local %d, want %d", a, ch, got, next[ch])
+		}
+		next[ch]++
+	}
+}
+
+func TestGlobalIsInverse(t *testing.T) {
+	f := func(addr uint32, m uint8) bool {
+		channels := []int{1, 2, 4, 8}[m%4]
+		ci, err := NewChannelInterleave(channels, 16)
+		if err != nil {
+			return false
+		}
+		a := int64(addr)
+		return ci.Global(ci.Channel(a), ci.Local(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewChannelInterleaveRejectsBadInputs(t *testing.T) {
+	if _, err := NewChannelInterleave(0, 16); err == nil {
+		t.Error("expected error for 0 channels")
+	}
+	if _, err := NewChannelInterleave(4, 0); err == nil {
+		t.Error("expected error for 0 granularity")
+	}
+}
+
+func TestRBCDecodeWalksBanksBeforeRows(t *testing.T) {
+	g := dram.DefaultGeometry() // 2 KB rows, 4 banks
+	bm, err := NewBankMapper(g, RBC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential local addresses: columns first...
+	l0 := bm.Decode(0)
+	if l0 != (Location{Bank: 0, Row: 0, Column: 0}) {
+		t.Errorf("Decode(0) = %+v", l0)
+	}
+	if got := bm.Decode(4); got.Column != 1 || got.Bank != 0 || got.Row != 0 {
+		t.Errorf("Decode(4) = %+v, want column 1", got)
+	}
+	// ...then the next bank at a row boundary (2048 bytes)...
+	if got := bm.Decode(2048); got.Bank != 1 || got.Row != 0 || got.Column != 0 {
+		t.Errorf("Decode(2048) = %+v, want bank 1 row 0", got)
+	}
+	// ...and a new row only after all four banks (8192 bytes).
+	if got := bm.Decode(8192); got.Bank != 0 || got.Row != 1 {
+		t.Errorf("Decode(8192) = %+v, want bank 0 row 1", got)
+	}
+}
+
+func TestBRCDecodeStaysInBank(t *testing.T) {
+	g := dram.DefaultGeometry()
+	bm, err := NewBankMapper(g, BRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential local addresses walk rows within bank 0.
+	if got := bm.Decode(2048); got.Bank != 0 || got.Row != 1 {
+		t.Errorf("Decode(2048) = %+v, want bank 0 row 1", got)
+	}
+	// Bank 1 starts only after a full bank (16 MiB).
+	bankBytes := g.BankBytes()
+	if got := bm.Decode(bankBytes); got.Bank != 1 || got.Row != 0 || got.Column != 0 {
+		t.Errorf("Decode(bank size) = %+v, want bank 1 row 0", got)
+	}
+}
+
+func TestDecodeWrapsModuloCapacity(t *testing.T) {
+	g := dram.DefaultGeometry()
+	for _, mux := range []Multiplexing{RBC, BRC} {
+		bm, err := NewBankMapper(g, mux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := bm.Decode(g.Bytes()+4096), bm.Decode(4096); got != want {
+			t.Errorf("%v: wrap decode = %+v, want %+v", mux, got, want)
+		}
+		if got, want := bm.Decode(-4), bm.Decode(g.Bytes()-4); got != want {
+			t.Errorf("%v: negative decode = %+v, want %+v", mux, got, want)
+		}
+	}
+}
+
+func TestEncodeIsInverseOfDecode(t *testing.T) {
+	g := dram.DefaultGeometry()
+	for _, mux := range []Multiplexing{RBC, BRC} {
+		bm, err := NewBankMapper(g, mux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(addr uint32) bool {
+			// Word-aligned address within capacity.
+			local := (int64(addr) * 4) % g.Bytes()
+			return bm.Encode(bm.Decode(local)) == local
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", mux, err)
+		}
+	}
+}
+
+func TestDecodedCoordinatesInRange(t *testing.T) {
+	g := dram.DefaultGeometry()
+	for _, mux := range []Multiplexing{RBC, BRC} {
+		bm, _ := NewBankMapper(g, mux)
+		f := func(addr int64) bool {
+			loc := bm.Decode(addr)
+			return loc.Bank >= 0 && loc.Bank < g.Banks &&
+				loc.Row >= 0 && loc.Row < g.Rows &&
+				loc.Column >= 0 && loc.Column < g.Columns
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", mux, err)
+		}
+	}
+}
+
+func TestNewBankMapperRejectsBadInputs(t *testing.T) {
+	g := dram.DefaultGeometry()
+	g.Banks = 3
+	if _, err := NewBankMapper(g, RBC); err == nil {
+		t.Error("expected geometry error")
+	}
+	if _, err := NewBankMapper(dram.DefaultGeometry(), Multiplexing(7)); err == nil {
+		t.Error("expected multiplexing error")
+	}
+}
+
+func TestAddressMap(t *testing.T) {
+	g := dram.DefaultGeometry()
+	am, err := NewAddressMap(4, g, RBC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := am.CapacityBytes(); got != 4*g.Bytes() {
+		t.Errorf("capacity = %d, want %d", got, 4*g.Bytes())
+	}
+	// Interleave granularity equals the burst size (16 bytes).
+	if got := am.Interleave.Granularity(); got != 16 {
+		t.Errorf("granularity = %d, want 16", got)
+	}
+	// Consecutive 16-byte chunks land on consecutive channels at the
+	// same local coordinate region.
+	ch0, loc0 := am.Decode(0)
+	ch1, loc1 := am.Decode(16)
+	if ch0 != 0 || ch1 != 1 {
+		t.Errorf("channels = %d,%d, want 0,1", ch0, ch1)
+	}
+	if loc0 != loc1 {
+		t.Errorf("locations differ: %+v vs %+v", loc0, loc1)
+	}
+}
+
+func TestAddressMapRejectsBadInputs(t *testing.T) {
+	if _, err := NewAddressMap(0, dram.DefaultGeometry(), RBC); err == nil {
+		t.Error("expected channels error")
+	}
+	if _, err := NewAddressMap(4, dram.DefaultGeometry(), Multiplexing(9)); err == nil {
+		t.Error("expected multiplexing error")
+	}
+}
+
+func TestMultiplexingString(t *testing.T) {
+	if RBC.String() != "RBC" || BRC.String() != "BRC" {
+		t.Error("bad multiplexing names")
+	}
+	if got := Multiplexing(5).String(); got != "Multiplexing(5)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,369 @@
+// Package memsys assembles the paper's complete memory subsystem (Fig. 2):
+// M parallel channels behind a 16-byte channel interleave. Master
+// transactions of any size are split into minimum-burst chunks, distributed
+// over the channels per Table II, and executed by the per-channel
+// controllers; the subsystem reports the aggregate access time, traffic and
+// per-channel statistics.
+package memsys
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/controller"
+	"repro/internal/dram"
+	"repro/internal/interconnect"
+	"repro/internal/mapping"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Config describes one memory subsystem configuration.
+type Config struct {
+	// Channels is the channel count M; the paper evaluates 1, 2, 4, 8.
+	Channels int
+	// Freq is the interface clock, 200-533 MHz.
+	Freq units.Frequency
+	// Geometry and Timing describe the bank cluster; zero values take the
+	// paper's defaults.
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	// Mux selects RBC (default, used for all paper results) or BRC.
+	Mux mapping.Multiplexing
+	// Policy selects the page policy (paper default: open page).
+	Policy controller.PagePolicy
+	// PowerDown enables power-down after the first idle cycle.
+	PowerDown bool
+	// DRAMLink and OnChipLink are the two interconnects of Fig. 2; nil
+	// latencies (zero values) mean the defaults.
+	DRAMLink   *interconnect.Link
+	OnChipLink *interconnect.Link
+	// RecordLatency enables per-access latency histograms.
+	RecordLatency bool
+	// WriteBufferDepth > 0 enables the controllers' posted-write buffers
+	// (see controller.Config.WriteBufferDepth). Zero is the paper's
+	// baseline.
+	WriteBufferDepth int
+	// QueueDepth > 0 inserts a per-channel FR-FCFS reorder window (see
+	// channel.Config.QueueDepth). Zero is the paper's in-order baseline.
+	QueueDepth int
+	// RefreshPostpone and PrechargeOnIdle forward to the controllers
+	// (see controller.Config).
+	RefreshPostpone int
+	PrechargeOnIdle bool
+	// InterleaveGranularity overrides the channel-interleaving chunk in
+	// bytes (paper Table II: 16, the minimum burst). Zero uses the burst
+	// size; larger values must be multiples of it.
+	InterleaveGranularity int64
+	// Parallel executes the channels on separate goroutines. Channels
+	// are fully independent, so results are bit-identical to the serial
+	// run; this only changes wall-clock simulation speed.
+	Parallel bool
+}
+
+// PaperConfig returns the paper's baseline configuration at the given
+// channel count and clock: RBC multiplexing, open page, aggressive
+// power-down, default device.
+func PaperConfig(channels int, freq units.Frequency) Config {
+	return Config{
+		Channels:  channels,
+		Freq:      freq,
+		Geometry:  dram.DefaultGeometry(),
+		Timing:    dram.DefaultTiming(),
+		Mux:       mapping.RBC,
+		Policy:    controller.OpenPage,
+		PowerDown: true,
+	}
+}
+
+// Request is one master transaction: a sequential run of bytes read or
+// written starting at a byte address. Arrival is the cycle the transaction
+// becomes ready; saturated (access-time) runs use zero.
+type Request struct {
+	Write   bool
+	Addr    int64
+	Bytes   int64
+	Arrival int64
+}
+
+// Source supplies master transactions in program order.
+type Source interface {
+	// Next returns the next transaction, or ok=false at end of stream.
+	Next() (req Request, ok bool)
+}
+
+// SliceSource adapts a slice of requests to a Source.
+type SliceSource struct {
+	reqs []Request
+	i    int
+}
+
+// NewSliceSource returns a Source that replays reqs in order.
+func NewSliceSource(reqs []Request) *SliceSource { return &SliceSource{reqs: reqs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Request, bool) {
+	if s.i >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true
+}
+
+// System is an instantiated memory subsystem.
+type System struct {
+	cfg        Config
+	speed      dram.Speed
+	interleave mapping.ChannelInterleave
+	onchip     interconnect.Link
+	chans      []*channel.Channel
+}
+
+// New builds the subsystem, validating the configuration.
+func New(cfg Config) (*System, error) {
+	if cfg.Channels <= 0 {
+		return nil, fmt.Errorf("memsys: %d channels", cfg.Channels)
+	}
+	if cfg.Geometry == (dram.Geometry{}) {
+		cfg.Geometry = dram.DefaultGeometry()
+	}
+	if cfg.Timing == (dram.Timing{}) {
+		cfg.Timing = dram.DefaultTiming()
+	}
+	speed, err := dram.Resolve(cfg.Geometry, cfg.Timing, cfg.Freq)
+	if err != nil {
+		return nil, err
+	}
+	dramLink := interconnect.DefaultDRAMLink()
+	if cfg.DRAMLink != nil {
+		dramLink = *cfg.DRAMLink
+	}
+	onchip := interconnect.DefaultOnChipLink()
+	if cfg.OnChipLink != nil {
+		onchip = *cfg.OnChipLink
+	}
+	if err := onchip.Validate(); err != nil {
+		return nil, err
+	}
+	gran := cfg.InterleaveGranularity
+	if gran == 0 {
+		gran = cfg.Geometry.BurstBytes()
+	}
+	if gran%cfg.Geometry.BurstBytes() != 0 {
+		return nil, fmt.Errorf("memsys: interleave granularity %d not a multiple of the %d-byte burst",
+			gran, cfg.Geometry.BurstBytes())
+	}
+	interleave, err := mapping.NewChannelInterleave(cfg.Channels, gran)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, speed: speed, interleave: interleave, onchip: onchip}
+	for i := 0; i < cfg.Channels; i++ {
+		ch, err := channel.New(channel.Config{
+			Controller: controller.Config{
+				Speed:            speed,
+				Mux:              cfg.Mux,
+				Policy:           cfg.Policy,
+				PowerDown:        cfg.PowerDown,
+				RecordLatency:    cfg.RecordLatency,
+				WriteBufferDepth: cfg.WriteBufferDepth,
+				RefreshPostpone:  cfg.RefreshPostpone,
+				PrechargeOnIdle:  cfg.PrechargeOnIdle,
+			},
+			DRAMLink:   dramLink,
+			QueueDepth: cfg.QueueDepth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.chans = append(s.chans, ch)
+	}
+	return s, nil
+}
+
+// Config returns the subsystem configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Speed returns the resolved device timing.
+func (s *System) Speed() dram.Speed { return s.speed }
+
+// PeakBandwidth returns the aggregate theoretical bandwidth of all channels.
+func (s *System) PeakBandwidth() units.Bandwidth {
+	return units.Bandwidth(float64(s.cfg.Channels)) * s.speed.PeakBandwidth()
+}
+
+// Channels returns the instantiated channels.
+func (s *System) Channels() []*channel.Channel { return s.chans }
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Cycles is the makespan: the DRAM cycle the last data beat of the
+	// run left any channel's bus, including the on-chip return latency.
+	Cycles int64
+	// Time is the makespan in wall time — the paper's "access time".
+	Time units.Duration
+	// BytesRead and BytesWritten count the payload the master moved.
+	BytesRead    int64
+	BytesWritten int64
+	// BusBytes counts bytes moved on the DRAM buses (whole bursts,
+	// including padding for unaligned requests).
+	BusBytes int64
+	// Transactions counts master transactions; Bursts counts the
+	// minimum-burst accesses they were split into.
+	Transactions int64
+	Bursts       int64
+	// PerChannel holds each channel's statistics.
+	PerChannel []stats.Channel
+}
+
+// Totals aggregates the per-channel statistics (counts summed, makespan
+// maxed).
+func (r Result) Totals() stats.Channel {
+	var t stats.Channel
+	for _, c := range r.PerChannel {
+		t.Add(c)
+	}
+	return t
+}
+
+// Bandwidth returns the payload bandwidth achieved over the makespan.
+func (r Result) Bandwidth() units.Bandwidth {
+	if r.Time <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(r.BytesRead+r.BytesWritten) / r.Time.Seconds())
+}
+
+// BusUtilization returns the mean fraction of the makespan each channel's
+// data bus carried data.
+func (r Result) BusUtilization() float64 {
+	if r.Cycles <= 0 || len(r.PerChannel) == 0 {
+		return 0
+	}
+	var data int64
+	for _, c := range r.PerChannel {
+		data += c.DataBusCycles()
+	}
+	// Channels may finish at different times; normalize by the global
+	// makespan to measure delivered fraction of peak.
+	return float64(data) / float64(int64(len(r.PerChannel))*r.Cycles)
+}
+
+// Run executes all transactions from src and returns the aggregate result.
+// Transactions are split into burst-sized chunks; each chunk is dispatched
+// to its channel in program order (concurrently across channels when
+// Parallel is set — same results, faster simulation).
+func (s *System) Run(src Source) (Result, error) {
+	res := Result{PerChannel: make([]stats.Channel, len(s.chans))}
+	burst := s.cfg.Geometry.BurstBytes()
+	var last int64
+
+	parallel := s.cfg.Parallel && len(s.chans) > 1
+	const batchOps = 1 << 15
+	var batches [][]chanOp
+	if parallel {
+		batches = make([][]chanOp, len(s.chans))
+		for i := range batches {
+			batches[i] = make([]chanOp, 0, batchOps)
+		}
+	}
+	flush := func() {
+		var wg sync.WaitGroup
+		ends := make([]int64, len(s.chans))
+		for i := range s.chans {
+			if len(batches[i]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var end int64
+				for _, op := range batches[i] {
+					if e := s.chans[i].Access(op.write, op.local, op.arrival); e > end {
+						end = e
+					}
+				}
+				ends[i] = end
+				batches[i] = batches[i][:0]
+			}(i)
+		}
+		wg.Wait()
+		for _, e := range ends {
+			if e > last {
+				last = e
+			}
+		}
+	}
+
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		if req.Bytes <= 0 {
+			return Result{}, fmt.Errorf("memsys: transaction with %d bytes", req.Bytes)
+		}
+		if req.Addr < 0 {
+			return Result{}, fmt.Errorf("memsys: negative address %d", req.Addr)
+		}
+		res.Transactions++
+		if req.Write {
+			res.BytesWritten += req.Bytes
+		} else {
+			res.BytesRead += req.Bytes
+		}
+		arrival := s.onchip.Deliver(req.Arrival)
+		// Split into whole bursts covering [Addr, Addr+Bytes).
+		start := req.Addr - req.Addr%burst
+		end := req.Addr + req.Bytes
+		for a := start; a < end; a += burst {
+			ch := s.interleave.Channel(a)
+			local := s.interleave.Local(a)
+			if parallel {
+				batches[ch] = append(batches[ch], chanOp{write: req.Write, local: local, arrival: arrival})
+				if len(batches[ch]) >= batchOps {
+					flush()
+				}
+			} else {
+				done := s.chans[ch].Access(req.Write, local, arrival)
+				if done > last {
+					last = done
+				}
+			}
+			res.Bursts++
+			res.BusBytes += burst
+		}
+	}
+	if parallel {
+		flush()
+	}
+	for i, ch := range s.chans {
+		// Drain any posted writes so the makespan covers all traffic.
+		if done := ch.Flush(); done > last {
+			last = done
+		}
+		res.PerChannel[i] = ch.Stats()
+	}
+	res.Cycles = s.onchip.Complete(last)
+	if res.Bursts == 0 {
+		res.Cycles = 0
+	}
+	res.Time = s.speed.CycleDuration(res.Cycles)
+	return res, nil
+}
+
+// chanOp is one burst bound for a specific channel in a parallel batch.
+type chanOp struct {
+	write   bool
+	local   int64
+	arrival int64
+}
+
+// Reset restores every channel to its initial state.
+func (s *System) Reset() {
+	for _, ch := range s.chans {
+		ch.Reset()
+	}
+}

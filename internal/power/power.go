@@ -1,0 +1,282 @@
+// Package power implements the paper's two power models: the IDD-style
+// state-based DRAM power estimation (after Micron's "Calculating DDR Memory
+// System Power" technical note the paper cites) and the interface power of
+// equation (1):
+//
+//	interface power = nr_of_pins * C * V^2 * f_clk * activity
+//
+// The DRAM model charges background power by power state (power-down,
+// standby), incremental burst power per read/write data cycle, activate/
+// precharge energy per row opening, and refresh energy per tREFI period.
+// Datasheet base currents are specified at 200 MHz / 1.8 V, extrapolated
+// linearly in frequency where the paper says "parameters with clear
+// connection to clock frequency are extrapolated accordingly", and scaled to
+// the projected 1.35 V core voltage (current ~ V, hence power ~ V^2).
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Datasheet holds the current profile of the estimated next-generation
+// mobile DDR SDRAM at base conditions.
+type Datasheet struct {
+	// BaseFreq and BaseVDD are the datasheet conditions.
+	BaseFreq units.Frequency
+	BaseVDD  float64
+	// VDD is the projected operating core voltage (paper: 1.35 V).
+	VDD float64
+
+	// Currents in milliamperes at base conditions.
+	IDD2P float64 // precharge power-down
+	IDD3P float64 // active power-down
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4R float64 // read burst
+	IDD4W float64 // write burst
+	IDD5  float64 // refresh burst
+	IDD6  float64 // self-refresh
+
+	// ActPrechargeEnergy is the activate+precharge pair energy at base
+	// VDD (picojoules); scaled by (VDD/BaseVDD)^2 in use.
+	ActPrechargeEnergy units.Energy
+}
+
+// DefaultDatasheet returns the calibrated device profile. The current
+// values follow Mobile DDR datasheet magnitudes for an x32 device and were
+// calibrated once against the paper's four Fig. 5 power anchors (720p30 at
+// 1 and 8 channels, 1080p30 at 4 channels, 2160p30 at 8 channels); see
+// DESIGN.md section 5 and EXPERIMENTS.md.
+func DefaultDatasheet() Datasheet {
+	return Datasheet{
+		BaseFreq:           200 * units.MHz,
+		BaseVDD:            1.8,
+		VDD:                1.35,
+		IDD2P:              3.0,
+		IDD3P:              3.5,
+		IDD2N:              20,
+		IDD3N:              25,
+		IDD4R:              107,
+		IDD4W:              103,
+		IDD5:               90,
+		IDD6:               0.45,
+		ActPrechargeEnergy: 3000, // 3 nJ
+	}
+}
+
+// Validate rejects non-physical profiles.
+func (d Datasheet) Validate() error {
+	if d.BaseFreq <= 0 || d.BaseVDD <= 0 || d.VDD <= 0 {
+		return fmt.Errorf("power: non-positive base conditions %+v", d)
+	}
+	for _, c := range []float64{d.IDD2P, d.IDD3P, d.IDD2N, d.IDD3N, d.IDD4R, d.IDD4W, d.IDD5, d.IDD6} {
+		if c < 0 {
+			return fmt.Errorf("power: negative current in %+v", d)
+		}
+	}
+	if d.IDD4R < d.IDD3N || d.IDD4W < d.IDD3N {
+		return fmt.Errorf("power: burst current below active standby")
+	}
+	if d.IDD5 < d.IDD2N {
+		return fmt.Errorf("power: refresh current below precharge standby")
+	}
+	if d.ActPrechargeEnergy < 0 {
+		return fmt.Errorf("power: negative activate energy")
+	}
+	return nil
+}
+
+// voltageScale is the power scaling from base to operating voltage.
+func (d Datasheet) voltageScale() float64 {
+	s := d.VDD / d.BaseVDD
+	return s * s
+}
+
+// StaticPower converts a base current that does not track the clock
+// (power-down and self-refresh states) to operating power.
+func (d Datasheet) StaticPower(mA float64) units.Power {
+	return units.Power(mA * 1e-3 * d.BaseVDD * d.voltageScale())
+}
+
+// DynamicPower converts a clock-tracking base current (standby, burst,
+// refresh) to operating power at frequency f.
+func (d Datasheet) DynamicPower(mA float64, f units.Frequency) units.Power {
+	return units.Power(mA * 1e-3 * d.BaseVDD * d.voltageScale() * float64(f) / float64(d.BaseFreq))
+}
+
+// Interface models the chip-to-chip interface power of equation (1).
+type Interface struct {
+	// Pins is the number of pins toggling during a burst; the paper
+	// assumes 36 (32 data + 4 strobe).
+	Pins int
+	// Capacitance is the per-pin load in farads; the paper uses 0.4 pF,
+	// the average of wire bonding, flip chip and TAB.
+	Capacitance float64
+	// VIO is the I/O voltage; the paper projects 1.2 V.
+	VIO float64
+	// Activity is the fixed switching activity; the paper uses 50 %.
+	Activity float64
+}
+
+// DefaultInterface returns the paper's interface assumptions.
+func DefaultInterface() Interface {
+	return Interface{Pins: 36, Capacitance: 0.4e-12, VIO: 1.2, Activity: 0.5}
+}
+
+// Validate rejects non-physical interfaces.
+func (i Interface) Validate() error {
+	if i.Pins <= 0 || i.Capacitance <= 0 || i.VIO <= 0 {
+		return fmt.Errorf("power: non-physical interface %+v", i)
+	}
+	if i.Activity < 0 || i.Activity > 1 {
+		return fmt.Errorf("power: activity %v outside [0,1]", i.Activity)
+	}
+	return nil
+}
+
+// Power evaluates equation (1) at clock frequency f. The paper charges this
+// per channel for the whole reporting window (activity is a fixed estimate,
+// not measured toggling).
+func (i Interface) Power(f units.Frequency) units.Power {
+	return units.Power(float64(i.Pins) * i.Capacitance * i.VIO * i.VIO * float64(f) * i.Activity)
+}
+
+// Model combines the DRAM and interface power models for one device speed.
+type Model struct {
+	ds    Datasheet
+	iface Interface
+	speed dram.Speed
+}
+
+// NewModel builds a power model for the resolved device speed.
+func NewModel(ds Datasheet, iface Interface, speed dram.Speed) (*Model, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if err := iface.Validate(); err != nil {
+		return nil, err
+	}
+	if speed.TCK <= 0 {
+		return nil, fmt.Errorf("power: unresolved speed (use dram.Resolve)")
+	}
+	return &Model{ds: ds, iface: iface, speed: speed}, nil
+}
+
+// Default builds the calibrated paper model at the given speed.
+func Default(speed dram.Speed) (*Model, error) {
+	return NewModel(DefaultDatasheet(), DefaultInterface(), speed)
+}
+
+// Datasheet returns the device current profile.
+func (m *Model) Datasheet() Datasheet { return m.ds }
+
+// Interface returns the interface assumptions.
+func (m *Model) Interface() Interface { return m.iface }
+
+// Breakdown itemizes the energy of one channel over a reporting window.
+type Breakdown struct {
+	Background units.Energy // standby + power-down state residency
+	Activate   units.Energy // row activate/precharge pairs
+	ReadWrite  units.Energy // incremental burst energy
+	Refresh    units.Energy // periodic refresh over the window
+	Interface  units.Energy // equation (1) over the window
+	Window     units.Duration
+}
+
+// Total returns the summed channel energy.
+func (b Breakdown) Total() units.Energy {
+	return b.Background + b.Activate + b.ReadWrite + b.Refresh + b.Interface
+}
+
+// AveragePower returns the channel's average power over the window.
+func (b Breakdown) AveragePower() units.Power {
+	return units.PowerOf(b.Total(), b.Window)
+}
+
+// InterfacePower returns the average interface power over the window.
+func (b Breakdown) InterfacePower() units.Power {
+	return units.PowerOf(b.Interface, b.Window)
+}
+
+// ChannelEnergy computes the energy of one channel whose activity is st,
+// reported over windowCycles DRAM cycles (at least the channel's busy
+// makespan — typically the frame period). powerDown selects whether idle
+// time outside the busy makespan rests in power-down (the paper's
+// aggressive scheme) or active standby.
+func (m *Model) ChannelEnergy(st stats.Channel, windowCycles int64, powerDown bool) (Breakdown, error) {
+	if windowCycles < st.BusyCycles {
+		return Breakdown{}, fmt.Errorf("power: window %d cycles shorter than busy makespan %d",
+			windowCycles, st.BusyCycles)
+	}
+	s := m.speed
+	f := s.Freq
+	window := s.CycleDuration(windowCycles)
+
+	// State residency. The busy makespan splits into in-run self-refresh,
+	// power-down gaps (precharge power-down when all banks were closed,
+	// active power-down otherwise) and working cycles (approximated as
+	// active standby: at least one bank open while the stream runs).
+	// Slack after the run rests in precharge power-down — the controller
+	// closes the pages before a long idle — or in active standby when
+	// power-down is disabled.
+	working := st.BusyCycles - st.PowerDownCycles - st.SelfRefreshCycles
+	if working < 0 {
+		working = 0
+	}
+	slack := windowCycles - st.BusyCycles
+	prePD := st.PrechargePDCycles
+	actPD := st.PowerDownCycles - st.PrechargePDCycles
+	if actPD < 0 {
+		actPD = 0
+	}
+	standbyCycles := working
+	if powerDown {
+		prePD += slack
+	} else {
+		standbyCycles += slack
+	}
+	var b Breakdown
+	b.Window = window
+	b.Background = m.ds.StaticPower(m.ds.IDD2P).Times(s.CycleDuration(prePD)) +
+		m.ds.StaticPower(m.ds.IDD3P).Times(s.CycleDuration(actPD)) +
+		m.ds.StaticPower(m.ds.IDD6).Times(s.CycleDuration(st.SelfRefreshCycles)) +
+		m.ds.DynamicPower(m.ds.IDD3N, f).Times(s.CycleDuration(standbyCycles))
+
+	// Incremental burst energy above active standby.
+	rdPower := m.ds.DynamicPower(m.ds.IDD4R-m.ds.IDD3N, f)
+	wrPower := m.ds.DynamicPower(m.ds.IDD4W-m.ds.IDD3N, f)
+	b.ReadWrite = rdPower.Times(s.CycleDuration(st.ReadBusCycles)) +
+		wrPower.Times(s.CycleDuration(st.WriteBusCycles))
+
+	// Activate/precharge pair energy per row opening.
+	b.Activate = units.Energy(float64(st.Activates) *
+		float64(m.ds.ActPrechargeEnergy) * m.ds.voltageScale())
+
+	// Refresh happens every tREFI across the window except while in
+	// self-refresh, whose IDD6 already includes cell maintenance.
+	refWindow := window - s.CycleDuration(st.SelfRefreshCycles)
+	if refWindow < 0 {
+		refWindow = 0
+	}
+	refPerWindow := float64(refWindow) / float64(s.Timing.TREFI)
+	refEnergy := (m.ds.IDD5 - m.ds.IDD2N) * 1e-3 * m.ds.BaseVDD * m.ds.voltageScale() *
+		s.Timing.TRFC.Seconds()
+	b.Refresh = units.Energy(refPerWindow * refEnergy * 1e12)
+
+	// Interface power per equation (1), charged over the whole window.
+	b.Interface = m.iface.Power(f).Times(window)
+	return b, nil
+}
+
+// DeepIdlePower returns the power of a completely idle channel whose bank
+// cluster sits in self-refresh (IDD6, which includes cell maintenance) and
+// whose interface clock is gated — the state an unused channel cluster
+// rests in under the conclusion's "independent channel clusters"
+// organization.
+func (m *Model) DeepIdlePower() units.Power {
+	return m.ds.StaticPower(m.ds.IDD6)
+}

@@ -1,0 +1,347 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+func speedAt(t *testing.T, f units.Frequency) dram.Speed {
+	t.Helper()
+	s, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func modelAt(t *testing.T, f units.Frequency) *Model {
+	t.Helper()
+	m, err := Default(speedAt(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Paper section III: "with 400 MHz clock frequency, these assumptions
+// result in the approximate interface power of 5 mW per channel".
+func TestInterfacePowerMatchesPaper(t *testing.T) {
+	p := DefaultInterface().Power(400 * units.MHz).Milliwatts()
+	// 36 * 0.4pF * 1.2^2 * 400MHz * 0.5 = 4.15 mW ~ "approximately 5 mW".
+	if math.Abs(p-4.1472) > 1e-6 {
+		t.Errorf("interface power @400MHz = %v mW, want 4.1472", p)
+	}
+	if p < 3.5 || p > 5.5 {
+		t.Errorf("interface power %v mW outside the paper's ~5 mW", p)
+	}
+}
+
+func TestInterfacePowerScalesLinearlyWithClock(t *testing.T) {
+	i := DefaultInterface()
+	p200 := i.Power(200 * units.MHz)
+	p400 := i.Power(400 * units.MHz)
+	if math.Abs(float64(p400)/float64(p200)-2) > 1e-9 {
+		t.Errorf("interface power ratio = %v, want 2", float64(p400)/float64(p200))
+	}
+}
+
+func TestDatasheetValidate(t *testing.T) {
+	if err := DefaultDatasheet().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Datasheet){
+		func(d *Datasheet) { d.BaseFreq = 0 },
+		func(d *Datasheet) { d.VDD = -1 },
+		func(d *Datasheet) { d.IDD3N = -5 },
+		func(d *Datasheet) { d.IDD4R = d.IDD3N - 1 },
+		func(d *Datasheet) { d.IDD5 = d.IDD2N - 1 },
+		func(d *Datasheet) { d.ActPrechargeEnergy = -1 },
+	}
+	for i, mutate := range cases {
+		d := DefaultDatasheet()
+		mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestInterfaceValidate(t *testing.T) {
+	if err := DefaultInterface().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Interface){
+		func(i *Interface) { i.Pins = 0 },
+		func(i *Interface) { i.Capacitance = 0 },
+		func(i *Interface) { i.VIO = 0 },
+		func(i *Interface) { i.Activity = 1.5 },
+		func(i *Interface) { i.Activity = -0.1 },
+	}
+	for n, mutate := range cases {
+		i := DefaultInterface()
+		mutate(&i)
+		if err := i.Validate(); err == nil {
+			t.Errorf("case %d: expected error", n)
+		}
+	}
+}
+
+func TestNewModelValidates(t *testing.T) {
+	bad := DefaultDatasheet()
+	bad.VDD = 0
+	if _, err := NewModel(bad, DefaultInterface(), speedAt(t, 400*units.MHz)); err == nil {
+		t.Error("expected datasheet error")
+	}
+	badIf := DefaultInterface()
+	badIf.Pins = 0
+	if _, err := NewModel(DefaultDatasheet(), badIf, speedAt(t, 400*units.MHz)); err == nil {
+		t.Error("expected interface error")
+	}
+	if _, err := NewModel(DefaultDatasheet(), DefaultInterface(), dram.Speed{}); err == nil {
+		t.Error("expected speed error")
+	}
+}
+
+func TestChannelEnergyWindowTooShort(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	st := stats.Channel{BusyCycles: 1000}
+	if _, err := m.ChannelEnergy(st, 500, true); err == nil {
+		t.Error("expected window error")
+	}
+}
+
+// An idle powered-down channel consumes only power-down background, refresh
+// and interface power — the cheap "extra channel" of Fig. 5.
+func TestIdleChannelPower(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	window := int64(13333333) // one 30 fps frame at 400 MHz
+	b, err := m.ChannelEnergy(stats.Channel{}, window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.AveragePower().Milliwatts()
+	// Calibration: ~7.9 mW per idle channel (DESIGN.md section 5):
+	// 4.15 mW interface + ~3 mW power-down + ~0.65 mW refresh.
+	if p < 6.5 || p > 9.5 {
+		t.Errorf("idle channel power = %.2f mW, want ~7.9", p)
+	}
+	if b.ReadWrite != 0 || b.Activate != 0 {
+		t.Error("idle channel should have no burst or activate energy")
+	}
+	// Without power-down the same idle channel burns active standby:
+	// far more than with power-down (the paper's "aggressive use of
+	// power-down modes is necessary").
+	b2, err := m.ChannelEnergy(stats.Channel{}, window, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(b2.Total()) / float64(b.Total()); ratio < 3 {
+		t.Errorf("no-power-down idle ratio = %.1f, want > 3", ratio)
+	}
+}
+
+// A fully streaming channel at 400 MHz lands near the calibrated ~200 mW
+// active power (DESIGN.md section 5).
+func TestStreamingChannelPower(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	window := int64(10_000_000)
+	st := stats.Channel{
+		Reads:         4_000_000,
+		ReadBusCycles: 8_000_000, // 80 % bus utilization
+		Activates:     60_000,
+		BusyCycles:    window,
+		RowHits:       3_900_000,
+		RowMisses:     100_000,
+	}
+	b, err := m.ChannelEnergy(st, window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.AveragePower().Milliwatts()
+	if p < 150 || p > 250 {
+		t.Errorf("streaming channel power = %.1f mW, want ~200", p)
+	}
+	// Burst energy dominates.
+	if b.ReadWrite < b.Background || b.ReadWrite < b.Interface {
+		t.Errorf("burst energy should dominate: %+v", b)
+	}
+}
+
+// Energy components are non-negative and total/average are consistent.
+func TestBreakdownProperties(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	f := func(rd, wr, act uint16, busyK uint16, pdK uint16) bool {
+		busy := int64(busyK)*1000 + int64(rd)*2 + int64(wr)*2
+		pd := int64(pdK) * 100
+		if pd > busy {
+			pd = busy
+		}
+		st := stats.Channel{
+			Reads:           int64(rd),
+			Writes:          int64(wr),
+			Activates:       int64(act),
+			ReadBusCycles:   int64(rd) * 2,
+			WriteBusCycles:  int64(wr) * 2,
+			BusyCycles:      busy,
+			PowerDownCycles: pd,
+		}
+		window := busy + 500_000
+		b, err := m.ChannelEnergy(st, window, true)
+		if err != nil {
+			return false
+		}
+		if b.Background < 0 || b.Activate < 0 || b.ReadWrite < 0 || b.Refresh < 0 || b.Interface < 0 {
+			return false
+		}
+		sum := b.Background + b.Activate + b.ReadWrite + b.Refresh + b.Interface
+		if math.Abs(float64(sum-b.Total())) > 1 {
+			return false
+		}
+		return b.AveragePower() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// More traffic in the same window never costs less energy.
+func TestEnergyMonotoneInTraffic(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	window := int64(1_000_000)
+	prev := units.Energy(0)
+	for k := int64(0); k <= 10; k++ {
+		st := stats.Channel{
+			Reads:         k * 10_000,
+			ReadBusCycles: k * 20_000,
+			Activates:     k * 100,
+			BusyCycles:    k * 25_000,
+		}
+		b, err := m.ChannelEnergy(st, window, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Total() < prev {
+			t.Fatalf("energy decreased at step %d: %v < %v", k, b.Total(), prev)
+		}
+		prev = b.Total()
+	}
+}
+
+// Power-down saves energy relative to standby for any idle fraction.
+func TestPowerDownAlwaysSaves(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	st := stats.Channel{Reads: 1000, ReadBusCycles: 2000, BusyCycles: 10_000}
+	window := int64(100_000)
+	withPD, err := m.ChannelEnergy(st, window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutPD, err := m.ChannelEnergy(st, window, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPD.Total() >= withoutPD.Total() {
+		t.Errorf("power-down did not save: %v vs %v", withPD.Total(), withoutPD.Total())
+	}
+}
+
+// The XDR comparison sanity check: 8 idle-ish channels stay far below the
+// Cell BE's 5 W XDR interface.
+func TestEightChannelsBelowXDR(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	window := int64(13333333)
+	b, err := m.ChannelEnergy(stats.Channel{}, window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 8 * b.AveragePower().Milliwatts()
+	if total > 250 {
+		t.Errorf("8 idle channels = %.0f mW, should be well below 5 W", total)
+	}
+}
+
+func TestInterfacePowerReporting(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	window := int64(4_000_000) // 10 ms at 400 MHz
+	b, err := m.ChannelEnergy(stats.Channel{}, window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.InterfacePower().Milliwatts(); math.Abs(got-4.1472) > 1e-3 {
+		t.Errorf("interface power = %v mW, want 4.1472", got)
+	}
+	if b.Window != 10*units.Millisecond {
+		t.Errorf("window = %v, want 10ms", b.Window)
+	}
+}
+
+// A deep-idle channel (clustered organization) is cheaper than a per-access
+// power-down channel with a live interface clock.
+func TestDeepIdlePower(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	deep := m.DeepIdlePower().Milliwatts()
+	if deep <= 0 || deep > 5 {
+		t.Errorf("deep idle power = %.2f mW, want small positive", deep)
+	}
+	b, err := m.ChannelEnergy(stats.Channel{}, 4_000_000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := b.AveragePower().Milliwatts(); deep >= live {
+		t.Errorf("deep idle (%.2f mW) should undercut live idle (%.2f mW)", deep, live)
+	}
+}
+
+// Self-refresh cycles are charged at IDD6 and excluded from the periodic
+// refresh energy.
+func TestSelfRefreshEnergyAccounting(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	window := int64(10_000_000)
+	base := stats.Channel{BusyCycles: window}
+	sr := base
+	sr.SelfRefreshCycles = window / 2
+
+	bBase, err := m.ChannelEnergy(base, window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSR, err := m.ChannelEnergy(sr, window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the window at IDD6 instead of active standby cuts background
+	// energy substantially, and the refresh share halves too.
+	if bSR.Background >= bBase.Background {
+		t.Errorf("self-refresh background %v >= standby %v", bSR.Background, bBase.Background)
+	}
+	ratio := float64(bSR.Refresh) / float64(bBase.Refresh)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("refresh energy ratio = %.3f, want ~0.5", ratio)
+	}
+}
+
+// Precharge power-down is cheaper than active power-down.
+func TestPrechargePDBeatsActivePD(t *testing.T) {
+	m := modelAt(t, 400*units.MHz)
+	window := int64(1_000_000)
+	actPD := stats.Channel{BusyCycles: window, PowerDownCycles: window / 2}
+	prePD := actPD
+	prePD.PrechargePDCycles = prePD.PowerDownCycles
+
+	a, err := m.ChannelEnergy(actPD, window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.ChannelEnergy(prePD, window, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Background >= a.Background {
+		t.Errorf("precharge PD %v should undercut active PD %v", p.Background, a.Background)
+	}
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	h := strings.Index(lines[1], "value")
+	r1 := strings.Index(lines[3], "1")
+	r2 := strings.Index(lines[4], "22")
+	if h != r1 || h != r2 {
+		t.Errorf("columns misaligned: %d/%d/%d\n%s", h, r1, r2, out)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows() = %d", tb.Rows())
+	}
+}
+
+func TestTableWithoutTitleOrHeaders(t *testing.T) {
+	tb := NewTable("")
+	tb.AddRow("x", "y")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("headerless table should have no rule:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "x") {
+		t.Errorf("unexpected leading content: %q", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("s", 42, 1.5)
+	out := tb.String()
+	for _, want := range []string{"s", "42", "1.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("1", "2", "3") // longer than header
+	tb.AddRow("x")           // shorter
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cells dropped: %q", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("ignored title", "a", "b")
+	tb.AddRow("1,5", "2")
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "a,b\n1;5,2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(50, 100, 10); got != "#####" {
+		t.Errorf("Bar(50,100,10) = %q", got)
+	}
+	if got := Bar(200, 100, 10); got != "##########" {
+		t.Errorf("overflow bar = %q", got)
+	}
+	if got := Bar(0.1, 100, 10); got != "#" {
+		t.Errorf("tiny bar = %q, want single #", got)
+	}
+	if Bar(0, 100, 10) != "" || Bar(5, 0, 10) != "" || Bar(5, 10, 0) != "" {
+		t.Error("degenerate bars should be empty")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "a", "b")
+	tb.AddRow("x|y", "2")
+	var b strings.Builder
+	if err := tb.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"**Demo**", "| a | b |", "|---|---|", `x\|y`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package stats collects the counters and distributions the simulator
+// reports: per-channel command counts, cycle-class accounting used by the
+// power model, and latency histograms.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Channel accumulates the activity of one memory channel over a simulation.
+// All cycle counts are in DRAM clock cycles.
+type Channel struct {
+	// Burst counts.
+	Reads  int64
+	Writes int64
+
+	// Command counts.
+	Activates  int64
+	Precharges int64
+	Refreshes  int64
+
+	// Row-buffer outcome counts (open-page policy).
+	RowHits      int64
+	RowMisses    int64 // bank closed
+	RowConflicts int64 // bank open with another row
+
+	// Cycle classes.
+	BusyCycles      int64 // channel makespan: first to last activity
+	ReadBusCycles   int64 // cycles the data bus carried read data
+	WriteBusCycles  int64 // cycles the data bus carried write data
+	PowerDownCycles int64 // in-run idle cycles spent powered down (all kinds)
+	// PrechargePDCycles is the subset of PowerDownCycles spent with all
+	// banks closed (precharge power-down, the cheaper state).
+	PrechargePDCycles int64
+	PowerDownExits    int64
+	// SelfRefreshCycles counts long idles spent in self-refresh; they are
+	// not part of PowerDownCycles.
+	SelfRefreshCycles  int64
+	SelfRefreshEntries int64
+}
+
+// Accesses returns the total burst count.
+func (c Channel) Accesses() int64 { return c.Reads + c.Writes }
+
+// DataBusCycles returns cycles with data on the bus in either direction.
+func (c Channel) DataBusCycles() int64 { return c.ReadBusCycles + c.WriteBusCycles }
+
+// BusUtilization returns the fraction of busy cycles with data on the bus —
+// the channel efficiency relative to the theoretical peak.
+func (c Channel) BusUtilization() float64 {
+	if c.BusyCycles <= 0 {
+		return 0
+	}
+	return float64(c.DataBusCycles()) / float64(c.BusyCycles)
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (c Channel) RowHitRate() float64 {
+	n := c.RowHits + c.RowMisses + c.RowConflicts
+	if n == 0 {
+		return 0
+	}
+	return float64(c.RowHits) / float64(n)
+}
+
+// Add accumulates other into c.
+func (c *Channel) Add(other Channel) {
+	c.Reads += other.Reads
+	c.Writes += other.Writes
+	c.Activates += other.Activates
+	c.Precharges += other.Precharges
+	c.Refreshes += other.Refreshes
+	c.RowHits += other.RowHits
+	c.RowMisses += other.RowMisses
+	c.RowConflicts += other.RowConflicts
+	if other.BusyCycles > c.BusyCycles {
+		c.BusyCycles = other.BusyCycles
+	}
+	c.ReadBusCycles += other.ReadBusCycles
+	c.WriteBusCycles += other.WriteBusCycles
+	c.PowerDownCycles += other.PowerDownCycles
+	c.PrechargePDCycles += other.PrechargePDCycles
+	c.PowerDownExits += other.PowerDownExits
+	c.SelfRefreshCycles += other.SelfRefreshCycles
+	c.SelfRefreshEntries += other.SelfRefreshEntries
+}
+
+// String summarizes the counters for logs and debugging.
+func (c Channel) String() string {
+	return fmt.Sprintf("rd=%d wr=%d act=%d pre=%d ref=%d hit=%.2f util=%.2f busy=%d",
+		c.Reads, c.Writes, c.Activates, c.Precharges, c.Refreshes,
+		c.RowHitRate(), c.BusUtilization(), c.BusyCycles)
+}
+
+// Histogram is a power-of-two-bucketed latency histogram. Bucket i counts
+// samples v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1).
+type Histogram struct {
+	buckets [64]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Observe records one non-negative sample; negative samples count as zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	if v > 1 {
+		i = bits.Len64(uint64(v - 1))
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
+// bucket upper edges.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			if i == 0 {
+				return 1
+			}
+			return 1 << uint(i)
+		}
+	}
+	return h.max
+}
+
+// Merge accumulates other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// String renders the non-empty buckets.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f max=%d [", h.count, h.Mean(), h.max)
+	first := true
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" ")
+		}
+		first = false
+		fmt.Fprintf(&b, "<=%d:%d", int64(1)<<uint(i), n)
+	}
+	b.WriteString("]")
+	return b.String()
+}

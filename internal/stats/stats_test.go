@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelDerivedMetrics(t *testing.T) {
+	c := Channel{
+		Reads: 60, Writes: 40,
+		RowHits: 80, RowMisses: 10, RowConflicts: 10,
+		BusyCycles: 400, ReadBusCycles: 120, WriteBusCycles: 80,
+	}
+	if got := c.Accesses(); got != 100 {
+		t.Errorf("Accesses = %d, want 100", got)
+	}
+	if got := c.DataBusCycles(); got != 200 {
+		t.Errorf("DataBusCycles = %d, want 200", got)
+	}
+	if got := c.BusUtilization(); got != 0.5 {
+		t.Errorf("BusUtilization = %v, want 0.5", got)
+	}
+	if got := c.RowHitRate(); got != 0.8 {
+		t.Errorf("RowHitRate = %v, want 0.8", got)
+	}
+}
+
+func TestChannelZeroValueMetrics(t *testing.T) {
+	var c Channel
+	if c.BusUtilization() != 0 || c.RowHitRate() != 0 {
+		t.Error("zero channel should report zero rates")
+	}
+}
+
+func TestChannelAdd(t *testing.T) {
+	a := Channel{Reads: 1, BusyCycles: 100, ReadBusCycles: 10, PowerDownExits: 1}
+	b := Channel{Writes: 2, BusyCycles: 250, WriteBusCycles: 20, Refreshes: 3}
+	a.Add(b)
+	if a.Reads != 1 || a.Writes != 2 || a.Refreshes != 3 {
+		t.Errorf("Add counts wrong: %+v", a)
+	}
+	// BusyCycles is a makespan: Add takes the max, not the sum.
+	if a.BusyCycles != 250 {
+		t.Errorf("BusyCycles = %d, want max 250", a.BusyCycles)
+	}
+	if a.ReadBusCycles != 10 || a.WriteBusCycles != 20 {
+		t.Errorf("bus cycles wrong: %+v", a)
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	c := Channel{Reads: 5, Writes: 5, RowHits: 10}
+	s := c.String()
+	for _, want := range []string{"rd=5", "wr=5", "hit=1.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	for _, v := range []int64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Mean() != 22 {
+		t.Errorf("Mean = %v, want 22", h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %d, want 100", h.Max())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(5) // bucket <=8
+	// Median of {0,1,2,5}: second sample boundary, bucket edge <=1 or <=2.
+	if q := h.Quantile(0.5); q > 2 {
+		t.Errorf("median upper bound = %d, want <=2", q)
+	}
+	if q := h.Quantile(1.0); q < 5 {
+		t.Errorf("p100 upper bound = %d, want >=5", q)
+	}
+	if q := h.Quantile(-1); q != 1 {
+		t.Errorf("clamped low quantile = %d, want 1", q)
+	}
+}
+
+func TestHistogramNegativeSamplesClampToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count() != 1 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("negative sample mishandled: %s", h.String())
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(int64(v))
+		}
+		last := int64(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		// The p100 bound covers the max.
+		return len(vals) == 0 || h.Quantile(1.0) >= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	if h.String() != "empty" {
+		t.Errorf("empty String() = %q", h.String())
+	}
+	h.Observe(3)
+	s := h.String()
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "<=4:1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(100)
+	b.Observe(7)
+	b.Observe(500)
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Errorf("merged count = %d, want 4", a.Count())
+	}
+	if a.Max() != 500 {
+		t.Errorf("merged max = %d, want 500", a.Max())
+	}
+	if a.Mean() != 152 {
+		t.Errorf("merged mean = %v, want 152", a.Mean())
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 4 {
+		t.Error("nil merge changed histogram")
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/memsys"
+)
+
+// Binary trace format: a 8-byte magic header followed by one varint-encoded
+// record per transaction. Each record is
+//
+//	flags  uvarint  bit0 = write, bit1 = arrival present
+//	addr   uvarint  delta from the previous record's address (zigzag)
+//	bytes  uvarint
+//	arr    uvarint  delta from the previous arrival (zigzag, if present)
+//
+// Delta+varint coding keeps sequential-stream traces a few bytes per
+// transaction, an order of magnitude smaller than the text form.
+var binaryMagic = [8]byte{'m', 'c', 'm', 't', 'r', 'c', '0', '1'}
+
+// WriteBinary serializes requests in the compact binary format.
+func WriteBinary(w io.Writer, reqs []memsys.Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [3 * binary.MaxVarintLen64]byte
+	var prevAddr, prevArr int64
+	for _, r := range reqs {
+		if r.Bytes <= 0 {
+			return fmt.Errorf("trace: non-positive size %d", r.Bytes)
+		}
+		if r.Addr < 0 {
+			return fmt.Errorf("trace: negative address %d", r.Addr)
+		}
+		var flags uint64
+		if r.Write {
+			flags |= 1
+		}
+		if r.Arrival != 0 {
+			flags |= 2
+		}
+		n := binary.PutUvarint(buf[:], flags)
+		n += binary.PutVarint(buf[n:], r.Addr-prevAddr)
+		n += binary.PutUvarint(buf[n:], uint64(r.Bytes))
+		if flags&2 != 0 {
+			n += binary.PutVarint(buf[n:], r.Arrival-prevArr)
+			prevArr = r.Arrival
+		}
+		prevAddr = r.Addr
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader) ([]memsys.Request, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var reqs []memsys.Request
+	var prevAddr, prevArr int64
+	for {
+		flags, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return reqs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d flags: %w", len(reqs), err)
+		}
+		if flags > 3 {
+			return nil, fmt.Errorf("trace: record %d unknown flags %#x", len(reqs), flags)
+		}
+		dAddr, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d address: %w", len(reqs), err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d size: %w", len(reqs), err)
+		}
+		req := memsys.Request{
+			Write: flags&1 != 0,
+			Addr:  prevAddr + dAddr,
+			Bytes: int64(size),
+		}
+		if flags&2 != 0 {
+			dArr, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d arrival: %w", len(reqs), err)
+			}
+			req.Arrival = prevArr + dArr
+			prevArr = req.Arrival
+		}
+		if req.Bytes <= 0 {
+			return nil, fmt.Errorf("trace: record %d non-positive size", len(reqs))
+		}
+		if req.Addr < 0 {
+			return nil, fmt.Errorf("trace: record %d negative address", len(reqs))
+		}
+		prevAddr = req.Addr
+		reqs = append(reqs, req)
+	}
+}

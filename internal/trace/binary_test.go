@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsys"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	reqs := sample()
+	var b bytes.Buffer
+	if err := WriteBinary(&b, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Errorf("request %d: %+v != %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		var reqs []memsys.Request
+		var arr int64
+		for _, op := range ops {
+			arr += int64(op % 97)
+			reqs = append(reqs, memsys.Request{
+				Write:   op&1 == 1,
+				Addr:    int64(op >> 3),
+				Bytes:   int64(op%4096) + 1,
+				Arrival: arr * int64(op&2) / 2, // sometimes zero
+			})
+		}
+		var b bytes.Buffer
+		if err := WriteBinary(&b, reqs); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&b)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(reqs) {
+			return false
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// A sequential stream compresses to a few bytes per record.
+	var reqs []memsys.Request
+	for i := 0; i < 1000; i++ {
+		reqs = append(reqs, memsys.Request{Addr: int64(i) * 256, Bytes: 256})
+	}
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&txt, reqs); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(bin.Len()-8) / float64(len(reqs))
+	if perRecord > 6 {
+		t.Errorf("binary records average %.1f bytes, want <= 6", perRecord)
+	}
+	if bin.Len()*2 > txt.Len() {
+		t.Errorf("binary (%d B) not substantially smaller than text (%d B)", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryRejectsCorruptInput(t *testing.T) {
+	// Bad magic.
+	if _, err := ReadBinary(strings.NewReader("bogusmag")); err == nil {
+		t.Error("expected magic error")
+	}
+	// Truncated stream.
+	var b bytes.Buffer
+	if err := WriteBinary(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := b.Bytes()[:b.Len()-2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected truncation error")
+	}
+	// Unknown flags.
+	bad := append(append([]byte{}, binaryMagic[:]...), 0x7F)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("expected flags error")
+	}
+	// Writer validates inputs.
+	if err := WriteBinary(&bytes.Buffer{}, []memsys.Request{{Bytes: 0}}); err == nil {
+		t.Error("expected size error")
+	}
+	if err := WriteBinary(&bytes.Buffer{}, []memsys.Request{{Addr: -1, Bytes: 1}}); err == nil {
+		t.Error("expected address error")
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteBinary(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty trace read %d requests", len(got))
+	}
+}

@@ -1,0 +1,157 @@
+// Package trace records and replays memory transaction streams. Traces let
+// the simulator be driven by captured or hand-written workloads instead of
+// the built-in load model, and let a load-model stream be inspected,
+// stored, and replayed deterministically.
+//
+// The text format is one transaction per line:
+//
+//	R <addr> <bytes> [arrival]
+//	W <addr> <bytes> [arrival]
+//
+// with decimal fields, '#' comments and blank lines ignored.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/memsys"
+)
+
+// Record drains src into a slice, returning the requests in order.
+func Record(src memsys.Source) []memsys.Request {
+	var reqs []memsys.Request
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return reqs
+		}
+		reqs = append(reqs, r)
+	}
+}
+
+// Tee returns a Source that forwards src while appending every request to
+// sink.
+func Tee(src memsys.Source, sink *[]memsys.Request) memsys.Source {
+	return &teeSource{src: src, sink: sink}
+}
+
+type teeSource struct {
+	src  memsys.Source
+	sink *[]memsys.Request
+}
+
+func (t *teeSource) Next() (memsys.Request, bool) {
+	r, ok := t.src.Next()
+	if ok {
+		*t.sink = append(*t.sink, r)
+	}
+	return r, ok
+}
+
+// Write serializes requests to the text format.
+func Write(w io.Writer, reqs []memsys.Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		var err error
+		if r.Arrival != 0 {
+			_, err = fmt.Fprintf(bw, "%s %d %d %d\n", op, r.Addr, r.Bytes, r.Arrival)
+		} else {
+			_, err = fmt.Fprintf(bw, "%s %d %d\n", op, r.Addr, r.Bytes)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format into a request slice.
+func Read(r io.Reader) ([]memsys.Request, error) {
+	var reqs []memsys.Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("trace: line %d: want 'R|W addr bytes [arrival]', got %q", lineNo, line)
+		}
+		var req memsys.Request
+		switch fields[0] {
+		case "R", "r":
+		case "W", "w":
+			req.Write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[0])
+		}
+		var err error
+		if req.Addr, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+		}
+		if req.Bytes, err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size: %v", lineNo, err)
+		}
+		if len(fields) == 4 {
+			if req.Arrival, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad arrival: %v", lineNo, err)
+			}
+		}
+		if req.Bytes <= 0 {
+			return nil, fmt.Errorf("trace: line %d: non-positive size %d", lineNo, req.Bytes)
+		}
+		if req.Addr < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative address %d", lineNo, req.Addr)
+		}
+		reqs = append(reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	return reqs, nil
+}
+
+// Summary aggregates a trace for reports.
+type Summary struct {
+	Transactions int
+	Reads        int
+	Writes       int
+	BytesRead    int64
+	BytesWritten int64
+	MinAddr      int64
+	MaxAddr      int64 // exclusive upper bound of touched addresses
+}
+
+// Summarize computes trace statistics.
+func Summarize(reqs []memsys.Request) Summary {
+	s := Summary{}
+	for i, r := range reqs {
+		s.Transactions++
+		if r.Write {
+			s.Writes++
+			s.BytesWritten += r.Bytes
+		} else {
+			s.Reads++
+			s.BytesRead += r.Bytes
+		}
+		if i == 0 || r.Addr < s.MinAddr {
+			s.MinAddr = r.Addr
+		}
+		if end := r.Addr + r.Bytes; end > s.MaxAddr {
+			s.MaxAddr = end
+		}
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsys"
+)
+
+func sample() []memsys.Request {
+	return []memsys.Request{
+		{Addr: 0, Bytes: 64},
+		{Write: true, Addr: 4096, Bytes: 128},
+		{Addr: 1 << 20, Bytes: 16, Arrival: 100},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("request %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		var reqs []memsys.Request
+		for _, op := range ops {
+			reqs = append(reqs, memsys.Request{
+				Write:   op&1 == 1,
+				Addr:    int64(op >> 4),
+				Bytes:   int64(op%1024) + 1,
+				Arrival: int64(op % 7),
+			})
+		}
+		var b strings.Builder
+		if err := Write(&b, reqs); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(reqs) {
+			return false
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nR 0 16\n  # indented comment\nW 16 32\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Write || !got[1].Write {
+		t.Errorf("parsed %+v", got)
+	}
+}
+
+func TestReadRejectsMalformedLines(t *testing.T) {
+	bad := []string{
+		"X 0 16",
+		"R 0",
+		"R 0 16 3 9",
+		"R abc 16",
+		"R 0 xyz",
+		"R 0 16 zz",
+		"R 0 0",
+		"R -4 16",
+	}
+	for _, in := range bad {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestRecordAndTee(t *testing.T) {
+	src := memsys.NewSliceSource(sample())
+	recorded := Record(src)
+	if len(recorded) != 3 {
+		t.Fatalf("recorded %d requests", len(recorded))
+	}
+
+	var sink []memsys.Request
+	teed := Tee(memsys.NewSliceSource(sample()), &sink)
+	n := 0
+	for {
+		if _, ok := teed.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 || len(sink) != 3 {
+		t.Errorf("tee forwarded %d, captured %d", n, len(sink))
+	}
+	for i := range sink {
+		if sink[i] != sample()[i] {
+			t.Errorf("tee request %d differs", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sample())
+	if s.Transactions != 3 || s.Reads != 2 || s.Writes != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.BytesRead != 80 || s.BytesWritten != 128 {
+		t.Errorf("bytes = %d/%d", s.BytesRead, s.BytesWritten)
+	}
+	if s.MinAddr != 0 || s.MaxAddr != (1<<20)+16 {
+		t.Errorf("range = [%d, %d)", s.MinAddr, s.MaxAddr)
+	}
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Errorf("empty summary = %+v", got)
+	}
+}
+
+func TestTraceDrivesMemSys(t *testing.T) {
+	text := "R 0 4096\nW 8192 4096\n"
+	reqs, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := memsys.New(memsys.PaperConfig(2, 400e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(memsys.NewSliceSource(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesRead != 4096 || res.BytesWritten != 4096 {
+		t.Errorf("trace run moved %d/%d bytes", res.BytesRead, res.BytesWritten)
+	}
+}

@@ -1,0 +1,275 @@
+// Package units provides the physical quantities used throughout the
+// multi-channel memory simulator: clock frequencies, data sizes, bandwidths,
+// durations, energies and powers.
+//
+// Conventions follow the paper ("A case for multi-channel memories in video
+// recording", DATE 2009): data sizes use decimal SI multiples (1 Mb =
+// 10^6 bits, 1 GB/s = 10^9 bytes per second) because the paper's Table I is
+// expressed that way (M = 10^6). Durations are kept in picoseconds so that
+// all DDR2-range clock periods (1.876..5 ns) are exactly representable.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frequency is a clock frequency in hertz.
+type Frequency float64
+
+// Common frequency multiples.
+const (
+	Hz  Frequency = 1
+	KHz Frequency = 1e3
+	MHz Frequency = 1e6
+	GHz Frequency = 1e9
+)
+
+// Period returns the clock period of f.
+func (f Frequency) Period() Duration {
+	if f <= 0 {
+		return 0
+	}
+	return Duration(math.Round(1e12 / float64(f)))
+}
+
+// MHz returns the frequency expressed in megahertz.
+func (f Frequency) MHz() float64 { return float64(f) / 1e6 }
+
+// String formats the frequency with an SI suffix.
+func (f Frequency) String() string {
+	switch {
+	case f >= GHz:
+		return fmt.Sprintf("%.4g GHz", float64(f)/1e9)
+	case f >= MHz:
+		return fmt.Sprintf("%.4g MHz", float64(f)/1e6)
+	case f >= KHz:
+		return fmt.Sprintf("%.4g kHz", float64(f)/1e3)
+	default:
+		return fmt.Sprintf("%.4g Hz", float64(f))
+	}
+}
+
+// Duration is a time span in picoseconds. The zero value is zero time.
+// An int64 picosecond clock overflows after ~106 days, far beyond any
+// simulated frame time.
+type Duration int64
+
+// Common duration multiples.
+const (
+	Picosecond  Duration = 1
+	Nanosecond  Duration = 1e3
+	Microsecond Duration = 1e6
+	Millisecond Duration = 1e9
+	Second      Duration = 1e12
+)
+
+// Seconds returns the duration in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e12 }
+
+// Milliseconds returns the duration in milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e9 }
+
+// Nanoseconds returns the duration in nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / 1e3 }
+
+// String formats the duration with an appropriate suffix.
+func (d Duration) String() string {
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= Second:
+		return fmt.Sprintf("%.4g s", d.Seconds())
+	case abs >= Millisecond:
+		return fmt.Sprintf("%.4g ms", d.Milliseconds())
+	case abs >= Microsecond:
+		return fmt.Sprintf("%.4g us", float64(d)/1e6)
+	case abs >= Nanosecond:
+		return fmt.Sprintf("%.4g ns", d.Nanoseconds())
+	default:
+		return fmt.Sprintf("%d ps", int64(d))
+	}
+}
+
+// DurationFromSeconds converts seconds to a Duration.
+func DurationFromSeconds(s float64) Duration {
+	return Duration(math.Round(s * 1e12))
+}
+
+// Cycles converts a duration to a whole number of clock cycles at f,
+// rounding up (the DRAM convention for timing constraints: a constraint of
+// 15 ns at 400 MHz costs ceil(15/2.5) = 6 cycles).
+func (d Duration) Cycles(f Frequency) int64 {
+	if d <= 0 {
+		return 0
+	}
+	period := f.Period()
+	if period <= 0 {
+		return 0
+	}
+	return int64((d + period - 1) / period)
+}
+
+// Bits is an amount of data in bits.
+type Bits int64
+
+// Common data-size multiples (decimal, matching the paper's Table I).
+const (
+	Bit  Bits = 1
+	Kbit Bits = 1e3
+	Mbit Bits = 1e6
+	Gbit Bits = 1e9
+
+	Byte  Bits = 8
+	KByte Bits = 8e3
+	MByte Bits = 8e6
+	GByte Bits = 8e9
+)
+
+// Bytes returns the size in bytes, rounding up partial bytes.
+func (b Bits) Bytes() int64 { return int64((b + 7) / 8) }
+
+// Megabits returns the size in decimal megabits.
+func (b Bits) Megabits() float64 { return float64(b) / 1e6 }
+
+// Megabytes returns the size in decimal megabytes.
+func (b Bits) Megabytes() float64 { return float64(b) / 8e6 }
+
+// String formats the size with an SI suffix in bits.
+func (b Bits) String() string {
+	abs := b
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= Gbit:
+		return fmt.Sprintf("%.4g Gb", float64(b)/1e9)
+	case abs >= Mbit:
+		return fmt.Sprintf("%.4g Mb", float64(b)/1e6)
+	case abs >= Kbit:
+		return fmt.Sprintf("%.4g kb", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%d b", int64(b))
+	}
+}
+
+// Bandwidth is a data rate in bytes per second.
+type Bandwidth float64
+
+// Common bandwidth multiples (decimal).
+const (
+	BytePerSecond  Bandwidth = 1
+	KBytePerSecond Bandwidth = 1e3
+	MBytePerSecond Bandwidth = 1e6
+	GBytePerSecond Bandwidth = 1e9
+)
+
+// GBps returns the bandwidth in gigabytes per second.
+func (bw Bandwidth) GBps() float64 { return float64(bw) / 1e9 }
+
+// MBps returns the bandwidth in megabytes per second.
+func (bw Bandwidth) MBps() float64 { return float64(bw) / 1e6 }
+
+// String formats the bandwidth with an SI suffix.
+func (bw Bandwidth) String() string {
+	switch {
+	case bw >= GBytePerSecond:
+		return fmt.Sprintf("%.4g GB/s", bw.GBps())
+	case bw >= MBytePerSecond:
+		return fmt.Sprintf("%.4g MB/s", bw.MBps())
+	case bw >= KBytePerSecond:
+		return fmt.Sprintf("%.4g kB/s", float64(bw)/1e3)
+	default:
+		return fmt.Sprintf("%.4g B/s", float64(bw))
+	}
+}
+
+// BandwidthOf returns the average bandwidth of moving b over d.
+func BandwidthOf(b Bits, d Duration) Bandwidth {
+	if d <= 0 {
+		return 0
+	}
+	return Bandwidth(float64(b.Bytes()) / d.Seconds())
+}
+
+// Energy is an amount of energy in picojoules.
+type Energy float64
+
+// Common energy multiples.
+const (
+	Picojoule  Energy = 1
+	Nanojoule  Energy = 1e3
+	Microjoule Energy = 1e6
+	Millijoule Energy = 1e9
+	Joule      Energy = 1e12
+)
+
+// Joules returns the energy in joules.
+func (e Energy) Joules() float64 { return float64(e) / 1e12 }
+
+// Millijoules returns the energy in millijoules.
+func (e Energy) Millijoules() float64 { return float64(e) / 1e9 }
+
+// String formats the energy with an SI suffix.
+func (e Energy) String() string {
+	abs := e
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= Joule:
+		return fmt.Sprintf("%.4g J", e.Joules())
+	case abs >= Millijoule:
+		return fmt.Sprintf("%.4g mJ", e.Millijoules())
+	case abs >= Microjoule:
+		return fmt.Sprintf("%.4g uJ", float64(e)/1e6)
+	case abs >= Nanojoule:
+		return fmt.Sprintf("%.4g nJ", float64(e)/1e3)
+	default:
+		return fmt.Sprintf("%.4g pJ", float64(e))
+	}
+}
+
+// Power is a power in watts.
+type Power float64
+
+// Common power multiples.
+const (
+	Watt      Power = 1
+	Milliwatt Power = 1e-3
+	Microwatt Power = 1e-6
+)
+
+// Milliwatts returns the power in milliwatts.
+func (p Power) Milliwatts() float64 { return float64(p) * 1e3 }
+
+// String formats the power with an SI suffix.
+func (p Power) String() string {
+	abs := p
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= Watt:
+		return fmt.Sprintf("%.4g W", float64(p))
+	case abs >= Milliwatt:
+		return fmt.Sprintf("%.4g mW", p.Milliwatts())
+	default:
+		return fmt.Sprintf("%.4g uW", float64(p)*1e6)
+	}
+}
+
+// Times returns the energy dissipated by p over d.
+func (p Power) Times(d Duration) Energy {
+	return Energy(float64(p) * float64(d)) // W * ps = pJ
+}
+
+// PowerOf returns the average power of dissipating e over d.
+func PowerOf(e Energy, d Duration) Power {
+	if d <= 0 {
+		return 0
+	}
+	return Power(e.Joules() / d.Seconds())
+}

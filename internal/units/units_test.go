@@ -1,0 +1,164 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrequencyPeriod(t *testing.T) {
+	tests := []struct {
+		f    Frequency
+		want Duration
+	}{
+		{400 * MHz, 2500 * Picosecond},
+		{200 * MHz, 5000 * Picosecond},
+		{533 * MHz, 1876 * Picosecond},
+		{1 * GHz, 1000 * Picosecond},
+		{0, 0},
+		{-5 * MHz, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.f.Period(); got != tt.want {
+			t.Errorf("Period(%v) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestFrequencyMHz(t *testing.T) {
+	if got := (266 * MHz).MHz(); got != 266 {
+		t.Errorf("MHz() = %v, want 266", got)
+	}
+}
+
+func TestDurationCyclesRoundsUp(t *testing.T) {
+	// 15 ns at 400 MHz (2.5 ns period) is exactly 6 cycles.
+	if got := (15 * Nanosecond).Cycles(400 * MHz); got != 6 {
+		t.Errorf("15ns @400MHz = %d cycles, want 6", got)
+	}
+	// 15 ns at 533 MHz (1.876 ns period) is ceil(7.99) = 8 cycles.
+	if got := (15 * Nanosecond).Cycles(533 * MHz); got != 8 {
+		t.Errorf("15ns @533MHz = %d cycles, want 8", got)
+	}
+	// 15 ns at 200 MHz is exactly 3 cycles.
+	if got := (15 * Nanosecond).Cycles(200 * MHz); got != 3 {
+		t.Errorf("15ns @200MHz = %d cycles, want 3", got)
+	}
+	if got := Duration(0).Cycles(400 * MHz); got != 0 {
+		t.Errorf("0 cycles for zero duration, got %d", got)
+	}
+	if got := (10 * Nanosecond).Cycles(0); got != 0 {
+		t.Errorf("0 cycles for zero frequency, got %d", got)
+	}
+}
+
+func TestCyclesNeverUndershoot(t *testing.T) {
+	// Property: Cycles(f) * period >= duration for positive inputs.
+	f := func(ns int16, fm uint8) bool {
+		d := Duration(ns) * Nanosecond
+		freq := Frequency(200+int(fm)) * MHz
+		c := d.Cycles(freq)
+		if d <= 0 {
+			return c == 0
+		}
+		return Duration(c)*freq.Period() >= d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsConversions(t *testing.T) {
+	if got := (64 * Mbit).Bytes(); got != 8e6 {
+		t.Errorf("64Mb = %d bytes, want 8e6", got)
+	}
+	if got := (Bits(9)).Bytes(); got != 2 {
+		t.Errorf("9 bits = %d bytes, want 2 (round up)", got)
+	}
+	if got := (3 * MByte).Megabytes(); got != 3 {
+		t.Errorf("Megabytes = %v, want 3", got)
+	}
+	if got := (12 * Mbit).Megabits(); got != 12 {
+		t.Errorf("Megabits = %v, want 12", got)
+	}
+}
+
+func TestBandwidthOf(t *testing.T) {
+	// 33 MB in 33 ms is 1 GB/s.
+	got := BandwidthOf(33*MByte, 33*Millisecond)
+	if math.Abs(got.GBps()-1.0) > 1e-9 {
+		t.Errorf("BandwidthOf = %v GB/s, want 1", got.GBps())
+	}
+	if got := BandwidthOf(MByte, 0); got != 0 {
+		t.Errorf("zero duration bandwidth = %v, want 0", got)
+	}
+}
+
+func TestPowerEnergyRoundTrip(t *testing.T) {
+	// 150 mW over 33.3 ms is ~5 mJ.
+	e := (150 * Milliwatt).Times(33300 * Microsecond)
+	if math.Abs(e.Millijoules()-4.995) > 1e-6 {
+		t.Errorf("energy = %v mJ, want 4.995", e.Millijoules())
+	}
+	p := PowerOf(e, 33300*Microsecond)
+	if math.Abs(p.Milliwatts()-150) > 1e-6 {
+		t.Errorf("power = %v mW, want 150", p.Milliwatts())
+	}
+}
+
+func TestPowerOfZeroDuration(t *testing.T) {
+	if got := PowerOf(Joule, 0); got != 0 {
+		t.Errorf("PowerOf zero duration = %v, want 0", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{(400 * MHz).String(), "400 MHz"},
+		{(1 * GHz).String(), "1 GHz"},
+		{(500 * Hz).String(), "500 Hz"},
+		{(2 * KHz).String(), "2 kHz"},
+		{(33 * Millisecond).String(), "33 ms"},
+		{(15 * Nanosecond).String(), "15 ns"},
+		{(2 * Microsecond).String(), "2 us"},
+		{(7 * Picosecond).String(), "7 ps"},
+		{(2 * Second).String(), "2 s"},
+		{(64 * Mbit).String(), "64 Mb"},
+		{(2 * Gbit).String(), "2 Gb"},
+		{(3 * Kbit).String(), "3 kb"},
+		{Bits(12).String(), "12 b"},
+		{(Bandwidth(4.3e9)).String(), "4.3 GB/s"},
+		{(Bandwidth(70e6)).String(), "70 MB/s"},
+		{(Bandwidth(3e3)).String(), "3 kB/s"},
+		{(Bandwidth(17)).String(), "17 B/s"},
+		{(345 * Milliwatt).String(), "345 mW"},
+		{(5 * Watt).String(), "5 W"},
+		{(40 * Microwatt).String(), "40 uW"},
+		{(5 * Millijoule).String(), "5 mJ"},
+		{(2 * Joule).String(), "2 J"},
+		{(3 * Nanojoule).String(), "3 nJ"},
+		{(4 * Microjoule).String(), "4 uJ"},
+		{Energy(0.5).String(), "0.5 pJ"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String() = %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestDurationFromSeconds(t *testing.T) {
+	if got := DurationFromSeconds(1.0 / 30.0); got != Duration(33333333333) {
+		t.Errorf("1/30s = %d ps, want 33333333333", int64(got))
+	}
+}
+
+func TestNegativeDurationString(t *testing.T) {
+	s := (-5 * Millisecond).String()
+	if !strings.Contains(s, "-5") || !strings.Contains(s, "ms") {
+		t.Errorf("negative duration formatted as %q", s)
+	}
+}

@@ -1,0 +1,172 @@
+package usecase
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// PlaybackParams tunes the playback (decode + display) use case, the
+// companion workload of the recording chain: the paper notes "the system
+// rarely runs only a single use case", and playback is what shares the
+// execution memory with recording in a camera device.
+type PlaybackParams struct {
+	// DecoderFactor is the implementation-dependent multiplier on the
+	// decoder's reference-frame (motion compensation) traffic. Decoding
+	// reads each predicted pixel roughly once plus interpolation overlap,
+	// far below the encoder's search factor of 6; the default is 2.
+	DecoderFactor int
+	// ReferenceFrames kept in execution memory; zero derives from the
+	// level's DPB like the recording chain does.
+	ReferenceFrames int
+	// AudioBitrate is the decoded audio stream rate.
+	AudioBitrate units.Bits
+	// Display receives the decoded stream.
+	Display video.Display
+}
+
+// DefaultPlaybackParams returns the baseline playback constants.
+func DefaultPlaybackParams() PlaybackParams {
+	return PlaybackParams{
+		DecoderFactor:   2,
+		ReferenceFrames: 0,
+		AudioBitrate:    units.Bits(320 * 1000),
+		Display:         video.WVGA,
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p PlaybackParams) Validate() error {
+	if p.DecoderFactor < 1 {
+		return fmt.Errorf("usecase: decoder factor %d < 1", p.DecoderFactor)
+	}
+	if p.ReferenceFrames < 0 {
+		return fmt.Errorf("usecase: negative reference frames %d", p.ReferenceFrames)
+	}
+	if p.AudioBitrate < 0 {
+		return fmt.Errorf("usecase: negative audio bitrate %v", p.AudioBitrate)
+	}
+	if p.Display.Pixels() <= 0 || p.Display.RefreshHz <= 0 {
+		return fmt.Errorf("usecase: invalid display %+v", p.Display)
+	}
+	return nil
+}
+
+// PlaybackStageID identifies one stage of the playback chain.
+type PlaybackStageID int
+
+// Playback stages in pipeline order.
+const (
+	PbMemoryCard PlaybackStageID = iota
+	PbDemultiplex
+	PbVideoDecoder
+	PbScaleToDisplay
+	PbDisplayCtrl
+	PbAudioDecoder
+	numPbStages
+)
+
+var pbStageNames = [numPbStages]string{
+	"Memory card",
+	"Demultiplex",
+	"Video decoder",
+	"Scaling to display",
+	"DisplayCtrl",
+	"Audio decoder",
+}
+
+// String returns the stage name.
+func (s PlaybackStageID) String() string {
+	if s < 0 || s >= numPbStages {
+		return fmt.Sprintf("PlaybackStageID(%d)", int(s))
+	}
+	return pbStageNames[s]
+}
+
+// NumPlaybackStages is the number of playback stages.
+const NumPlaybackStages = int(numPbStages)
+
+// PlaybackStageTraffic is one stage's per-frame memory traffic.
+type PlaybackStageTraffic struct {
+	Stage     PlaybackStageID
+	ReadBits  units.Bits
+	WriteBits units.Bits
+}
+
+// TotalBits returns read plus write traffic.
+func (s PlaybackStageTraffic) TotalBits() units.Bits { return s.ReadBits + s.WriteBits }
+
+// PlaybackLoad is the execution-memory load of playing one stream.
+type PlaybackLoad struct {
+	Profile video.Profile
+	Params  PlaybackParams
+	Stages  [numPbStages]PlaybackStageTraffic
+}
+
+// NewPlayback computes the playback memory load for prof.
+func NewPlayback(prof video.Profile, p PlaybackParams) (PlaybackLoad, error) {
+	if err := p.Validate(); err != nil {
+		return PlaybackLoad{}, err
+	}
+	if prof.Format.Pixels() <= 0 || prof.Format.FPS <= 0 {
+		return PlaybackLoad{}, fmt.Errorf("usecase: invalid frame format %+v", prof.Format)
+	}
+
+	n := float64(prof.Format.Pixels())
+	fps := float64(prof.Format.FPS)
+	yuv420 := float64(video.YUV420.BitsPerPel)
+	v := float64(prof.Level.MaxBitrate) / fps
+	a := float64(p.AudioBitrate) / fps
+	dispBits := float64(p.Display.FrameBits())
+
+	l := PlaybackLoad{Profile: prof, Params: p}
+	set := func(id PlaybackStageID, read, write float64) {
+		l.Stages[id] = PlaybackStageTraffic{Stage: id, ReadBits: units.Bits(read), WriteBits: units.Bits(write)}
+	}
+	// The stream comes off the card, is demultiplexed into elementary
+	// streams, decoded (motion compensation reads reference data with the
+	// decoder factor; the reconstructed frame is written back), scaled to
+	// the display and refreshed at the display rate.
+	set(PbMemoryCard, v+a, 0)
+	set(PbDemultiplex, v+a, v+a)
+	set(PbVideoDecoder, v+float64(p.DecoderFactor)*yuv420*n, yuv420*n)
+	set(PbScaleToDisplay, yuv420*n, float64(p.Display.Pixels())*float64(video.YUV422.BitsPerPel))
+	set(PbDisplayCtrl, dispBits*float64(p.Display.RefreshHz)/fps, 0)
+	set(PbAudioDecoder, a, 0)
+	return l, nil
+}
+
+// ReferenceFrames returns the effective reference-frame count.
+func (l PlaybackLoad) ReferenceFrames() int {
+	refs := l.Params.ReferenceFrames
+	if refs == 0 {
+		refs = l.Profile.Level.MaxDpbFrames(l.Profile.Format)
+		if refs > PaperReferenceFrames {
+			refs = PaperReferenceFrames
+		}
+		if refs < 1 {
+			refs = 1
+		}
+	}
+	return refs
+}
+
+// FrameBits returns the total per-frame traffic.
+func (l PlaybackLoad) FrameBits() units.Bits {
+	var sum units.Bits
+	for _, s := range l.Stages {
+		sum += s.TotalBits()
+	}
+	return sum
+}
+
+// BitsPerSecond returns the sustained load.
+func (l PlaybackLoad) BitsPerSecond() units.Bits {
+	return l.FrameBits() * units.Bits(l.Profile.Format.FPS)
+}
+
+// Bandwidth returns the sustained load as a byte bandwidth.
+func (l PlaybackLoad) Bandwidth() units.Bandwidth {
+	return units.BandwidthOf(l.BitsPerSecond(), units.Second)
+}

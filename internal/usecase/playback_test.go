@@ -1,0 +1,139 @@
+package usecase
+
+import (
+	"testing"
+
+	"repro/internal/video"
+)
+
+func playbackLoad(t *testing.T, format string) PlaybackLoad {
+	t.Helper()
+	prof, err := video.ProfileFor(format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewPlayback(prof, DefaultPlaybackParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestPlaybackMuchLighterThanRecording(t *testing.T) {
+	for _, format := range []string{"720p30", "1080p30"} {
+		pb := playbackLoad(t, format)
+		prof, _ := video.ProfileFor(format)
+		rec, err := New(prof, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(rec.FrameBits()) / float64(pb.FrameBits())
+		// Decoding skips the sensor chain and the factor-6 motion
+		// search: expect roughly 5-10x lighter.
+		if ratio < 4 || ratio > 12 {
+			t.Errorf("%s: recording/playback ratio = %.1f, want 4..12", format, ratio)
+		}
+	}
+}
+
+func TestPlaybackStageStructure(t *testing.T) {
+	l := playbackLoad(t, "720p30")
+	if s := l.Stages[PbMemoryCard]; s.WriteBits != 0 || s.ReadBits == 0 {
+		t.Errorf("memory card = %+v, want read-only", s)
+	}
+	if s := l.Stages[PbDisplayCtrl]; s.WriteBits != 0 || s.ReadBits == 0 {
+		t.Errorf("display ctrl = %+v, want read-only", s)
+	}
+	if s := l.Stages[PbAudioDecoder]; s.WriteBits != 0 {
+		t.Errorf("audio decoder = %+v, want read-only", s)
+	}
+	// The decoder dominates playback the way the encoder dominates
+	// recording.
+	dec := l.Stages[PbVideoDecoder].TotalBits()
+	for _, s := range l.Stages {
+		if s.Stage != PbVideoDecoder && s.TotalBits() >= dec {
+			t.Errorf("stage %v (%v) exceeds decoder (%v)", s.Stage, s.TotalBits(), dec)
+		}
+	}
+	// Demux moves the stream both ways.
+	if s := l.Stages[PbDemultiplex]; s.ReadBits == 0 || s.WriteBits == 0 {
+		t.Errorf("demultiplex = %+v, want read+write", s)
+	}
+}
+
+func TestPlaybackTotalsConsistent(t *testing.T) {
+	l := playbackLoad(t, "1080p30")
+	var sum int64
+	for _, s := range l.Stages {
+		sum += int64(s.TotalBits())
+	}
+	if sum != int64(l.FrameBits()) {
+		t.Errorf("stage sum %d != frame total %d", sum, l.FrameBits())
+	}
+	if l.BitsPerSecond() != l.FrameBits()*30 {
+		t.Error("per-second total inconsistent")
+	}
+	if l.Bandwidth() <= 0 {
+		t.Error("bandwidth should be positive")
+	}
+}
+
+func TestPlaybackDecoderFactorScales(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	p := DefaultPlaybackParams()
+	p.DecoderFactor = 4
+	heavy, err := NewPlayback(prof, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := playbackLoad(t, "720p30")
+	if heavy.FrameBits() <= base.FrameBits() {
+		t.Error("larger decoder factor should raise the load")
+	}
+}
+
+func TestPlaybackValidate(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	bad := []func(*PlaybackParams){
+		func(p *PlaybackParams) { p.DecoderFactor = 0 },
+		func(p *PlaybackParams) { p.ReferenceFrames = -1 },
+		func(p *PlaybackParams) { p.AudioBitrate = -1 },
+		func(p *PlaybackParams) { p.Display = video.Display{} },
+	}
+	for i, mutate := range bad {
+		p := DefaultPlaybackParams()
+		mutate(&p)
+		if _, err := NewPlayback(prof, p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := NewPlayback(video.Profile{Level: video.Level31}, DefaultPlaybackParams()); err == nil {
+		t.Error("expected format error")
+	}
+}
+
+func TestPlaybackReferenceFrames(t *testing.T) {
+	l := playbackLoad(t, "720p30")
+	if got := l.ReferenceFrames(); got != 4 {
+		t.Errorf("derived reference frames = %d, want 4", got)
+	}
+	prof, _ := video.ProfileFor("720p30")
+	p := DefaultPlaybackParams()
+	p.ReferenceFrames = 2
+	l2, err := NewPlayback(prof, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.ReferenceFrames(); got != 2 {
+		t.Errorf("override reference frames = %d, want 2", got)
+	}
+}
+
+func TestPlaybackStageIDString(t *testing.T) {
+	if PbVideoDecoder.String() != "Video decoder" {
+		t.Errorf("String() = %q", PbVideoDecoder.String())
+	}
+	if got := PlaybackStageID(99).String(); got != "PlaybackStageID(99)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,269 @@
+// Package usecase models the memory load of the paper's video-recording use
+// case (Fig. 1 and Table I): a camera image-processing chain feeding an
+// H.264/AVC encoder, a 60 Hz display controller, audio capture, stream
+// multiplexing and memory-card storage, all sharing one external execution
+// memory behind caches.
+//
+// Every pipeline stage is expressed as read and write traffic to the
+// execution memory, in bits per frame for the image stages and bits per
+// second for the bitstream stages, exactly as the paper's Table I tabulates
+// them. The cache is assumed large enough that only this traffic misses.
+package usecase
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// Params collects the tunable constants of the use case. The zero value is
+// not useful; start from DefaultParams.
+type Params struct {
+	// StabilizationBorder is the linear capture margin for video
+	// stabilization; the paper uses 1.2 (a 20 % border on each axis, so
+	// the sensor frame has 1.44x the pixels of the output frame).
+	StabilizationBorder float64
+	// DigizoomFactor z >= 1 shrinks the post-processing read window to
+	// N/z^2 pixels. The paper's Table I uses z = 1 (no zoom).
+	DigizoomFactor float64
+	// EncoderFactor is the implementation-dependent constant factor of
+	// the video encoder's reference-frame traffic; the paper estimates 6.
+	EncoderFactor int
+	// ReferenceFrames is the number of H.264 reference frames kept in
+	// execution memory. Zero means "derive from the level's DPB limit,
+	// capped at PaperReferenceFrames".
+	ReferenceFrames int
+	// AudioBitrate is the captured audio stream rate.
+	AudioBitrate units.Bits
+	// Display receives the scaled preview stream.
+	Display video.Display
+}
+
+// PaperReferenceFrames is the reference-frame count that reproduces every
+// bandwidth anchor in the paper's prose (1.9 GB/s @720p30, 4.3 GB/s @1080p30,
+// the 2.2x ratio between them, and 8.6 GB/s @1080p60). The H.264 DPB limits
+// at the evaluated levels allow 4-5 frames; 4 is the unique consistent value.
+const PaperReferenceFrames = 4
+
+// DefaultParams returns the parameters of the paper's Table I.
+func DefaultParams() Params {
+	return Params{
+		StabilizationBorder: 1.2,
+		DigizoomFactor:      1.0,
+		EncoderFactor:       6,
+		ReferenceFrames:     0, // derive from level
+		AudioBitrate:        units.Bits(320 * 1000),
+		Display:             video.WVGA,
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	if p.StabilizationBorder < 1 {
+		return fmt.Errorf("usecase: stabilization border %v < 1", p.StabilizationBorder)
+	}
+	if p.DigizoomFactor < 1 {
+		return fmt.Errorf("usecase: digizoom factor %v < 1", p.DigizoomFactor)
+	}
+	if p.EncoderFactor < 1 {
+		return fmt.Errorf("usecase: encoder factor %d < 1", p.EncoderFactor)
+	}
+	if p.ReferenceFrames < 0 {
+		return fmt.Errorf("usecase: negative reference frames %d", p.ReferenceFrames)
+	}
+	if p.AudioBitrate < 0 {
+		return fmt.Errorf("usecase: negative audio bitrate %v", p.AudioBitrate)
+	}
+	if p.Display.Pixels() <= 0 || p.Display.RefreshHz <= 0 {
+		return fmt.Errorf("usecase: invalid display %+v", p.Display)
+	}
+	return nil
+}
+
+// StageID identifies one processing stage of the recording chain.
+type StageID int
+
+// The stages of Fig. 1 in pipeline order. Image-processing stages come
+// first, then video-coding stages.
+const (
+	StageCameraIF StageID = iota
+	StagePreprocess
+	StageBayerToYUV
+	StageStabilization
+	StagePostprocZoom
+	StageScaleToDisplay
+	StageDisplayCtrl
+	StageVideoEncoder
+	StageAudio
+	StageMultiplex
+	StageMemoryCard
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"Camera I/F",
+	"Preprocess",
+	"Bayer to YUV",
+	"Video stabilization",
+	"Post proc & digizoom",
+	"Scaling to display",
+	"DisplayCtrl",
+	"Video encoder",
+	"Audio",
+	"Multiplex",
+	"Memory card",
+}
+
+// String returns the paper's name for the stage.
+func (s StageID) String() string {
+	if s < 0 || s >= numStages {
+		return fmt.Sprintf("StageID(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// NumStages is the number of pipeline stages.
+const NumStages = int(numStages)
+
+// IsImageProcessing reports whether the stage belongs to the image-processing
+// half of Fig. 1 (as opposed to video coding).
+func (s StageID) IsImageProcessing() bool {
+	return s >= StageCameraIF && s <= StageDisplayCtrl
+}
+
+// StageTraffic is the execution-memory traffic of one stage for one frame
+// period.
+type StageTraffic struct {
+	Stage StageID
+	// ReadBits and WriteBits are the per-frame read and write volumes.
+	ReadBits  units.Bits
+	WriteBits units.Bits
+}
+
+// TotalBits returns read plus write traffic, the quantity Table I reports.
+func (s StageTraffic) TotalBits() units.Bits { return s.ReadBits + s.WriteBits }
+
+// Load is the complete memory load of the use case for one frame format.
+type Load struct {
+	Profile video.Profile
+	Params  Params
+	// Stages holds per-stage traffic in Fig. 1 order; index with StageID.
+	Stages [numStages]StageTraffic
+}
+
+// referenceFrames resolves the effective reference-frame count.
+func referenceFrames(p Params, prof video.Profile) int {
+	if p.ReferenceFrames > 0 {
+		return p.ReferenceFrames
+	}
+	n := prof.Level.MaxDpbFrames(prof.Format)
+	if n > PaperReferenceFrames {
+		n = PaperReferenceFrames
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ReferenceFrames returns the reference-frame count the load was built with.
+func (l Load) ReferenceFrames() int { return referenceFrames(l.Params, l.Profile) }
+
+// New computes the memory load of recording prof with parameters p.
+func New(prof video.Profile, p Params) (Load, error) {
+	if err := p.Validate(); err != nil {
+		return Load{}, err
+	}
+	if prof.Format.Pixels() <= 0 || prof.Format.FPS <= 0 {
+		return Load{}, fmt.Errorf("usecase: invalid frame format %+v", prof.Format)
+	}
+
+	n := float64(prof.Format.Pixels())
+	border := p.StabilizationBorder * p.StabilizationBorder // pixel multiple
+	bn := border * n                                        // sensor-frame pixels
+	z2 := p.DigizoomFactor * p.DigizoomFactor
+	fps := float64(prof.Format.FPS)
+	refs := referenceFrames(p, prof)
+
+	bayer := float64(video.BayerRGB.BitsPerPel)
+	yuv422 := float64(video.YUV422.BitsPerPel)
+	yuv420 := float64(video.YUV420.BitsPerPel)
+	dispBits := float64(p.Display.FrameBits())
+
+	l := Load{Profile: prof, Params: p}
+	set := func(id StageID, read, write float64) {
+		l.Stages[id] = StageTraffic{Stage: id, ReadBits: units.Bits(read), WriteBits: units.Bits(write)}
+	}
+
+	// Image processing (bits per frame). The camera captures the frame
+	// with the stabilization border; stabilization crops it away.
+	set(StageCameraIF, 0, bayer*bn)
+	set(StagePreprocess, bayer*bn, bayer*bn)
+	set(StageBayerToYUV, bayer*bn, yuv422*bn)
+	set(StageStabilization, yuv422*bn, yuv422*n)
+	set(StagePostprocZoom, yuv422*n/z2, yuv422*n)
+	set(StageScaleToDisplay, yuv422*n, float64(p.Display.Pixels())*yuv422)
+	// The display controller reads RGB888 at its own refresh rate,
+	// independent of the recording frame rate; per recorded frame that is
+	// refreshHz/fps display reads.
+	set(StageDisplayCtrl, dispBits*float64(p.Display.RefreshHz)/fps, 0)
+
+	// Video coding (bits per frame). The encoder reads the current YUV422
+	// frame, reads reference-frame data with the implementation factor,
+	// and writes the reconstructed frame; reference traffic dominates.
+	encRead := yuv422*n + float64(p.EncoderFactor)*yuv420*n*float64(refs)
+	encRecon := yuv420 * n
+	v := float64(prof.Level.MaxBitrate) / fps // video bitstream bits/frame
+	a := float64(p.AudioBitrate) / fps        // audio bits/frame
+	set(StageVideoEncoder, encRead, encRecon+v)
+	set(StageAudio, 0, a)
+	set(StageMultiplex, v+a, v+a)
+	set(StageMemoryCard, v+a, 0)
+
+	return l, nil
+}
+
+// ImageProcessingBits returns the per-frame image-processing total
+// ("Image proc. total" row of Table I).
+func (l Load) ImageProcessingBits() units.Bits {
+	var sum units.Bits
+	for _, s := range l.Stages {
+		if s.Stage.IsImageProcessing() {
+			sum += s.TotalBits()
+		}
+	}
+	return sum
+}
+
+// VideoCodingBits returns the per-frame video-coding total
+// ("Video coding total" row of Table I).
+func (l Load) VideoCodingBits() units.Bits {
+	var sum units.Bits
+	for _, s := range l.Stages {
+		if !s.Stage.IsImageProcessing() {
+			sum += s.TotalBits()
+		}
+	}
+	return sum
+}
+
+// FrameBits returns the total execution-memory traffic of one frame
+// ("Data Mem. load (1 frame)" row of Table I).
+func (l Load) FrameBits() units.Bits {
+	return l.ImageProcessingBits() + l.VideoCodingBits()
+}
+
+// BitsPerSecond returns the sustained load ("Data Mem. load (1 s)").
+func (l Load) BitsPerSecond() units.Bits {
+	return l.FrameBits() * units.Bits(l.Profile.Format.FPS)
+}
+
+// Bandwidth returns the sustained load as a byte bandwidth
+// ("Data Mem. load [MB/s]" row of Table I).
+func (l Load) Bandwidth() units.Bandwidth {
+	return units.BandwidthOf(l.BitsPerSecond(), units.Second)
+}
+
+// FrameBytes returns the per-frame traffic in bytes.
+func (l Load) FrameBytes() int64 { return l.FrameBits().Bytes() }

@@ -1,0 +1,292 @@
+package usecase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func mustLoad(t *testing.T, name string) Load {
+	t.Helper()
+	prof, err := video.ProfileFor(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(prof, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// The paper's prose bandwidth anchors (DESIGN.md section 5).
+func TestBandwidthAnchors(t *testing.T) {
+	tests := []struct {
+		format  string
+		wantGBs float64
+		tol     float64 // relative tolerance
+	}{
+		{"720p30", 1.9, 0.05},  // intro: "diminished down to 1.9 GB/s"
+		{"1080p30", 4.3, 0.05}, // abstract: "require 4.3 GB/s"
+		{"1080p60", 8.6, 0.05}, // section II: "estimated to be 8.6 GB/s"
+	}
+	for _, tt := range tests {
+		l := mustLoad(t, tt.format)
+		got := l.Bandwidth().GBps()
+		if math.Abs(got-tt.wantGBs)/tt.wantGBs > tt.tol {
+			t.Errorf("%s bandwidth = %.3f GB/s, want %.1f +-%.0f%%",
+				tt.format, got, tt.wantGBs, tt.tol*100)
+		}
+	}
+}
+
+// Section IV: 1080p30 requires approximately 2.2x the bandwidth of 720p30.
+func TestHDScalingRatio(t *testing.T) {
+	r := mustLoad(t, "1080p30").Bandwidth() / mustLoad(t, "720p30").Bandwidth()
+	if r < 2.1 || r < 0 || r > 2.3 {
+		t.Errorf("1080p30/720p30 bandwidth ratio = %.3f, want ~2.2", float64(r))
+	}
+}
+
+func TestReferenceFrameDerivation(t *testing.T) {
+	l := mustLoad(t, "720p30")
+	// Level 3.1 DPB allows 5 frames; the paper profile caps at 4.
+	if got := l.ReferenceFrames(); got != 4 {
+		t.Errorf("720p30 reference frames = %d, want 4", got)
+	}
+	// Explicit override wins.
+	prof, _ := video.ProfileFor("720p30")
+	p := DefaultParams()
+	p.ReferenceFrames = 2
+	l2, err := New(prof, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.ReferenceFrames(); got != 2 {
+		t.Errorf("override reference frames = %d, want 2", got)
+	}
+	if l2.FrameBits() >= l.FrameBits() {
+		t.Error("fewer reference frames must reduce frame traffic")
+	}
+}
+
+func TestStageDecomposition(t *testing.T) {
+	l := mustLoad(t, "720p30")
+
+	// Camera interface only writes; display controller and memory card
+	// only read; audio only writes.
+	if s := l.Stages[StageCameraIF]; s.ReadBits != 0 || s.WriteBits == 0 {
+		t.Errorf("camera I/F traffic = %+v, want write-only", s)
+	}
+	if s := l.Stages[StageDisplayCtrl]; s.WriteBits != 0 || s.ReadBits == 0 {
+		t.Errorf("display ctrl traffic = %+v, want read-only", s)
+	}
+	if s := l.Stages[StageMemoryCard]; s.WriteBits != 0 || s.ReadBits == 0 {
+		t.Errorf("memory card traffic = %+v, want read-only", s)
+	}
+	if s := l.Stages[StageAudio]; s.ReadBits != 0 || s.WriteBits == 0 {
+		t.Errorf("audio traffic = %+v, want write-only", s)
+	}
+
+	// Preprocess reads and writes the full bordered Bayer frame:
+	// 1.44 * 921600 * 16 bits each way.
+	want := units.Bits(1.44 * 921600 * 16)
+	if s := l.Stages[StagePreprocess]; s.ReadBits != want || s.WriteBits != want {
+		t.Errorf("preprocess = %+v, want %v each way", s, want)
+	}
+
+	// The encoder is the single most memory-intensive stage (section II).
+	enc := l.Stages[StageVideoEncoder].TotalBits()
+	for _, s := range l.Stages {
+		if s.Stage != StageVideoEncoder && s.TotalBits() >= enc {
+			t.Errorf("stage %v (%v) exceeds encoder (%v)", s.Stage, s.TotalBits(), enc)
+		}
+	}
+}
+
+func TestTotalsAreConsistent(t *testing.T) {
+	for _, p := range video.EvaluatedProfiles {
+		l, err := New(p, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum units.Bits
+		for _, s := range l.Stages {
+			sum += s.TotalBits()
+		}
+		if sum != l.FrameBits() {
+			t.Errorf("%v: stage sum %v != frame total %v", p.Format, sum, l.FrameBits())
+		}
+		if got := l.ImageProcessingBits() + l.VideoCodingBits(); got != sum {
+			t.Errorf("%v: part totals %v != %v", p.Format, got, sum)
+		}
+		if l.BitsPerSecond() != l.FrameBits()*units.Bits(p.Format.FPS) {
+			t.Errorf("%v: per-second total inconsistent", p.Format)
+		}
+	}
+}
+
+// The display controller's memory traffic is constant per second regardless
+// of recording format (section II: "DisplayCtrl ... constant memory
+// requirements regardless of original image size").
+func TestDisplayCtrlConstantPerSecond(t *testing.T) {
+	var ref units.Bits
+	for i, p := range video.EvaluatedProfiles {
+		l, err := New(p, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		perSec := l.Stages[StageDisplayCtrl].TotalBits() * units.Bits(p.Format.FPS)
+		if i == 0 {
+			ref = perSec
+			continue
+		}
+		if perSec != ref {
+			t.Errorf("%v: display traffic %v/s, want constant %v/s", p.Format, perSec, ref)
+		}
+	}
+	// And it equals the 60 Hz WVGA RGB888 refresh rate.
+	if ref != video.WVGA.RefreshBitsPerSecond() {
+		t.Errorf("display traffic %v/s, want %v/s", ref, video.WVGA.RefreshBitsPerSecond())
+	}
+}
+
+func TestDigizoomReducesReadWindow(t *testing.T) {
+	prof, _ := video.ProfileFor("1080p30")
+	base := DefaultParams()
+	zoomed := base
+	zoomed.DigizoomFactor = 2
+	l0, err := New(prof, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := New(prof, zoomed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z=2 reads N/4 pixels instead of N; writes are unchanged.
+	s0, s2 := l0.Stages[StagePostprocZoom], l2.Stages[StagePostprocZoom]
+	if s2.WriteBits != s0.WriteBits {
+		t.Errorf("zoom changed write traffic: %v vs %v", s2.WriteBits, s0.WriteBits)
+	}
+	if got, want := s2.ReadBits, s0.ReadBits/4; got != want {
+		t.Errorf("zoomed read = %v, want %v", got, want)
+	}
+	// All other stages are unaffected by zoom.
+	for i := range l0.Stages {
+		if StageID(i) == StagePostprocZoom {
+			continue
+		}
+		if l0.Stages[i] != l2.Stages[i] {
+			t.Errorf("stage %v changed with zoom", StageID(i))
+		}
+	}
+}
+
+func TestStabilizationBorderScalesSensorStages(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	p := DefaultParams()
+	p.StabilizationBorder = 1.0 // no border
+	l, err := New(prof, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := units.Bits(prof.Format.Pixels() * 16)
+	if got := l.Stages[StageCameraIF].WriteBits; got != n {
+		t.Errorf("borderless camera write = %v, want %v", got, n)
+	}
+	// Stabilization becomes a symmetric copy.
+	s := l.Stages[StageStabilization]
+	if s.ReadBits != s.WriteBits {
+		t.Errorf("borderless stabilization asymmetric: %+v", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	bad := []func(*Params){
+		func(p *Params) { p.StabilizationBorder = 0.9 },
+		func(p *Params) { p.DigizoomFactor = 0.5 },
+		func(p *Params) { p.EncoderFactor = 0 },
+		func(p *Params) { p.ReferenceFrames = -1 },
+		func(p *Params) { p.AudioBitrate = -1 },
+		func(p *Params) { p.Display = video.Display{} },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if _, err := New(prof, p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	// Invalid frame format.
+	if _, err := New(video.Profile{Level: video.Level31}, DefaultParams()); err == nil {
+		t.Error("expected error for empty frame format")
+	}
+}
+
+func TestStageIDString(t *testing.T) {
+	if got := StageVideoEncoder.String(); got != "Video encoder" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := StageID(99).String(); got != "StageID(99)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: total traffic grows monotonically with pixel count at fixed
+// parameters, and all stage volumes are non-negative.
+func TestTrafficMonotoneInPixels(t *testing.T) {
+	f := func(w, h uint8) bool {
+		width := 160 + int(w)*16
+		height := 160 + int(h)*16
+		// Pin the reference-frame count: the DPB-derived default
+		// legitimately shrinks as frames grow, which would make total
+		// traffic non-monotone.
+		params := DefaultParams()
+		params.ReferenceFrames = 4
+		small := video.Profile{
+			Level:  video.Level40,
+			Format: video.FrameFormat{Name: "s", Width: width, Height: height, FPS: 30},
+		}
+		big := video.Profile{
+			Level:  video.Level40,
+			Format: video.FrameFormat{Name: "b", Width: width + 16, Height: height + 16, FPS: 30},
+		}
+		ls, err := New(small, params)
+		if err != nil {
+			return false
+		}
+		lb, err := New(big, params)
+		if err != nil {
+			return false
+		}
+		for _, s := range ls.Stages {
+			if s.ReadBits < 0 || s.WriteBits < 0 {
+				return false
+			}
+		}
+		return lb.FrameBits() > ls.FrameBits()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper: "the total data memory load for one frame is the sum of the
+// image processing and video coding parts", and video coding dominates.
+func TestVideoCodingDominates(t *testing.T) {
+	for _, p := range video.EvaluatedProfiles {
+		l, err := New(p, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.VideoCodingBits() <= l.ImageProcessingBits() {
+			t.Errorf("%v: video coding %v <= image processing %v",
+				p.Format, l.VideoCodingBits(), l.ImageProcessingBits())
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package usecase
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// ViewfinderParams tunes the viewfinder (camera preview without recording)
+// use case: the chain a camera runs before the shutter is pressed. It is
+// the recording chain's image half without stabilization, encoding or
+// storage — the lightest of the three use cases, and the one a device
+// spends most of its camera time in.
+type ViewfinderParams struct {
+	// Display receives the preview.
+	Display video.Display
+}
+
+// DefaultViewfinderParams returns the baseline viewfinder constants.
+func DefaultViewfinderParams() ViewfinderParams {
+	return ViewfinderParams{Display: video.WVGA}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p ViewfinderParams) Validate() error {
+	if p.Display.Pixels() <= 0 || p.Display.RefreshHz <= 0 {
+		return fmt.Errorf("usecase: invalid display %+v", p.Display)
+	}
+	return nil
+}
+
+// ViewfinderStageID identifies one stage of the viewfinder chain.
+type ViewfinderStageID int
+
+// Viewfinder stages in pipeline order.
+const (
+	VfCameraIF ViewfinderStageID = iota
+	VfPreprocess
+	VfBayerToYUV
+	VfScaleToDisplay
+	VfDisplayCtrl
+	numVfStages
+)
+
+var vfStageNames = [numVfStages]string{
+	"Camera I/F",
+	"Preprocess",
+	"Bayer to YUV",
+	"Scaling to display",
+	"DisplayCtrl",
+}
+
+// String returns the stage name.
+func (s ViewfinderStageID) String() string {
+	if s < 0 || s >= numVfStages {
+		return fmt.Sprintf("ViewfinderStageID(%d)", int(s))
+	}
+	return vfStageNames[s]
+}
+
+// NumViewfinderStages is the number of viewfinder stages.
+const NumViewfinderStages = int(numVfStages)
+
+// ViewfinderStageTraffic is one stage's per-frame memory traffic.
+type ViewfinderStageTraffic struct {
+	Stage     ViewfinderStageID
+	ReadBits  units.Bits
+	WriteBits units.Bits
+}
+
+// TotalBits returns read plus write traffic.
+func (s ViewfinderStageTraffic) TotalBits() units.Bits { return s.ReadBits + s.WriteBits }
+
+// ViewfinderLoad is the execution-memory load of previewing.
+type ViewfinderLoad struct {
+	Format video.FrameFormat
+	Params ViewfinderParams
+	Stages [numVfStages]ViewfinderStageTraffic
+}
+
+// NewViewfinder computes the viewfinder memory load when the sensor streams
+// preview frames at the given format (no stabilization border: nothing is
+// cropped, so the sensor delivers the display-bound frame directly).
+func NewViewfinder(f video.FrameFormat, p ViewfinderParams) (ViewfinderLoad, error) {
+	if err := p.Validate(); err != nil {
+		return ViewfinderLoad{}, err
+	}
+	if f.Pixels() <= 0 || f.FPS <= 0 {
+		return ViewfinderLoad{}, fmt.Errorf("usecase: invalid frame format %+v", f)
+	}
+	n := float64(f.Pixels())
+	fps := float64(f.FPS)
+	bayer := float64(video.BayerRGB.BitsPerPel)
+	yuv422 := float64(video.YUV422.BitsPerPel)
+	dispBits := float64(p.Display.FrameBits())
+
+	l := ViewfinderLoad{Format: f, Params: p}
+	set := func(id ViewfinderStageID, read, write float64) {
+		l.Stages[id] = ViewfinderStageTraffic{Stage: id, ReadBits: units.Bits(read), WriteBits: units.Bits(write)}
+	}
+	set(VfCameraIF, 0, bayer*n)
+	set(VfPreprocess, bayer*n, bayer*n)
+	set(VfBayerToYUV, bayer*n, yuv422*n)
+	set(VfScaleToDisplay, yuv422*n, float64(p.Display.Pixels())*yuv422)
+	set(VfDisplayCtrl, dispBits*float64(p.Display.RefreshHz)/fps, 0)
+	return l, nil
+}
+
+// FrameBits returns the total per-frame traffic.
+func (l ViewfinderLoad) FrameBits() units.Bits {
+	var sum units.Bits
+	for _, s := range l.Stages {
+		sum += s.TotalBits()
+	}
+	return sum
+}
+
+// BitsPerSecond returns the sustained load.
+func (l ViewfinderLoad) BitsPerSecond() units.Bits {
+	return l.FrameBits() * units.Bits(l.Format.FPS)
+}
+
+// Bandwidth returns the sustained load as a byte bandwidth.
+func (l ViewfinderLoad) Bandwidth() units.Bandwidth {
+	return units.BandwidthOf(l.BitsPerSecond(), units.Second)
+}

@@ -1,0 +1,84 @@
+package usecase
+
+import (
+	"testing"
+
+	"repro/internal/video"
+)
+
+func TestViewfinderBetweenPlaybackAndRecording(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	vf, err := NewViewfinder(prof.Format, DefaultViewfinderParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := New(prof, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := NewPlayback(prof, DefaultPlaybackParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The viewfinder is far lighter than recording (no encoder, no
+	// border, no storage) but — perhaps surprisingly — heavier than
+	// playback: four full passes over 16 bpp raw sensor frames outweigh
+	// decode's 12 bpp reference traffic.
+	if vf.FrameBits() >= rec.FrameBits()/3 {
+		t.Errorf("viewfinder (%v) should be well below recording (%v)",
+			vf.FrameBits(), rec.FrameBits())
+	}
+	if vf.FrameBits() <= pb.FrameBits() {
+		t.Errorf("viewfinder (%v) expected above playback (%v): raw sensor passes dominate",
+			vf.FrameBits(), pb.FrameBits())
+	}
+	// ~0.4 GB/s at 720p30: camera 16bpp x ~4 passes + display.
+	if got := vf.Bandwidth().GBps(); got < 0.2 || got > 0.8 {
+		t.Errorf("viewfinder bandwidth = %.2f GB/s, want ~0.4", got)
+	}
+}
+
+func TestViewfinderStageStructure(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	vf, err := NewViewfinder(prof.Format, DefaultViewfinderParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := vf.Stages[VfCameraIF]; s.ReadBits != 0 || s.WriteBits == 0 {
+		t.Errorf("camera = %+v, want write-only", s)
+	}
+	if s := vf.Stages[VfDisplayCtrl]; s.WriteBits != 0 || s.ReadBits == 0 {
+		t.Errorf("display = %+v, want read-only", s)
+	}
+	var sum int64
+	for _, s := range vf.Stages {
+		sum += int64(s.TotalBits())
+	}
+	if sum != int64(vf.FrameBits()) {
+		t.Error("stage totals inconsistent")
+	}
+	if vf.BitsPerSecond() != vf.FrameBits()*30 {
+		t.Error("per-second total inconsistent")
+	}
+}
+
+func TestViewfinderValidate(t *testing.T) {
+	prof, _ := video.ProfileFor("720p30")
+	p := DefaultViewfinderParams()
+	p.Display = video.Display{}
+	if _, err := NewViewfinder(prof.Format, p); err == nil {
+		t.Error("expected display error")
+	}
+	if _, err := NewViewfinder(video.FrameFormat{}, DefaultViewfinderParams()); err == nil {
+		t.Error("expected format error")
+	}
+}
+
+func TestViewfinderStageIDString(t *testing.T) {
+	if VfBayerToYUV.String() != "Bayer to YUV" {
+		t.Errorf("String() = %q", VfBayerToYUV.String())
+	}
+	if got := ViewfinderStageID(99).String(); got != "ViewfinderStageID(99)" {
+		t.Errorf("String() = %q", got)
+	}
+}

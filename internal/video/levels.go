@@ -1,0 +1,48 @@
+package video
+
+import "fmt"
+
+// AllLevels lists every H.264/AVC level of ITU-T Rec. H.264 Table A-1
+// (Baseline/Main/Extended bitrates), in ascending order. The paper
+// evaluates only the HD-compatible subset; the full table lets workloads
+// target any format and lets LevelFor pick the minimum conforming level.
+var AllLevels = []Level{
+	{Number: "1", MaxBitrate: 64_000, MaxDpbMbs: 396, MaxMbsPerSecond: 1485, MaxFrameSizeMbs: 99},
+	{Number: "1b", MaxBitrate: 128_000, MaxDpbMbs: 396, MaxMbsPerSecond: 1485, MaxFrameSizeMbs: 99},
+	{Number: "1.1", MaxBitrate: 192_000, MaxDpbMbs: 900, MaxMbsPerSecond: 3000, MaxFrameSizeMbs: 396},
+	{Number: "1.2", MaxBitrate: 384_000, MaxDpbMbs: 2376, MaxMbsPerSecond: 6000, MaxFrameSizeMbs: 396},
+	{Number: "1.3", MaxBitrate: 768_000, MaxDpbMbs: 2376, MaxMbsPerSecond: 11880, MaxFrameSizeMbs: 396},
+	{Number: "2", MaxBitrate: 2_000_000, MaxDpbMbs: 2376, MaxMbsPerSecond: 11880, MaxFrameSizeMbs: 396},
+	{Number: "2.1", MaxBitrate: 4_000_000, MaxDpbMbs: 4752, MaxMbsPerSecond: 19800, MaxFrameSizeMbs: 792},
+	{Number: "2.2", MaxBitrate: 4_000_000, MaxDpbMbs: 8100, MaxMbsPerSecond: 20250, MaxFrameSizeMbs: 1620},
+	{Number: "3", MaxBitrate: 10_000_000, MaxDpbMbs: 8100, MaxMbsPerSecond: 40500, MaxFrameSizeMbs: 1620},
+	Level31,
+	Level32,
+	Level40,
+	{Number: "4.1", MaxBitrate: 50_000_000, MaxDpbMbs: 32768, MaxMbsPerSecond: 245760, MaxFrameSizeMbs: 8192},
+	Level42,
+	{Number: "5", MaxBitrate: 135_000_000, MaxDpbMbs: 110400, MaxMbsPerSecond: 589824, MaxFrameSizeMbs: 22080},
+	{Number: "5.1", MaxBitrate: 240_000_000, MaxDpbMbs: 184320, MaxMbsPerSecond: 983040, MaxFrameSizeMbs: 36864},
+	Level52,
+}
+
+// LevelByNumber returns the level with the given identifier, e.g. "4.1".
+func LevelByNumber(number string) (Level, error) {
+	for _, l := range AllLevels {
+		if l.Number == number {
+			return l, nil
+		}
+	}
+	return Level{}, fmt.Errorf("video: unknown H.264 level %q", number)
+}
+
+// LevelFor returns the lowest level whose frame-size and macroblock-rate
+// limits admit the format — the level a conforming encoder would signal.
+func LevelFor(f FrameFormat) (Level, error) {
+	for _, l := range AllLevels {
+		if l.Supports(f) {
+			return l, nil
+		}
+	}
+	return Level{}, fmt.Errorf("video: no H.264 level supports %v", f)
+}

@@ -1,0 +1,91 @@
+package video
+
+import "testing"
+
+func TestAllLevelsOrderedAndConsistent(t *testing.T) {
+	if len(AllLevels) != 17 {
+		t.Fatalf("levels = %d, want the 17 of Table A-1 up to 5.2", len(AllLevels))
+	}
+	for i := 1; i < len(AllLevels); i++ {
+		prev, cur := AllLevels[i-1], AllLevels[i]
+		// Capabilities are non-decreasing up the table.
+		if cur.MaxBitrate < prev.MaxBitrate {
+			t.Errorf("level %s bitrate below level %s", cur.Number, prev.Number)
+		}
+		if cur.MaxMbsPerSecond < prev.MaxMbsPerSecond {
+			t.Errorf("level %s MB rate below level %s", cur.Number, prev.Number)
+		}
+		if cur.MaxFrameSizeMbs < prev.MaxFrameSizeMbs {
+			t.Errorf("level %s frame size below level %s", cur.Number, prev.Number)
+		}
+	}
+	// The DPB bound always admits at least one maximum-size frame.
+	for _, l := range AllLevels {
+		if l.MaxDpbMbs < l.MaxFrameSizeMbs {
+			t.Errorf("level %s DPB (%d) below one frame (%d)", l.Number, l.MaxDpbMbs, l.MaxFrameSizeMbs)
+		}
+	}
+}
+
+func TestLevelByNumber(t *testing.T) {
+	l, err := LevelByNumber("4.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.MaxBitrate != 50_000_000 {
+		t.Errorf("level 4.1 bitrate = %v", l.MaxBitrate)
+	}
+	if _, err := LevelByNumber("9.9"); err == nil {
+		t.Error("expected error for unknown level")
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	tests := []struct {
+		f    FrameFormat
+		want string
+	}{
+		// QCIF at 15 fps is the level-1 poster child.
+		{FrameFormat{Width: 176, Height: 144, FPS: 15}, "1"},
+		// VGA at 30 fps needs level 3.
+		{FrameFormat{Width: 640, Height: 480, FPS: 30}, "3"},
+		{Format720p30, "3.1"},
+		{Format720p60, "3.2"},
+		{Format1080p30, "4"},
+		{Format1080p60, "4.2"},
+		{Format2160p30, "5.1"}, // 5.1 already admits 2160p30
+		{Format2160p60, "5.2"},
+	}
+	for _, tt := range tests {
+		l, err := LevelFor(tt.f)
+		if err != nil {
+			t.Errorf("LevelFor(%v): %v", tt.f, err)
+			continue
+		}
+		if l.Number != tt.want {
+			t.Errorf("LevelFor(%v) = %s, want %s", tt.f, l.Number, tt.want)
+		}
+	}
+	// 8K is beyond the table.
+	if _, err := LevelFor(FrameFormat{Width: 7680, Height: 4320, FPS: 60}); err == nil {
+		t.Error("expected error for 8K60")
+	}
+}
+
+// The paper pairs 2160p30 with level 5.2 although 5.1 would conform; the
+// evaluated profile must still be self-consistent.
+func TestEvaluatedProfilesConform(t *testing.T) {
+	for _, p := range EvaluatedProfiles {
+		min, err := LevelFor(p.Format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Level.Supports(p.Format) {
+			t.Errorf("profile %v/%s does not conform", p.Format, p.Level.Number)
+		}
+		// The paper's level is at or above the minimum conforming one.
+		if p.Level.MaxMbsPerSecond < min.MaxMbsPerSecond {
+			t.Errorf("profile %v pairs with %s below minimum %s", p.Format, p.Level.Number, min.Number)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package video defines the video-domain constants of the reproduced paper:
+// frame formats, pixel encodings, the display used by the recording device,
+// and the H.264/AVC levels whose memory load the paper evaluates.
+//
+// The paper evaluates the five HD-compatible H.264/AVC levels 3.1, 3.2, 4,
+// 4.2 and 5.2 (Table I). Level limits come from ITU-T Rec. H.264 Table A-1;
+// the maximum number of reference frames at a given resolution is derived
+// from MaxDpbMbs exactly as the standard prescribes.
+package video
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// PixelFormat describes how many bits one pixel occupies in memory at a given
+// point of the recording pipeline.
+type PixelFormat struct {
+	Name       string
+	BitsPerPel int
+}
+
+// Pixel formats used by the recording pipeline (paper Fig. 1).
+var (
+	// BayerRGB is the raw sensor format; the paper stores it in 16 bits/pel.
+	BayerRGB = PixelFormat{Name: "Bayer RGB", BitsPerPel: 16}
+	// YUV422 is the intermediate image-processing format, 16 bits/pel.
+	YUV422 = PixelFormat{Name: "YUV422", BitsPerPel: 16}
+	// YUV420 is the encoder-side format (reference and reconstructed
+	// frames), 12 bits/pel.
+	YUV420 = PixelFormat{Name: "YUV420", BitsPerPel: 12}
+	// RGB888 is the display format, 24 bits/pel.
+	RGB888 = PixelFormat{Name: "RGB888", BitsPerPel: 24}
+)
+
+// FrameFormat is a frame resolution with a frame rate.
+type FrameFormat struct {
+	Name   string
+	Width  int // pixels
+	Height int // pixels
+	FPS    int // frames per second
+}
+
+// Pixels returns the number of pixels in one frame.
+func (f FrameFormat) Pixels() int64 { return int64(f.Width) * int64(f.Height) }
+
+// FrameBits returns the size of one frame stored in pf.
+func (f FrameFormat) FrameBits(pf PixelFormat) units.Bits {
+	return units.Bits(f.Pixels() * int64(pf.BitsPerPel))
+}
+
+// FramePeriod returns the real-time budget of a single frame.
+func (f FrameFormat) FramePeriod() units.Duration {
+	if f.FPS <= 0 {
+		return 0
+	}
+	return units.DurationFromSeconds(1.0 / float64(f.FPS))
+}
+
+// String implements fmt.Stringer, e.g. "1920x1088@30".
+func (f FrameFormat) String() string {
+	return fmt.Sprintf("%dx%d@%d", f.Width, f.Height, f.FPS)
+}
+
+// MacroblockCols returns the frame width in 16-pixel macroblocks, rounded up.
+func (f FrameFormat) MacroblockCols() int { return (f.Width + 15) / 16 }
+
+// MacroblockRows returns the frame height in 16-pixel macroblocks, rounded up.
+func (f FrameFormat) MacroblockRows() int { return (f.Height + 15) / 16 }
+
+// Macroblocks returns the number of 16x16 macroblocks in one frame.
+func (f FrameFormat) Macroblocks() int { return f.MacroblockCols() * f.MacroblockRows() }
+
+// Frame formats evaluated in the paper. 1080-line content uses a height of
+// 1088 (a whole number of macroblocks), as the paper's Table I does.
+var (
+	Format720p30  = FrameFormat{Name: "720p30", Width: 1280, Height: 720, FPS: 30}
+	Format720p60  = FrameFormat{Name: "720p60", Width: 1280, Height: 720, FPS: 60}
+	Format1080p30 = FrameFormat{Name: "1080p30", Width: 1920, Height: 1088, FPS: 30}
+	Format1080p60 = FrameFormat{Name: "1080p60", Width: 1920, Height: 1088, FPS: 60}
+	Format2160p30 = FrameFormat{Name: "2160p30", Width: 3840, Height: 2160, FPS: 30}
+	// Format2160p60 is evaluated in Fig. 4 as the "doubtful" point beyond
+	// every simulated memory configuration.
+	Format2160p60 = FrameFormat{Name: "2160p60", Width: 3840, Height: 2160, FPS: 60}
+)
+
+// Display is the device display assumed by the use case: WVGA at 60 Hz
+// presented in RGB888.
+type Display struct {
+	Width       int
+	Height      int
+	RefreshHz   int
+	PixelFormat PixelFormat
+}
+
+// WVGA is the display of the paper's recording device.
+var WVGA = Display{Width: 800, Height: 480, RefreshHz: 60, PixelFormat: RGB888}
+
+// Pixels returns the number of display pixels.
+func (d Display) Pixels() int64 { return int64(d.Width) * int64(d.Height) }
+
+// FrameBits returns the size of one display frame.
+func (d Display) FrameBits() units.Bits {
+	return units.Bits(d.Pixels() * int64(d.PixelFormat.BitsPerPel))
+}
+
+// RefreshBitsPerSecond returns the display controller's constant read traffic.
+func (d Display) RefreshBitsPerSecond() units.Bits {
+	return units.Bits(int64(d.RefreshHz)) * d.FrameBits()
+}
+
+// Level describes one H.264/AVC level (ITU-T Rec. H.264 Table A-1).
+type Level struct {
+	// Number is the level identifier, e.g. "4.2".
+	Number string
+	// MaxBitrate is the maximum video bitstream rate for Baseline, Main
+	// and Extended profiles in bits per second.
+	MaxBitrate units.Bits
+	// MaxDpbMbs bounds the decoded-picture-buffer size in macroblocks.
+	MaxDpbMbs int
+	// MaxMbsPerSecond bounds the macroblock processing rate.
+	MaxMbsPerSecond int
+	// MaxFrameSizeMbs bounds the frame size in macroblocks.
+	MaxFrameSizeMbs int
+}
+
+// HD-compatible H.264/AVC levels evaluated in the paper's Table I.
+var (
+	Level31 = Level{Number: "3.1", MaxBitrate: 14 * units.Mbit, MaxDpbMbs: 18000, MaxMbsPerSecond: 108000, MaxFrameSizeMbs: 3600}
+	Level32 = Level{Number: "3.2", MaxBitrate: 20 * units.Mbit, MaxDpbMbs: 20480, MaxMbsPerSecond: 216000, MaxFrameSizeMbs: 5120}
+	Level40 = Level{Number: "4", MaxBitrate: 20 * units.Mbit, MaxDpbMbs: 32768, MaxMbsPerSecond: 245760, MaxFrameSizeMbs: 8192}
+	Level42 = Level{Number: "4.2", MaxBitrate: 50 * units.Mbit, MaxDpbMbs: 34816, MaxMbsPerSecond: 522240, MaxFrameSizeMbs: 8704}
+	Level52 = Level{Number: "5.2", MaxBitrate: 240 * units.Mbit, MaxDpbMbs: 184320, MaxMbsPerSecond: 2073600, MaxFrameSizeMbs: 36864}
+)
+
+// MaxDpbFrames returns the maximum number of decoded pictures the level's DPB
+// can hold at the given frame size, capped at 16 per the standard.
+func (l Level) MaxDpbFrames(f FrameFormat) int {
+	mbs := f.Macroblocks()
+	if mbs <= 0 {
+		return 0
+	}
+	n := l.MaxDpbMbs / mbs
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// Supports reports whether the level's frame-size and macroblock-rate limits
+// admit the format.
+func (l Level) Supports(f FrameFormat) bool {
+	mbs := f.Macroblocks()
+	return mbs <= l.MaxFrameSizeMbs && mbs*f.FPS <= l.MaxMbsPerSecond
+}
+
+// Profile ties a frame format to the H.264/AVC level the paper pairs it with.
+type Profile struct {
+	Level  Level
+	Format FrameFormat
+}
+
+// EvaluatedProfiles lists the (level, format) pairs of the paper's Table I in
+// table order, followed by the 2160p60 point of Fig. 4.
+var EvaluatedProfiles = []Profile{
+	{Level31, Format720p30},
+	{Level32, Format720p60},
+	{Level40, Format1080p30},
+	{Level42, Format1080p60},
+	{Level52, Format2160p30},
+}
+
+// ProfileFor returns the evaluated profile for a format name, e.g. "1080p30".
+// The extra Fig. 4 point 2160p60 maps to level 5.2 (whose 60 fps variant the
+// standard does not admit — the paper evaluates it anyway as the breaking
+// point).
+func ProfileFor(name string) (Profile, error) {
+	for _, p := range EvaluatedProfiles {
+		if p.Format.Name == name {
+			return p, nil
+		}
+	}
+	if name == Format2160p60.Name {
+		return Profile{Level52, Format2160p60}, nil
+	}
+	return Profile{}, fmt.Errorf("video: unknown profile %q", name)
+}

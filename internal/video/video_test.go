@@ -1,0 +1,174 @@
+package video
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestFrameFormatPixels(t *testing.T) {
+	tests := []struct {
+		f    FrameFormat
+		want int64
+	}{
+		{Format720p30, 921600},
+		{Format1080p30, 2088960}, // 1920 x 1088, per the paper
+		{Format2160p30, 8294400},
+	}
+	for _, tt := range tests {
+		if got := tt.f.Pixels(); got != tt.want {
+			t.Errorf("%v Pixels() = %d, want %d", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestFrameBits(t *testing.T) {
+	// A 720p YUV422 frame is 921600 * 16 bits.
+	if got := Format720p30.FrameBits(YUV422); got != units.Bits(14745600) {
+		t.Errorf("FrameBits = %d, want 14745600", got)
+	}
+	// YUV420 uses 12 bits/pel.
+	if got := Format720p30.FrameBits(YUV420); got != units.Bits(11059200) {
+		t.Errorf("FrameBits(YUV420) = %d, want 11059200", got)
+	}
+}
+
+func TestFramePeriod(t *testing.T) {
+	if got := Format1080p30.FramePeriod().Milliseconds(); got < 33.3 || got > 33.4 {
+		t.Errorf("30fps frame period = %v ms, want ~33.33", got)
+	}
+	if got := Format720p60.FramePeriod().Milliseconds(); got < 16.6 || got > 16.7 {
+		t.Errorf("60fps frame period = %v ms, want ~16.67", got)
+	}
+	bad := FrameFormat{Width: 1, Height: 1, FPS: 0}
+	if got := bad.FramePeriod(); got != 0 {
+		t.Errorf("zero-fps frame period = %v, want 0", got)
+	}
+}
+
+func TestMacroblocks(t *testing.T) {
+	tests := []struct {
+		f    FrameFormat
+		want int
+	}{
+		{Format720p30, 3600},   // 80 x 45
+		{Format1080p30, 8160},  // 120 x 68
+		{Format2160p30, 32400}, // 240 x 135
+	}
+	for _, tt := range tests {
+		if got := tt.f.Macroblocks(); got != tt.want {
+			t.Errorf("%v Macroblocks() = %d, want %d", tt.f, got, tt.want)
+		}
+	}
+	// Non multiple-of-16 dimensions round up.
+	odd := FrameFormat{Width: 17, Height: 17}
+	if got := odd.Macroblocks(); got != 4 {
+		t.Errorf("17x17 Macroblocks() = %d, want 4", got)
+	}
+}
+
+func TestMaxDpbFrames(t *testing.T) {
+	tests := []struct {
+		l    Level
+		f    FrameFormat
+		want int
+	}{
+		{Level31, Format720p30, 5},  // 18000/3600
+		{Level32, Format720p60, 5},  // 20480/3600 = 5.68 -> 5
+		{Level40, Format1080p30, 4}, // 32768/8160 = 4.01 -> 4
+		{Level42, Format1080p60, 4}, // 34816/8160 = 4.26 -> 4
+		{Level52, Format2160p30, 5}, // 184320/32400 = 5.68 -> 5
+	}
+	for _, tt := range tests {
+		if got := tt.l.MaxDpbFrames(tt.f); got != tt.want {
+			t.Errorf("level %s @%v MaxDpbFrames = %d, want %d", tt.l.Number, tt.f, got, tt.want)
+		}
+	}
+	// Cap at 16 for tiny frames.
+	tiny := FrameFormat{Width: 16, Height: 16}
+	if got := Level52.MaxDpbFrames(tiny); got != 16 {
+		t.Errorf("tiny frame MaxDpbFrames = %d, want 16", got)
+	}
+	zero := FrameFormat{}
+	if got := Level31.MaxDpbFrames(zero); got != 0 {
+		t.Errorf("zero frame MaxDpbFrames = %d, want 0", got)
+	}
+}
+
+func TestLevelSupports(t *testing.T) {
+	// Each evaluated profile must be self-consistent with the standard.
+	for _, p := range EvaluatedProfiles {
+		if !p.Level.Supports(p.Format) {
+			t.Errorf("level %s does not support %v", p.Level.Number, p.Format)
+		}
+	}
+	// Level 3.1 cannot process 1080p30.
+	if Level31.Supports(Format1080p30) {
+		t.Error("level 3.1 should not support 1080p30")
+	}
+	// Level 5.2 itself admits 2160p60 (32400 MBs x 60 fps < 2073600); the
+	// paper's "doubtful" verdict on that format is a memory limit, not a
+	// codec limit.
+	if !Level52.Supports(Format2160p60) {
+		t.Error("level 5.2 should support 2160p60 per H.264 Table A-1")
+	}
+	// Level 4.2 cannot process 2160p at any frame rate (frame too large).
+	if Level42.Supports(Format2160p30) {
+		t.Error("level 4.2 should not support 2160p30")
+	}
+}
+
+func TestWVGADisplay(t *testing.T) {
+	if got := WVGA.Pixels(); got != 384000 {
+		t.Errorf("WVGA pixels = %d, want 384000", got)
+	}
+	if got := WVGA.FrameBits(); got != units.Bits(9216000) {
+		t.Errorf("WVGA frame = %d bits, want 9216000", got)
+	}
+	// 60 Hz RGB888 refresh is ~553 Mb/s = ~69 MB/s, constant.
+	if got := WVGA.RefreshBitsPerSecond().Megabits(); got != 552.96 {
+		t.Errorf("WVGA refresh = %v Mb/s, want 552.96", got)
+	}
+}
+
+func TestProfileFor(t *testing.T) {
+	p, err := ProfileFor("1080p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Level.Number != "4" {
+		t.Errorf("1080p30 pairs with level %s, want 4", p.Level.Number)
+	}
+	p, err = ProfileFor("2160p60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Level.Number != "5.2" {
+		t.Errorf("2160p60 pairs with level %s, want 5.2", p.Level.Number)
+	}
+	if _, err := ProfileFor("480i"); err == nil {
+		t.Error("expected error for unknown profile")
+	}
+}
+
+func TestFrameFormatString(t *testing.T) {
+	if got := Format1080p60.String(); got != "1920x1088@60" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestEvaluatedProfileBitrates(t *testing.T) {
+	// Max bitrates per H.264 Table A-1 (Baseline/Main/Extended).
+	want := map[string]units.Bits{
+		"3.1": 14 * units.Mbit,
+		"3.2": 20 * units.Mbit,
+		"4":   20 * units.Mbit,
+		"4.2": 50 * units.Mbit,
+		"5.2": 240 * units.Mbit,
+	}
+	for _, p := range EvaluatedProfiles {
+		if p.Level.MaxBitrate != want[p.Level.Number] {
+			t.Errorf("level %s bitrate = %v, want %v", p.Level.Number, p.Level.MaxBitrate, want[p.Level.Number])
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package xdr models the paper's comparison baseline: the Cell Broadband
+// Engine's dual-channel XDR DRAM memory interface, which at a 1.6 GHz clock
+// delivers 25.6 GB/s and typically dissipates 5 W (paper reference [18]).
+//
+// The paper uses only these published headline numbers, so the model is an
+// analytic one: peak bandwidth, a fixed typical power, and a simple
+// utilization-scaled access-time estimate for running the same recording
+// loads. Its purpose is the paper's final comparison: the proposed
+// eight-channel mobile memory matches XDR's bandwidth at 4-25 % of its
+// power.
+package xdr
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Interface describes an XDR memory interface.
+type Interface struct {
+	// Name labels the baseline in reports.
+	Name string
+	// Channels is the number of XDR channels (Cell BE: 2).
+	Channels int
+	// ClockFreq is the XDR clock (Cell BE: 1.6 GHz, octal data rate).
+	ClockFreq units.Frequency
+	// BytesPerClock is the data moved per channel per clock cycle.
+	BytesPerClock float64
+	// TypicalPower is the published typical interface power.
+	TypicalPower units.Power
+	// Efficiency is the sustainable fraction of peak bandwidth for the
+	// streaming recording load.
+	Efficiency float64
+}
+
+// CellBE returns the Cell Broadband Engine XDR interface of the paper's
+// comparison: dual channel, 1.6 GHz, 25.6 GB/s, 5 W typical.
+func CellBE() Interface {
+	return Interface{
+		Name:          "Cell BE XDR",
+		Channels:      2,
+		ClockFreq:     1600 * units.MHz,
+		BytesPerClock: 8, // 3.2 Gb/s/lane x 32 lanes per channel / 1.6 GHz
+		TypicalPower:  5 * units.Watt,
+		Efficiency:    0.74,
+	}
+}
+
+// Validate rejects non-physical interfaces.
+func (x Interface) Validate() error {
+	if x.Channels <= 0 || x.ClockFreq <= 0 || x.BytesPerClock <= 0 {
+		return fmt.Errorf("xdr: non-physical interface %+v", x)
+	}
+	if x.TypicalPower <= 0 {
+		return fmt.Errorf("xdr: non-positive power %v", x.TypicalPower)
+	}
+	if x.Efficiency <= 0 || x.Efficiency > 1 {
+		return fmt.Errorf("xdr: efficiency %v outside (0,1]", x.Efficiency)
+	}
+	return nil
+}
+
+// PeakBandwidth returns the aggregate theoretical bandwidth.
+func (x Interface) PeakBandwidth() units.Bandwidth {
+	return units.Bandwidth(float64(x.Channels) * x.BytesPerClock * float64(x.ClockFreq))
+}
+
+// AccessTime estimates the time to move bytes at sustained efficiency.
+func (x Interface) AccessTime(bytes int64) units.Duration {
+	bw := float64(x.PeakBandwidth()) * x.Efficiency
+	if bw <= 0 {
+		return 0
+	}
+	return units.DurationFromSeconds(float64(bytes) / bw)
+}
+
+// Power returns the baseline's power for any load: the paper compares
+// against the published typical figure, which does not scale down with the
+// far lighter recording loads — exactly the point of the comparison.
+func (x Interface) Power() units.Power { return x.TypicalPower }
+
+// PowerRatio returns p as a fraction of the XDR typical power — the paper's
+// "4 % to 25 % of the XDR value".
+func (x Interface) PowerRatio(p units.Power) float64 {
+	if x.TypicalPower <= 0 {
+		return 0
+	}
+	return float64(p) / float64(x.TypicalPower)
+}

@@ -1,0 +1,71 @@
+package xdr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestCellBEPeakBandwidth(t *testing.T) {
+	// The paper: "The XDR memory interface operating with 1.6 GHz clock
+	// frequency acquires 25.6 GB/s bandwidth".
+	x := CellBE()
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.PeakBandwidth().GBps(); math.Abs(got-25.6) > 1e-9 {
+		t.Errorf("peak = %v GB/s, want 25.6", got)
+	}
+	if got := x.Power(); got != 5*units.Watt {
+		t.Errorf("power = %v, want 5 W", got)
+	}
+}
+
+func TestPowerRatio(t *testing.T) {
+	x := CellBE()
+	// 205 mW (720p30 on 8 mobile channels) is ~4 % of XDR.
+	if got := x.PowerRatio(205 * units.Milliwatt); math.Abs(got-0.041) > 0.001 {
+		t.Errorf("ratio = %v, want ~0.041", got)
+	}
+	// 1280 mW (2160p30) is ~25 %.
+	if got := x.PowerRatio(1280 * units.Milliwatt); math.Abs(got-0.256) > 0.001 {
+		t.Errorf("ratio = %v, want ~0.256", got)
+	}
+	var zero Interface
+	if zero.PowerRatio(units.Watt) != 0 {
+		t.Error("zero interface should report 0 ratio")
+	}
+}
+
+func TestAccessTime(t *testing.T) {
+	x := CellBE()
+	// Moving 63 MB (a 720p30 frame) at 74 % of 25.6 GB/s takes ~3.3 ms.
+	got := x.AccessTime(63_000_000).Milliseconds()
+	want := 63e6 / (25.6e9 * 0.74) * 1e3
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("access time = %v ms, want %.3f", got, want)
+	}
+	var zero Interface
+	if zero.AccessTime(100) != 0 {
+		t.Error("zero interface should report 0 access time")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Interface){
+		func(x *Interface) { x.Channels = 0 },
+		func(x *Interface) { x.ClockFreq = 0 },
+		func(x *Interface) { x.BytesPerClock = 0 },
+		func(x *Interface) { x.TypicalPower = 0 },
+		func(x *Interface) { x.Efficiency = 0 },
+		func(x *Interface) { x.Efficiency = 1.2 },
+	}
+	for i, mutate := range bad {
+		x := CellBE()
+		mutate(&x)
+		if err := x.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
