@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/memsys"
+	"repro/internal/probe"
 	"repro/internal/units"
 	"repro/internal/usecase"
 )
@@ -217,6 +218,55 @@ func BenchmarkRawChannel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// probeBenchRun drives one saturated 4 MiB stream through a 4-channel
+// system with the given per-channel sink factory and returns bursts/sec
+// via the benchmark's byte counter.
+func probeBenchRun(b *testing.B, newProbe func(ch int) probe.Sink) {
+	b.Helper()
+	cfg := memsys.PaperConfig(4, 400*units.MHz)
+	cfg.NewProbe = newProbe
+	sys, err := memsys.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const bytes = 4 << 20
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Reset()
+		if _, err := sys.Run(memsys.NewSliceSource([]memsys.Request{{Addr: 0, Bytes: bytes}})); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbeDisabledOverhead measures the observability layer's cost
+// when no sink is attached — the nil-check fast path every simulation
+// pays. Compare its MB/s against BenchmarkRawChannel (identical workload,
+// probe field never set): the two must stay within the run-to-run noise
+// (the PR keeps this under 2% of the seed throughput; ci.sh prints both).
+func BenchmarkProbeDisabledOverhead(b *testing.B) {
+	probeBenchRun(b, nil)
+}
+
+// BenchmarkProbeCountingSink is the enabled floor: the cheapest real sink
+// (one array increment per event) quantifies the cost of the event stream
+// itself, as opposed to any particular collector.
+func BenchmarkProbeCountingSink(b *testing.B) {
+	counts := make([]*probe.Count, 4)
+	probeBenchRun(b, func(ch int) probe.Sink {
+		counts[ch] = &probe.Count{}
+		return counts[ch]
+	})
+	var total int64
+	for _, c := range counts {
+		if c != nil {
+			total += c.Total()
+		}
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "events/op")
 }
 
 // BenchmarkGeometrySweep runs the device-organization sensitivity sweep and

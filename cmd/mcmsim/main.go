@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/mapping"
+	"repro/internal/probe"
 	"repro/internal/units"
 )
 
@@ -35,6 +37,10 @@ func main() {
 		queue    = flag.Int("queue", 0, "FR-FCFS reorder window depth (0 = in-order baseline)")
 		refPost  = flag.Int("refresh-postpone", 0, "max postponed refreshes (0 = immediate)")
 		preIdle  = flag.Bool("precharge-idle", false, "precharge all banks before power-down")
+
+		probeWindow = flag.Int64("probe-window", 100000, "time-series epoch length in DRAM cycles (for -metrics-out)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the run to this file")
+		metricsOut  = flag.String("metrics-out", "", "write windowed time-series metrics to this file (.json = JSON, else CSV)")
 	)
 	flag.Parse()
 
@@ -68,9 +74,41 @@ func main() {
 	mc.RefreshPostpone = *refPost
 	mc.PrechargeOnIdle = *preIdle
 
+	obs, err := probe.NewObserver(*channels, *probeWindow, *traceOut, *metricsOut)
+	if err != nil {
+		fatal(err)
+	}
+	if obs.Enabled() {
+		mc.NewProbe = obs.Channel
+	}
+
+	start := time.Now()
 	res, err := core.Simulate(w, mc)
 	if err != nil {
 		fatal(err)
+	}
+	wall := time.Since(start)
+
+	if obs.Enabled() {
+		man := probe.NewManifest("mcmsim")
+		man.Channels = res.Channels
+		man.FreqMHz = float64(res.Freq) / float64(units.MHz)
+		man.SampleFraction = *fraction
+		man.Config = map[string]any{
+			"mux": mc.Mux.String(), "page_policy": mc.Policy.String(),
+			"powerdown": !mc.DisablePowerDown, "write_buffer": mc.WriteBufferDepth,
+			"queue_depth": mc.QueueDepth, "refresh_postpone": mc.RefreshPostpone,
+			"precharge_on_idle": mc.PrechargeOnIdle, "probe_window": *probeWindow,
+		}
+		man.Workload = map[string]any{
+			"format": res.Format.Name, "level": res.Level.Number,
+			"frame_bytes": res.FrameBytes,
+		}
+		man.Finish(res.SimulatedCycles, wall)
+		if err := obs.WriteOutputs(&man); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability: wrote %v\n", man.Outputs)
 	}
 
 	fmt.Printf("workload:   %s (H.264 level %s), %d B/frame (%.2f GB/s required)\n",

@@ -17,9 +17,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/probe"
 	"repro/internal/report"
+	"repro/internal/units"
 	"repro/internal/usecase"
 )
 
@@ -29,6 +32,10 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		fraction = flag.Float64("fraction", 0.2, "fraction of each frame to simulate (results extrapolate linearly)")
 		dir      = flag.String("dir", "", "also write each artifact to <dir>/<name>.txt (or .csv)")
+
+		probeWindow = flag.Int64("probe-window", 100000, "time-series epoch length in DRAM cycles (for -metrics-out)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of an instrumented flagship run (1080p30, 4 ch @ 400 MHz)")
+		metricsOut  = flag.String("metrics-out", "", "write the instrumented run's windowed time-series metrics (.json = JSON, else CSV)")
 	)
 	flag.Parse()
 	opt := core.RunOptions{SampleFraction: *fraction}
@@ -76,6 +83,55 @@ func main() {
 	if !ran {
 		fatal(fmt.Errorf("unknown artifact %q", *only))
 	}
+	if *traceOut != "" || *metricsOut != "" {
+		outputs, err := writeObservability(*fraction, *probeWindow, *traceOut, *metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability: wrote %v\n", outputs)
+	}
+}
+
+// writeObservability runs the paper's flagship configuration (1080p30 on
+// 4 channels at 400 MHz — the abstract's headline data point) with event
+// probes attached and writes the requested trace/metrics files plus the
+// run manifest. Returns the map of written artifacts.
+func writeObservability(fraction float64, window int64, traceOut, metricsOut string) (map[string]string, error) {
+	const (
+		obsFormat   = "1080p30"
+		obsChannels = 4
+		obsFreq     = 400 * units.MHz
+	)
+	w, err := core.WorkloadFor(obsFormat)
+	if err != nil {
+		return nil, err
+	}
+	w.SampleFraction = fraction
+	obs, err := probe.NewObserver(obsChannels, window, traceOut, metricsOut)
+	if err != nil {
+		return nil, err
+	}
+	mc := core.PaperMemory(obsChannels, obsFreq)
+	mc.NewProbe = obs.Channel
+	start := time.Now()
+	res, err := core.Simulate(w, mc)
+	if err != nil {
+		return nil, err
+	}
+	man := probe.NewManifest("paper")
+	man.Channels = res.Channels
+	man.FreqMHz = float64(res.Freq) / float64(units.MHz)
+	man.SampleFraction = fraction
+	man.Config = map[string]any{"probe_window": window, "flagship": true}
+	man.Workload = map[string]any{
+		"format": res.Format.Name, "level": res.Level.Number,
+		"frame_bytes": res.FrameBytes,
+	}
+	man.Finish(res.SimulatedCycles, time.Since(start))
+	if err := obs.WriteOutputs(&man); err != nil {
+		return nil, err
+	}
+	return man.Outputs, nil
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -144,6 +145,94 @@ func TestCSVRendering(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "channels,clock") {
 		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+// chromeGolden is the minimal shape every Chrome trace-event document
+// must satisfy: a traceEvents array whose records carry ph/ts/pid/tid.
+type chromeGolden struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Ts   *int64 `json:"ts"`
+		Pid  *int   `json:"pid"`
+		Tid  *int   `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func TestObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "flagship.trace.json")
+	metricsOut := filepath.Join(dir, "flagship.metrics.csv")
+	outputs, err := writeObservability(0.002, 50_000, traceOut, metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"trace", "metrics", "manifest"} {
+		if outputs[name] == "" {
+			t.Errorf("outputs missing %q: %v", name, outputs)
+		}
+	}
+
+	// Golden check: the trace validates against the Chrome trace-event
+	// format — a traceEvents array of records with ph/ts/pid/tid.
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeGolden
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no traceEvents")
+	}
+	phases := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("traceEvents[%d] missing required fields: %+v", i, ev)
+		}
+		phases[ev.Ph] = true
+	}
+	for _, ph := range []string{"M", "X", "C"} {
+		if !phases[ph] {
+			t.Errorf("trace has no %q records", ph)
+		}
+	}
+
+	// The metrics CSV and the manifest ride along.
+	csv, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "channel,epoch,start_cycle") {
+		t.Error("metrics file lacks the CSV header")
+	}
+	manRaw, err := os.ReadFile(outputs["manifest"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Tool      string  `json:"tool"`
+		Channels  int     `json:"channels"`
+		SimCycles int64   `json:"sim_cycles"`
+		FreqMHz   float64 `json:"freq_mhz"`
+	}
+	if err := json.Unmarshal(manRaw, &man); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if man.Tool != "paper" || man.Channels != 4 || man.FreqMHz != 400 || man.SimCycles <= 0 {
+		t.Errorf("manifest contents wrong: %+v", man)
+	}
+}
+
+func TestObservabilityDisabled(t *testing.T) {
+	outputs, err := writeObservability(0.002, 50_000, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 0 {
+		t.Errorf("disabled observability produced outputs: %v", outputs)
 	}
 }
 

@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/dram"
 	"repro/internal/load"
 	"repro/internal/memsys"
+	"repro/internal/probe"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/usecase"
@@ -34,6 +36,10 @@ func main() {
 		channels = flag.Int("channels", 2, "channel count")
 		freqMHz  = flag.Float64("freq", 400, "clock in MHz")
 		fraction = flag.Float64("fraction", 0.001, "frame fraction for -dump")
+
+		probeWindow = flag.Int64("probe-window", 100000, "time-series epoch length in DRAM cycles (for -metrics-out)")
+		traceOut    = flag.String("trace-out", "", "with -run: write a Chrome/Perfetto trace-event JSON of the replay")
+		metricsOut  = flag.String("metrics-out", "", "with -run: write windowed time-series metrics (.json = JSON, else CSV)")
 	)
 	flag.Parse()
 
@@ -47,7 +53,7 @@ func main() {
 			fatal(err)
 		}
 	case *run != "":
-		if err := replay(*run, *channels, *freqMHz); err != nil {
+		if err := replay(*run, *channels, *freqMHz, *probeWindow, *traceOut, *metricsOut); err != nil {
 			fatal(err)
 		}
 	default:
@@ -99,15 +105,24 @@ func summarize(path string) error {
 	return nil
 }
 
-func replay(path string, channels int, freqMHz float64) error {
+func replay(path string, channels int, freqMHz float64, probeWindow int64, traceOut, metricsOut string) error {
 	reqs, err := loadTrace(path)
 	if err != nil {
 		return err
 	}
-	sys, err := memsys.New(memsys.PaperConfig(channels, units.Frequency(freqMHz)*units.MHz))
+	obs, err := probe.NewObserver(channels, probeWindow, traceOut, metricsOut)
 	if err != nil {
 		return err
 	}
+	cfg := memsys.PaperConfig(channels, units.Frequency(freqMHz)*units.MHz)
+	if obs.Enabled() {
+		cfg.NewProbe = obs.Channel
+	}
+	sys, err := memsys.New(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
 	res, err := sys.Run(memsys.NewSliceSource(reqs))
 	if err != nil {
 		return err
@@ -118,6 +133,21 @@ func replay(path string, channels int, freqMHz float64) error {
 	fmt.Printf("bandwidth:   %.3f GB/s payload (%.1f%% bus utilization)\n",
 		res.Bandwidth().GBps(), res.BusUtilization()*100)
 	fmt.Printf("activity:    %s\n", res.Totals())
+	if obs.Enabled() {
+		man := probe.NewManifest("trace")
+		man.Channels = channels
+		man.FreqMHz = freqMHz
+		man.SampleFraction = 1
+		man.Config = map[string]any{"probe_window": probeWindow}
+		man.Workload = map[string]any{
+			"trace_file": path, "transactions": res.Transactions, "bursts": res.Bursts,
+		}
+		man.Finish(res.Cycles, time.Since(start))
+		if err := obs.WriteOutputs(&man); err != nil {
+			return err
+		}
+		fmt.Printf("observability: wrote %v\n", man.Outputs)
+	}
 	return nil
 }
 

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -27,14 +29,14 @@ func TestDumpSummaryReplayRoundTrip(t *testing.T) {
 	if err := summarize(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(path, 2, 400); err != nil {
+	if err := replay(path, 2, 400, 100000, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Error paths.
 	if err := summarize(filepath.Join(dir, "missing")); err == nil {
 		t.Error("expected error for missing file")
 	}
-	if err := replay(path, 0, 400); err == nil {
+	if err := replay(path, 0, 400, 100000, "", ""); err == nil {
 		t.Error("expected error for zero channels")
 	}
 	if err := dumpTrace("nope", 2, 0.001, false); err == nil {
@@ -64,5 +66,36 @@ func TestDumpSummaryReplayRoundTrip(t *testing.T) {
 	}
 	if len(binReqs) != len(txtReqs) {
 		t.Errorf("binary trace has %d requests, text %d", len(binReqs), len(txtReqs))
+	}
+
+	// Replay with observability outputs writes a Chrome trace, a metrics
+	// file and a manifest next to them.
+	traceOut := filepath.Join(dir, "replay.trace.json")
+	metricsOut := filepath.Join(dir, "replay.metrics.csv")
+	if err := replay(path, 2, 400, 10000, traceOut, metricsOut); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("replay trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("replay trace has no traceEvents")
+	}
+	csv, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "channel,epoch") {
+		t.Error("replay metrics file lacks the CSV header")
+	}
+	if _, err := os.Stat(metricsOut + ".manifest.json"); err != nil {
+		t.Errorf("replay manifest missing: %v", err)
 	}
 }

@@ -83,6 +83,11 @@ func (ch *Channel) BusyCycles() int64 { return ch.ctl.BusyCycles() }
 // Controller exposes the underlying controller (for configuration queries).
 func (ch *Channel) Controller() *controller.Controller { return ch.ctl }
 
+// Observed reports whether a probe sink is attached to this channel's
+// controller (see internal/probe); the event stream covers the channel's
+// full request path: enqueue, DRAM commands, power states, completion.
+func (ch *Channel) Observed() bool { return ch.ctl.HasProbe() }
+
 // Reset restores the channel to its initial state.
 func (ch *Channel) Reset() {
 	ch.ctl.Reset()

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/mapping"
+	"repro/internal/probe"
 	"repro/internal/stats"
 )
 
@@ -79,6 +80,13 @@ type Config struct {
 	// Read-after-write hazards are assumed forwarded from the buffer at
 	// no DRAM cost (data values are not modeled).
 	WriteBufferDepth int
+	// Probe, when non-nil, receives a typed event for every DRAM command,
+	// row outcome, power-state residency and request enqueue/complete the
+	// controller processes (see internal/probe). Nil — the default —
+	// keeps the hot path event-free.
+	Probe probe.Sink
+	// Channel tags emitted events with this channel index.
+	Channel int
 }
 
 // Controller is the cycle-level model of one channel: memory controller,
@@ -106,6 +114,10 @@ type Controller struct {
 	haveCmd       bool
 
 	wbuf []mapping.Location // posted writes awaiting drain
+
+	probe   probe.Sink // nil = observability disabled (the fast path)
+	chID    int32
+	evClock int64 // monotonic floor for emitted event timestamps
 
 	st  stats.Channel
 	lat stats.Histogram
@@ -145,6 +157,8 @@ func New(cfg Config) (*Controller, error) {
 		cfg:    cfg,
 		mapper: mapper,
 		banks:  make([]bankState, cfg.Speed.Geometry.Banks),
+		probe:  cfg.Probe,
+		chID:   int32(cfg.Channel),
 	}
 	c.nextRefreshAt = cfg.Speed.REFI
 	switch {
@@ -160,6 +174,36 @@ func New(cfg Config) (*Controller, error) {
 
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// HasProbe reports whether an event sink is attached. Callers emitting
+// through EmitEvent should guard with it so the disabled path stays free
+// of event construction.
+func (c *Controller) HasProbe() bool { return c.probe != nil }
+
+// EmitEvent forwards a channel-level event (enqueue/complete) into the
+// controller's probe stream. No-op without a sink.
+func (c *Controller) EmitEvent(ev probe.Event) {
+	if c.probe == nil {
+		return
+	}
+	c.emitEv(ev)
+}
+
+// emitEv tags and forwards one event, clamping At so the per-channel
+// stream stays monotonically non-decreasing (the probe contract) even for
+// events stamped with request arrival times that lag the command clock.
+func (c *Controller) emitEv(ev probe.Event) {
+	if ev.At < c.evClock {
+		ev.At = c.evClock
+	} else {
+		c.evClock = ev.At
+	}
+	if ev.End < ev.At {
+		ev.End = ev.At
+	}
+	ev.Channel = c.chID
+	c.probe.Emit(ev)
+}
 
 // cmdAt reserves the command bus at or after t and returns the issue cycle.
 func (c *Controller) cmdAt(t int64) int64 {
@@ -196,6 +240,9 @@ func (c *Controller) refresh(earliest int64) {
 	if anyOpen {
 		t := c.cmdAt(pre)
 		c.st.Precharges++
+		if c.probe != nil {
+			c.emitEv(probe.Event{Kind: probe.KindPrecharge, Bank: -1, At: t, End: t + c.cfg.Speed.RP})
+		}
 		refReady = t + c.cfg.Speed.RP
 		for i := range c.banks {
 			c.banks[i].open = false
@@ -204,6 +251,9 @@ func (c *Controller) refresh(earliest int64) {
 	ref := c.cmdAt(refReady)
 	c.st.Refreshes++
 	done := ref + c.cfg.Speed.RFC
+	if c.probe != nil {
+		c.emitEv(probe.Event{Kind: probe.KindRefresh, Bank: -1, At: ref, End: done})
+	}
 	for i := range c.banks {
 		c.banks[i].actReady = max64(c.banks[i].actReady, done)
 	}
@@ -228,6 +278,10 @@ func (c *Controller) wake(arrival int64) int64 {
 			for i := range c.banks {
 				c.banks[i].open = false // SR entry precharges all
 			}
+			if c.probe != nil {
+				c.emitEv(probe.Event{Kind: probe.KindSelfRefresh,
+					Bank: -1, At: arrival - (gap - 1), End: arrival, Aux: gap - 1})
+			}
 			earliest = arrival + c.cfg.Speed.XSR
 			c.nextRefreshAt = arrival + c.cfg.Speed.REFI
 		case gap > 1 && c.cfg.PowerDown:
@@ -236,6 +290,7 @@ func (c *Controller) wake(arrival int64) int64 {
 			// banks closed it rests in the cheaper precharge
 			// power-down state.
 			idle := gap - 1
+			spent := idleFrom + 1 // cursor for refresh/precharge event times
 			// Postponed refreshes catch up inside the gap when it
 			// is long enough; each costs tRP+tRFC of the idle time.
 			if c.refreshDebt > 0 {
@@ -244,6 +299,10 @@ func (c *Controller) wake(arrival int64) int64 {
 					c.refreshDebt--
 					c.st.Refreshes++
 					idle -= cost
+					if c.probe != nil {
+						c.emitEv(probe.Event{Kind: probe.KindRefresh, Bank: -1, At: spent, End: spent + cost})
+					}
+					spent += cost
 					for i := range c.banks {
 						c.banks[i].open = false
 					}
@@ -253,6 +312,9 @@ func (c *Controller) wake(arrival int64) int64 {
 				// Precharge-all before dropping into power-down.
 				c.st.Precharges++
 				idle -= c.cfg.Speed.RP
+				if c.probe != nil {
+					c.emitEv(probe.Event{Kind: probe.KindPrecharge, Bank: -1, At: spent, End: spent + c.cfg.Speed.RP})
+				}
 				for i := range c.banks {
 					c.banks[i].open = false
 				}
@@ -261,10 +323,18 @@ func (c *Controller) wake(arrival int64) int64 {
 				idle = 0
 			}
 			c.st.PowerDownCycles += idle
-			if c.allBanksClosed() {
+			precharged := c.allBanksClosed()
+			if precharged {
 				c.st.PrechargePDCycles += idle
 			}
 			c.st.PowerDownExits++
+			if c.probe != nil {
+				ev := probe.Event{Kind: probe.KindPowerDown, Bank: -1, At: arrival - idle, End: arrival, Aux: idle}
+				if precharged {
+					ev.Flags |= probe.FlagPrechargedPD
+				}
+				c.emitEv(ev)
+			}
 			earliest = arrival + c.cfg.Speed.XP
 		}
 	}
@@ -341,19 +411,28 @@ func (c *Controller) perform(write bool, loc mapping.Location, earliest, arrival
 
 	b := &c.banks[loc.Bank]
 	b.accesses++
+	rowHit := false
 	switch {
 	case b.open && b.row == loc.Row:
 		c.st.RowHits++
+		rowHit = true
 	case b.open:
 		c.st.RowConflicts++
 		t := c.cmdAt(max64(earliest, b.preReady))
 		c.st.Precharges++
+		if c.probe != nil {
+			c.emitEv(probe.Event{Kind: probe.KindRowConflict, Bank: int32(loc.Bank), Row: int32(loc.Row), At: t, End: t})
+			c.emitEv(probe.Event{Kind: probe.KindPrecharge, Bank: int32(loc.Bank), At: t, End: t + s.RP})
+		}
 		b.open = false
 		b.actReady = max64(b.actReady, t+s.RP)
-		c.activate(b, loc.Row, earliest)
+		c.activate(b, int32(loc.Bank), loc.Row, earliest)
 	default:
 		c.st.RowMisses++
-		c.activate(b, loc.Row, earliest)
+		act := c.activate(b, int32(loc.Bank), loc.Row, earliest)
+		if c.probe != nil {
+			c.emitEv(probe.Event{Kind: probe.KindRowMiss, Bank: int32(loc.Bank), Row: int32(loc.Row), At: act, End: act})
+		}
 	}
 
 	var dataEnd int64
@@ -373,6 +452,13 @@ func (c *Controller) perform(write bool, loc mapping.Location, earliest, arrival
 		b.preReady = max64(b.preReady, dataEnd+s.WR)
 		c.st.Writes++
 		c.st.WriteBusCycles += s.BurstCycles
+		if c.probe != nil {
+			if rowHit {
+				c.emitEv(probe.Event{Kind: probe.KindRowHit, Bank: int32(loc.Bank), Row: int32(loc.Row), At: t, End: t})
+			}
+			c.emitEv(probe.Event{Kind: probe.KindWrite, Bank: int32(loc.Bank), Row: int32(loc.Row),
+				At: t, End: dataEnd, Aux: s.BurstCycles})
+		}
 	} else {
 		cand := max64(earliest, b.rdwrReady)
 		cand = max64(cand, c.busFreeAt-s.CL)
@@ -389,6 +475,13 @@ func (c *Controller) perform(write bool, loc mapping.Location, earliest, arrival
 		b.preReady = max64(b.preReady, t+s.RTP)
 		c.st.Reads++
 		c.st.ReadBusCycles += s.BurstCycles
+		if c.probe != nil {
+			if rowHit {
+				c.emitEv(probe.Event{Kind: probe.KindRowHit, Bank: int32(loc.Bank), Row: int32(loc.Row), At: t, End: t})
+			}
+			c.emitEv(probe.Event{Kind: probe.KindRead, Bank: int32(loc.Bank), Row: int32(loc.Row),
+				At: t, End: dataEnd, Aux: s.BurstCycles})
+		}
 	}
 	c.haveXfer = true
 	c.busFreeAt = dataEnd
@@ -415,8 +508,9 @@ func (c *Controller) perform(write bool, loc mapping.Location, earliest, arrival
 	return dataEnd
 }
 
-// activate opens row in bank b no earlier than earliest.
-func (c *Controller) activate(b *bankState, row int, earliest int64) {
+// activate opens row in bank b no earlier than earliest, returning the
+// ACT issue cycle.
+func (c *Controller) activate(b *bankState, bank int32, row int, earliest int64) int64 {
 	s := c.cfg.Speed
 	cand := max64(earliest, b.actReady)
 	if c.haveActs() {
@@ -439,6 +533,10 @@ func (c *Controller) activate(b *bankState, row int, earliest int64) {
 	b.actReady = t + s.RC
 	b.activates++
 	c.st.Activates++
+	if c.probe != nil {
+		c.emitEv(probe.Event{Kind: probe.KindActivate, Bank: bank, Row: int32(row), At: t, End: t + s.RCD})
+	}
+	return t
 }
 
 func (c *Controller) haveActs() bool { return c.st.Activates > 0 }
@@ -482,9 +580,19 @@ func (c *Controller) Latency() *stats.Histogram { return &c.lat }
 func (c *Controller) BusyCycles() int64 { return c.st.BusyCycles }
 
 // Reset returns the controller to its initial state, keeping configuration.
+// The probe sink (when configured) is retained; its event stream restarts
+// from cycle zero.
 func (c *Controller) Reset() {
 	mapper := c.mapper
 	cfg := c.cfg
-	*c = Controller{cfg: cfg, mapper: mapper, banks: make([]bankState, cfg.Speed.Geometry.Banks)}
+	srThreshold := c.srThreshold
+	*c = Controller{
+		cfg:    cfg,
+		mapper: mapper,
+		banks:  make([]bankState, cfg.Speed.Geometry.Banks),
+		probe:  cfg.Probe,
+		chID:   int32(cfg.Channel),
+	}
+	c.srThreshold = srThreshold
 	c.nextRefreshAt = cfg.Speed.REFI
 }

@@ -1,6 +1,9 @@
 package controller
 
-import "repro/internal/mapping"
+import (
+	"repro/internal/mapping"
+	"repro/internal/probe"
+)
 
 // queuedRequest is one pending burst in the reorder queue.
 type queuedRequest struct {
@@ -54,14 +57,28 @@ func (q *ReorderQueue) Controller() *Controller { return q.ctl }
 // was issued (or the acceptance cycle when only enqueued).
 func (q *ReorderQueue) Access(write bool, loc mapping.Location, arrival int64) int64 {
 	if q.depth == 0 {
+		if q.ctl.HasProbe() {
+			q.ctl.EmitEvent(probe.Event{Kind: probe.KindEnqueue, Bank: int32(loc.Bank), At: arrival, End: arrival, Depth: 1})
+		}
 		end := q.ctl.Access(write, loc, arrival)
 		if end > q.lastEnd {
 			q.lastEnd = end
+		}
+		if q.ctl.HasProbe() {
+			lat := end - arrival
+			if lat < 0 {
+				lat = 0
+			}
+			q.ctl.EmitEvent(probe.Event{Kind: probe.KindComplete, Bank: int32(loc.Bank), At: end, End: end, Aux: lat})
 		}
 		return end
 	}
 	q.pending = append(q.pending, queuedRequest{write: write, loc: loc, arrival: arrival, seq: q.nextSeq})
 	q.nextSeq++
+	if q.ctl.HasProbe() {
+		q.ctl.EmitEvent(probe.Event{Kind: probe.KindEnqueue, Bank: int32(loc.Bank),
+			At: arrival, End: arrival, Depth: int32(len(q.pending))})
+	}
 	if len(q.pending) < q.depth {
 		return arrival
 	}
@@ -107,6 +124,14 @@ func (q *ReorderQueue) issueBest() int64 {
 	end := q.ctl.Access(r.write, r.loc, r.arrival)
 	if end > q.lastEnd {
 		q.lastEnd = end
+	}
+	if q.ctl.HasProbe() {
+		lat := end - r.arrival
+		if lat < 0 {
+			lat = 0
+		}
+		q.ctl.EmitEvent(probe.Event{Kind: probe.KindComplete, Bank: int32(r.loc.Bank),
+			At: end, End: end, Aux: lat, Depth: int32(len(q.pending))})
 	}
 	return end
 }

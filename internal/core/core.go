@@ -20,6 +20,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/memsys"
 	"repro/internal/power"
+	"repro/internal/probe"
 	"repro/internal/stats"
 	"repro/internal/units"
 	"repro/internal/usecase"
@@ -68,6 +69,11 @@ type MemoryConfig struct {
 	// calibrated defaults.
 	Datasheet *power.Datasheet
 	Interface *power.Interface
+	// NewProbe, when non-nil, attaches an observability event sink to
+	// every channel controller (see internal/probe and
+	// memsys.Config.NewProbe). Events cover only the simulated fraction
+	// of the frame when sampling.
+	NewProbe func(channel int) probe.Sink
 }
 
 // PaperMemory returns the paper's baseline configuration at the given
@@ -179,6 +185,11 @@ type Result struct {
 	// PerChannel itemizes each channel's energy.
 	PerChannel []power.Breakdown
 
+	// SimulatedCycles is the unextrapolated makespan of the cycles the
+	// simulator actually executed (SampleFraction of the frame) — the
+	// honest denominator for simulator-throughput reporting.
+	SimulatedCycles int64
+
 	// Totals aggregates the channel counters (scaled when sampling).
 	Totals stats.Channel
 	// Latency is the merged per-burst latency histogram in DRAM cycles
@@ -203,6 +214,7 @@ func (mc MemoryConfig) memsysConfig() memsys.Config {
 		PrechargeOnIdle:       mc.PrechargeOnIdle,
 		InterleaveGranularity: mc.InterleaveGranularity,
 		Parallel:              mc.Channels > 1,
+		NewProbe:              mc.NewProbe,
 	}
 }
 
@@ -273,14 +285,15 @@ func Simulate(w Workload, mc MemoryConfig) (Result, error) {
 	frameBytes := gen.FrameBytes()
 
 	res := Result{
-		Format:      w.Profile.Format,
-		Level:       w.Profile.Level,
-		Channels:    mc.Channels,
-		Freq:        mc.Freq,
-		FrameBytes:  frameBytes,
-		FramePeriod: framePeriod,
-		AccessTime:  accessTime,
-		Verdict:     Classify(accessTime, framePeriod),
+		Format:          w.Profile.Format,
+		Level:           w.Profile.Level,
+		Channels:        mc.Channels,
+		Freq:            mc.Freq,
+		FrameBytes:      frameBytes,
+		FramePeriod:     framePeriod,
+		AccessTime:      accessTime,
+		Verdict:         Classify(accessTime, framePeriod),
+		SimulatedCycles: run.Cycles,
 	}
 	res.RequiredBandwidth = units.Bandwidth(float64(frameBytes) / framePeriod.Seconds())
 	if accessTime > 0 {

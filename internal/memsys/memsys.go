@@ -15,6 +15,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/interconnect"
 	"repro/internal/mapping"
+	"repro/internal/probe"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -60,6 +61,14 @@ type Config struct {
 	// are fully independent, so results are bit-identical to the serial
 	// run; this only changes wall-clock simulation speed.
 	Parallel bool
+	// NewProbe, when non-nil, is called once per channel index at
+	// construction and attaches the returned event sink to that channel's
+	// controller (see internal/probe). A nil return leaves that channel
+	// unobserved. With Parallel simulation each sink is driven from its
+	// own goroutine, so per-channel sinks must not share unsynchronized
+	// mutable state (probe.TimeSeries.Channel and probe.Trace.Channel
+	// satisfy this).
+	NewProbe func(channel int) probe.Sink
 }
 
 // PaperConfig returns the paper's baseline configuration at the given
@@ -161,6 +170,10 @@ func New(cfg Config) (*System, error) {
 	}
 	s := &System{cfg: cfg, speed: speed, interleave: interleave, onchip: onchip}
 	for i := 0; i < cfg.Channels; i++ {
+		var sink probe.Sink
+		if cfg.NewProbe != nil {
+			sink = cfg.NewProbe(i)
+		}
 		ch, err := channel.New(channel.Config{
 			Controller: controller.Config{
 				Speed:            speed,
@@ -171,6 +184,8 @@ func New(cfg Config) (*System, error) {
 				WriteBufferDepth: cfg.WriteBufferDepth,
 				RefreshPostpone:  cfg.RefreshPostpone,
 				PrechargeOnIdle:  cfg.PrechargeOnIdle,
+				Probe:            sink,
+				Channel:          i,
 			},
 			DRAMLink:   dramLink,
 			QueueDepth: cfg.QueueDepth,

@@ -1,0 +1,91 @@
+// Run manifests: a machine-readable JSON record of what a simulation ran
+// (tool, command line, configuration, workload), what it produced (output
+// files), and how fast the simulator itself was (wall-clock, simulated
+// cycles, cycles per second) — written next to the results so a metrics
+// CSV or trace file is never orphaned from the run that made it.
+package probe
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Manifest describes one simulation run.
+type Manifest struct {
+	// Tool is the producing binary ("mcmsim", "paper", "trace").
+	Tool string `json:"tool"`
+	// CommandLine is os.Args as invoked.
+	CommandLine []string `json:"command_line,omitempty"`
+	// CreatedAt is the RFC 3339 wall-clock completion time.
+	CreatedAt string `json:"created_at,omitempty"`
+
+	// Config and Workload are tool-specific descriptions of the simulated
+	// configuration and load (flat string->value maps keep them greppable).
+	Config   map[string]any `json:"config,omitempty"`
+	Workload map[string]any `json:"workload,omitempty"`
+
+	// Channels and FreqMHz summarize the memory subsystem.
+	Channels int     `json:"channels"`
+	FreqMHz  float64 `json:"freq_mhz"`
+	// SampleFraction is the simulated fraction of the workload (1 = all).
+	SampleFraction float64 `json:"sample_fraction,omitempty"`
+
+	// SimCycles is the simulated makespan in DRAM cycles (unextrapolated:
+	// the cycles the simulator actually executed).
+	SimCycles int64 `json:"sim_cycles"`
+	// WallSeconds is the host time the simulation took, and
+	// CyclesPerSecond the resulting simulator throughput.
+	WallSeconds     float64 `json:"wall_seconds"`
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+
+	// Outputs maps artifact names ("trace", "metrics") to the files the
+	// run wrote.
+	Outputs map[string]string `json:"outputs,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, capturing the command
+// line and creation time.
+func NewManifest(tool string) Manifest {
+	return Manifest{
+		Tool:        tool,
+		CommandLine: append([]string(nil), os.Args...),
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		Config:      map[string]any{},
+		Workload:    map[string]any{},
+		Outputs:     map[string]string{},
+	}
+}
+
+// Finish records the run's simulated cycles and wall-clock duration and
+// derives the simulator throughput.
+func (m *Manifest) Finish(simCycles int64, wall time.Duration) {
+	m.SimCycles = simCycles
+	m.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		m.CyclesPerSecond = float64(simCycles) / wall.Seconds()
+	}
+}
+
+// AddOutput records that the run wrote the named artifact to path.
+func (m *Manifest) AddOutput(name, path string) {
+	if m.Outputs == nil {
+		m.Outputs = map[string]string{}
+	}
+	m.Outputs[name] = path
+}
+
+// Write stores the manifest as indented JSON at path.
+func (m Manifest) Write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,163 @@
+package probe
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest("mcmsim")
+	if m.Tool != "mcmsim" || len(m.CommandLine) == 0 || m.CreatedAt == "" {
+		t.Fatalf("NewManifest incomplete: %+v", m)
+	}
+	m.Channels = 4
+	m.FreqMHz = 400
+	m.SampleFraction = 0.5
+	m.Config["page_policy"] = "open"
+	m.Workload["format"] = "1080p30"
+	m.Finish(2_000_000, 2*time.Second)
+	if m.CyclesPerSecond != 1_000_000 {
+		t.Errorf("CyclesPerSecond = %g, want 1e6", m.CyclesPerSecond)
+	}
+	m.AddOutput("trace", "run.json")
+
+	path := filepath.Join(t.TempDir(), "run.manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if got.Tool != "mcmsim" || got.Channels != 4 || got.SimCycles != 2_000_000 {
+		t.Errorf("round-tripped manifest wrong: %+v", got)
+	}
+	if got.Outputs["trace"] != "run.json" {
+		t.Errorf("outputs lost: %v", got.Outputs)
+	}
+	if got.Config["page_policy"] != "open" || got.Workload["format"] != "1080p30" {
+		t.Errorf("config/workload lost: %v %v", got.Config, got.Workload)
+	}
+}
+
+func TestManifestFinishZeroWall(t *testing.T) {
+	var m Manifest
+	m.Finish(100, 0)
+	if m.CyclesPerSecond != 0 {
+		t.Errorf("CyclesPerSecond with zero wall = %g, want 0", m.CyclesPerSecond)
+	}
+}
+
+func TestObserverDisabled(t *testing.T) {
+	obs, err := NewObserver(2, 1000, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs != nil {
+		t.Fatal("observer with no outputs should be nil")
+	}
+	if obs.Enabled() {
+		t.Error("nil observer should report disabled")
+	}
+	if obs.Channel(0) != nil {
+		t.Error("nil observer should hand out nil sinks")
+	}
+	if obs.TimeSeries() != nil || obs.Trace() != nil {
+		t.Error("nil observer should have nil collectors")
+	}
+	m := NewManifest("test")
+	if err := obs.WriteOutputs(&m); err != nil {
+		t.Errorf("WriteOutputs on disabled observer: %v", err)
+	}
+	if len(m.Outputs) != 0 {
+		t.Errorf("disabled observer recorded outputs: %v", m.Outputs)
+	}
+}
+
+func TestObserverWriteOutputs(t *testing.T) {
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "run.trace.json")
+	metricsOut := filepath.Join(dir, "metrics.csv")
+	obs, err := NewObserver(1, 100, traceOut, metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Enabled() {
+		t.Fatal("observer with outputs should be enabled")
+	}
+	sink := obs.Channel(0)
+	if sink == nil {
+		t.Fatal("enabled observer returned nil sink")
+	}
+	sink.Emit(Event{Kind: KindRead, Bank: 0, At: 5, End: 13, Aux: 4})
+
+	m := NewManifest("test")
+	if err := obs.WriteOutputs(&m); err != nil {
+		t.Fatal(err)
+	}
+	// The metrics file is CSV (non-.json path) and saw the event via the
+	// same fan-out sink as the trace.
+	csv, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "channel,epoch") {
+		t.Errorf("metrics file is not CSV: %q", string(csv[:min(40, len(csv))]))
+	}
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("trace file missing traceEvents")
+	}
+	wantManifest := metricsOut + ".manifest.json"
+	if obs.ManifestPath() != wantManifest {
+		t.Errorf("ManifestPath = %q, want %q", obs.ManifestPath(), wantManifest)
+	}
+	if _, err := os.Stat(wantManifest); err != nil {
+		t.Errorf("manifest not written: %v", err)
+	}
+	for _, name := range []string{"metrics", "trace", "manifest"} {
+		if m.Outputs[name] == "" {
+			t.Errorf("manifest outputs missing %q: %v", name, m.Outputs)
+		}
+	}
+}
+
+func TestObserverJSONMetrics(t *testing.T) {
+	dir := t.TempDir()
+	metricsOut := filepath.Join(dir, "metrics.json")
+	obs, err := NewObserver(1, 100, "", metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Channel(0).Emit(Event{Kind: KindWrite, At: 5, End: 13, Aux: 4})
+	m := NewManifest("test")
+	if err := obs.WriteOutputs(&m); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf(".json metrics path should produce JSON: %v", err)
+	}
+	if _, ok := doc["window_cycles"]; !ok {
+		t.Error("metrics JSON missing window_cycles")
+	}
+}

@@ -1,0 +1,136 @@
+// Observer bundles the command-line observability surface shared by the
+// binaries: it owns the optional time-series and trace sinks selected by
+// the -metrics-out / -trace-out / -probe-window flags, hands out combined
+// per-channel sinks, and writes the output files plus the run manifest.
+package probe
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Observer is the flag-driven sink set of one CLI run. The zero value (or
+// a nil *Observer) is fully disabled.
+type Observer struct {
+	ts         *TimeSeries
+	tr         *Trace
+	traceOut   string
+	metricsOut string
+}
+
+// NewObserver builds the sinks requested by the output paths; both empty
+// returns a disabled (nil) observer. window is the time-series epoch
+// length in cycles (only used when metricsOut is set).
+func NewObserver(channels int, window int64, traceOut, metricsOut string) (*Observer, error) {
+	if traceOut == "" && metricsOut == "" {
+		return nil, nil
+	}
+	o := &Observer{traceOut: traceOut, metricsOut: metricsOut}
+	if metricsOut != "" {
+		ts, err := NewTimeSeries(channels, window)
+		if err != nil {
+			return nil, err
+		}
+		o.ts = ts
+	}
+	if traceOut != "" {
+		tr, err := NewTrace(channels)
+		if err != nil {
+			return nil, err
+		}
+		o.tr = tr
+	}
+	return o, nil
+}
+
+// Enabled reports whether any sink is active.
+func (o *Observer) Enabled() bool { return o != nil && (o.ts != nil || o.tr != nil) }
+
+// Channel returns channel ch's combined sink (nil when disabled), suitable
+// for memsys.Config.NewProbe.
+func (o *Observer) Channel(ch int) Sink {
+	if o == nil {
+		return nil
+	}
+	var sinks []Sink
+	if o.ts != nil {
+		sinks = append(sinks, o.ts.Channel(ch))
+	}
+	if o.tr != nil {
+		sinks = append(sinks, o.tr.Channel(ch))
+	}
+	return Multi(sinks...)
+}
+
+// TimeSeries returns the windowed collector (nil unless -metrics-out).
+func (o *Observer) TimeSeries() *TimeSeries {
+	if o == nil {
+		return nil
+	}
+	return o.ts
+}
+
+// Trace returns the trace collector (nil unless -trace-out).
+func (o *Observer) Trace() *Trace {
+	if o == nil {
+		return nil
+	}
+	return o.tr
+}
+
+// ManifestPath returns where WriteOutputs stores the run manifest: next to
+// the metrics file when one is written, else next to the trace file.
+func (o *Observer) ManifestPath() string {
+	primary := o.metricsOut
+	if primary == "" {
+		primary = o.traceOut
+	}
+	return primary + ".manifest.json"
+}
+
+// WriteOutputs stores the collected artifacts — metrics as CSV (or JSON
+// for a .json path), the Chrome trace, and the manifest describing the
+// run — and records each file in the manifest's outputs map.
+func (o *Observer) WriteOutputs(m *Manifest) error {
+	if !o.Enabled() {
+		return nil
+	}
+	if o.ts != nil {
+		if err := writeFile(o.metricsOut, func(w io.Writer) error {
+			if strings.HasSuffix(o.metricsOut, ".json") {
+				return o.ts.WriteJSON(w)
+			}
+			return o.ts.WriteCSV(w)
+		}); err != nil {
+			return fmt.Errorf("probe: writing metrics: %w", err)
+		}
+		m.AddOutput("metrics", o.metricsOut)
+	}
+	if o.tr != nil {
+		if err := writeFile(o.traceOut, o.tr.WriteJSON); err != nil {
+			return fmt.Errorf("probe: writing trace: %w", err)
+		}
+		m.AddOutput("trace", o.traceOut)
+	}
+	path := o.ManifestPath()
+	m.AddOutput("manifest", path)
+	if err := m.Write(path); err != nil {
+		return fmt.Errorf("probe: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// writeFile creates path and runs emit against it, surfacing close errors.
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,96 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindActivate:    "ACT",
+		KindPrecharge:   "PRE",
+		KindRead:        "RD",
+		KindWrite:       "WR",
+		KindRefresh:     "REF",
+		KindRowHit:      "row-hit",
+		KindRowMiss:     "row-miss",
+		KindRowConflict: "row-conflict",
+		KindPowerDown:   "power-down",
+		KindSelfRefresh: "self-refresh",
+		KindEnqueue:     "enqueue",
+		KindComplete:    "complete",
+	}
+	if len(want) != int(numKinds) {
+		t.Fatalf("test covers %d kinds, package defines %d", len(want), numKinds)
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, s)
+		}
+	}
+	if got := numKinds.String(); !strings.HasPrefix(got, "Kind(") {
+		t.Errorf("unknown kind String() = %q, want Kind(n) form", got)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	r := &Recorder{}
+	if got := Multi(nil, r, nil); got != Sink(r) {
+		t.Errorf("Multi with one live sink should unwrap it, got %T", got)
+	}
+	a, b := &Count{}, &Count{}
+	m := Multi(a, nil, b)
+	if m == nil {
+		t.Fatal("Multi with two live sinks returned nil")
+	}
+	m.Emit(Event{Kind: KindRead})
+	m.Emit(Event{Kind: KindWrite})
+	for _, c := range []*Count{a, b} {
+		if c.ByKind[KindRead] != 1 || c.ByKind[KindWrite] != 1 {
+			t.Errorf("fan-out miscounted: %v", c.ByKind)
+		}
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	var got []Kind
+	s := Func(func(ev Event) { got = append(got, ev.Kind) })
+	s.Emit(Event{Kind: KindActivate})
+	s.Emit(Event{Kind: KindPrecharge})
+	if len(got) != 2 || got[0] != KindActivate || got[1] != KindPrecharge {
+		t.Errorf("Func sink saw %v", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := &Recorder{}
+	r.Emit(Event{Kind: KindRead, At: 10, End: 14})
+	r.Emit(Event{Kind: KindComplete, At: 14, Aux: 4})
+	if len(r.Events) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(r.Events))
+	}
+	if r.Events[0].Kind != KindRead || r.Events[1].Aux != 4 {
+		t.Errorf("recorded events wrong: %+v", r.Events)
+	}
+}
+
+func TestCount(t *testing.T) {
+	c := &Count{}
+	for i := 0; i < 3; i++ {
+		c.Emit(Event{Kind: KindActivate})
+	}
+	c.Emit(Event{Kind: KindRefresh})
+	c.Emit(Event{Kind: Kind(200)}) // out of range: ignored, no panic
+	if c.ByKind[KindActivate] != 3 || c.ByKind[KindRefresh] != 1 {
+		t.Errorf("counts wrong: %v", c.ByKind)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total() = %d, want 4", c.Total())
+	}
+}

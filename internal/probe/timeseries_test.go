@@ -1,0 +1,196 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewTimeSeriesValidation(t *testing.T) {
+	if _, err := NewTimeSeries(0, 100); err == nil {
+		t.Error("expected error for zero channels")
+	}
+	if _, err := NewTimeSeries(2, 0); err == nil {
+		t.Error("expected error for zero window")
+	}
+	ts, err := NewTimeSeries(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Window() != 100 || ts.Channels() != 2 {
+		t.Errorf("Window=%d Channels=%d, want 100, 2", ts.Window(), ts.Channels())
+	}
+}
+
+func TestTimeSeriesBucketing(t *testing.T) {
+	ts, err := NewTimeSeries(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ts.Channel(0)
+	s.Emit(Event{Kind: KindActivate, At: 10, End: 15})
+	s.Emit(Event{Kind: KindActivate, At: 110, End: 115})
+	s.Emit(Event{Kind: KindPrecharge, At: 210, End: 213})
+	s.Emit(Event{Kind: KindRowMiss, At: 10})
+	s.Emit(Event{Kind: KindRowHit, At: 111})
+
+	eps := ts.Epochs(0)
+	if len(eps) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(eps))
+	}
+	if eps[0].Activates != 1 || eps[1].Activates != 1 || eps[2].Activates != 0 {
+		t.Errorf("activates per epoch: %d,%d,%d", eps[0].Activates, eps[1].Activates, eps[2].Activates)
+	}
+	if eps[2].Precharges != 1 {
+		t.Errorf("epoch 2 precharges = %d, want 1", eps[2].Precharges)
+	}
+	if eps[0].RowMisses != 1 || eps[1].RowHits != 1 {
+		t.Errorf("row outcomes misplaced: %+v %+v", eps[0], eps[1])
+	}
+	if eps[0].Start != 0 || eps[1].Start != 100 || eps[2].Start != 200 {
+		t.Errorf("epoch starts: %d,%d,%d", eps[0].Start, eps[1].Start, eps[2].Start)
+	}
+}
+
+func TestTimeSeriesSpreadAcrossEpochBoundary(t *testing.T) {
+	ts, _ := NewTimeSeries(1, 100)
+	s := ts.Channel(0)
+	// A read whose 10 bus cycles straddle the 100-cycle boundary: 5 in
+	// epoch 0, 5 in epoch 1. The command itself is counted at its issue
+	// cycle (epoch 0).
+	s.Emit(Event{Kind: KindRead, At: 90, End: 105, Aux: 10})
+	eps := ts.Epochs(0)
+	if len(eps) != 2 {
+		t.Fatalf("got %d epochs, want 2", len(eps))
+	}
+	if eps[0].Reads != 1 || eps[1].Reads != 0 {
+		t.Errorf("reads: %d,%d", eps[0].Reads, eps[1].Reads)
+	}
+	if eps[0].ReadBusCycles != 5 || eps[1].ReadBusCycles != 5 {
+		t.Errorf("read bus cycles split %d/%d, want 5/5", eps[0].ReadBusCycles, eps[1].ReadBusCycles)
+	}
+	if eps[0].BusyEnd != 105 {
+		t.Errorf("BusyEnd = %d, want 105", eps[0].BusyEnd)
+	}
+
+	// A power-down residency spanning three epochs, precharged.
+	s.Emit(Event{Kind: KindPowerDown, Flags: FlagPrechargedPD, At: 250, End: 250, Aux: 130})
+	eps = ts.Epochs(0)
+	if len(eps) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(eps))
+	}
+	// [120, 250) covers 80 cycles of epoch 1 and 50 of epoch 2.
+	if eps[1].PowerDownCycles != 80 || eps[2].PowerDownCycles != 50 {
+		t.Errorf("powerdown split %d/%d, want 80/50", eps[1].PowerDownCycles, eps[2].PowerDownCycles)
+	}
+	if eps[1].PrechargePDCycles != 80 || eps[2].PrechargePDCycles != 50 {
+		t.Errorf("precharge-PD split %d/%d, want 80/50", eps[1].PrechargePDCycles, eps[2].PrechargePDCycles)
+	}
+	if eps[2].PowerDownExits != 1 {
+		t.Errorf("powerdown exits = %d, want 1", eps[2].PowerDownExits)
+	}
+}
+
+func TestTimeSeriesQueueAndLatency(t *testing.T) {
+	ts, _ := NewTimeSeries(1, 100)
+	s := ts.Channel(0)
+	s.Emit(Event{Kind: KindEnqueue, At: 5, Depth: 1})
+	s.Emit(Event{Kind: KindEnqueue, At: 6, Depth: 2})
+	s.Emit(Event{Kind: KindComplete, At: 40, Depth: 1, Aux: 35})
+	s.Emit(Event{Kind: KindComplete, At: 60, Depth: 0, Aux: 54})
+	e := &ts.Epochs(0)[0]
+	if e.DepthSamples != 4 || e.DepthSum != 4 || e.DepthMax != 2 {
+		t.Errorf("depth samples=%d sum=%d max=%d, want 4,4,2", e.DepthSamples, e.DepthSum, e.DepthMax)
+	}
+	if e.Latency().Count() != 2 || e.Latency().Max() != 54 {
+		t.Errorf("latency count=%d max=%d, want 2,54", e.Latency().Count(), e.Latency().Max())
+	}
+}
+
+func TestChannelTotalReconstruction(t *testing.T) {
+	ts, _ := NewTimeSeries(2, 50)
+	a := ts.Channel(0)
+	a.Emit(Event{Kind: KindRead, At: 10, End: 14, Aux: 4})
+	a.Emit(Event{Kind: KindWrite, At: 60, End: 64, Aux: 4})
+	a.Emit(Event{Kind: KindActivate, At: 5, End: 10})
+	a.Emit(Event{Kind: KindSelfRefresh, At: 200, End: 200, Aux: 80})
+	ts.Channel(1).Emit(Event{Kind: KindRefresh, At: 30, End: 90})
+
+	tot := ts.ChannelTotal(0)
+	if tot.Reads != 1 || tot.Writes != 1 || tot.Activates != 1 {
+		t.Errorf("totals rd=%d wr=%d act=%d", tot.Reads, tot.Writes, tot.Activates)
+	}
+	if tot.ReadBusCycles != 4 || tot.WriteBusCycles != 4 {
+		t.Errorf("bus cycles rd=%d wr=%d", tot.ReadBusCycles, tot.WriteBusCycles)
+	}
+	if tot.SelfRefreshCycles != 80 || tot.SelfRefreshEntries != 1 {
+		t.Errorf("selfrefresh cycles=%d entries=%d", tot.SelfRefreshCycles, tot.SelfRefreshEntries)
+	}
+	if tot.BusyCycles != 64 {
+		t.Errorf("BusyCycles = %d, want 64 (max End of data bursts)", tot.BusyCycles)
+	}
+	other := ts.ChannelTotal(1)
+	if other.Refreshes != 1 || other.Reads != 0 {
+		t.Errorf("channel 1 leaked into channel 0 or vice versa: %+v", other)
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	ts, _ := NewTimeSeries(2, 100)
+	ts.Channel(0).Emit(Event{Kind: KindRead, At: 10, End: 14, Aux: 4})
+	ts.Channel(0).Emit(Event{Kind: KindRead, At: 150, End: 154, Aux: 4})
+	ts.Channel(1).Emit(Event{Kind: KindWrite, At: 20, End: 24, Aux: 4})
+
+	var buf bytes.Buffer
+	if err := ts.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 2 epochs on channel 0 + 1 epoch on channel 1.
+	if len(lines) != 4 {
+		t.Fatalf("got %d CSV lines, want 4:\n%s", len(lines), buf.String())
+	}
+	header := strings.Split(lines[0], ",")
+	if len(header) != len(csvHeader) {
+		t.Fatalf("header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(csvHeader) {
+			t.Errorf("row has %d columns, want %d: %s", got, len(csvHeader), line)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "channel,epoch,start_cycle") {
+		t.Errorf("unexpected header: %s", lines[0])
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	ts, _ := NewTimeSeries(1, 100)
+	ts.Channel(0).Emit(Event{Kind: KindRead, At: 10, End: 14, Aux: 4})
+	ts.Channel(0).Emit(Event{Kind: KindRowHit, At: 10})
+
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		WindowCycles int64 `json:"window_cycles"`
+		Channels     []struct {
+			Channel int `json:"channel"`
+			Epochs  []map[string]any
+			Totals  struct {
+				RowHitRate float64 `json:"row_hit_rate"`
+			} `json:"totals"`
+		} `json:"channels"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.WindowCycles != 100 || len(doc.Channels) != 1 || len(doc.Channels[0].Epochs) != 1 {
+		t.Errorf("document shape wrong: %+v", doc)
+	}
+	if doc.Channels[0].Totals.RowHitRate != 1 {
+		t.Errorf("row hit rate = %g, want 1", doc.Channels[0].Totals.RowHitRate)
+	}
+}

@@ -1,0 +1,146 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace(0); err == nil {
+		t.Error("expected error for zero channels")
+	}
+	tr, err := NewTrace(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Channel(0).Emit(Event{Kind: KindRead, At: 1, End: 5})
+	tr.Channel(1).Emit(Event{Kind: KindWrite, At: 2, End: 6})
+	if tr.Events() != 2 {
+		t.Errorf("Events() = %d, want 2", tr.Events())
+	}
+}
+
+// findEvents returns the built records matching name and phase.
+func findEvents(doc ChromeTrace, name, ph string) []ChromeEvent {
+	var out []ChromeEvent
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == name && ev.Ph == ph {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestTraceBuildCommandSlices(t *testing.T) {
+	tr, _ := NewTrace(1)
+	s := tr.Channel(0)
+	s.Emit(Event{Kind: KindActivate, Bank: 2, Row: 7, At: 10, End: 15})
+	s.Emit(Event{Kind: KindRead, Bank: 2, Row: 7, At: 15, End: 23, Aux: 4})
+	s.Emit(Event{Kind: KindRefresh, Bank: -1, At: 100, End: 160})
+	doc := tr.Build()
+
+	acts := findEvents(doc, "ACT", "X")
+	if len(acts) != 1 {
+		t.Fatalf("got %d ACT slices, want 1", len(acts))
+	}
+	if acts[0].Ts != 10 || acts[0].Dur != 5 || acts[0].Pid != 0 || acts[0].Tid != tidBank0+2 {
+		t.Errorf("ACT slice wrong: %+v", acts[0])
+	}
+	if acts[0].Args["row"] != int32(7) {
+		t.Errorf("ACT row arg = %v", acts[0].Args["row"])
+	}
+	rds := findEvents(doc, "RD", "X")
+	if len(rds) != 1 || rds[0].Dur != 8 {
+		t.Errorf("RD slice wrong: %+v", rds)
+	}
+	refs := findEvents(doc, "REF", "X")
+	if len(refs) != 1 || refs[0].Tid != tidPower {
+		t.Errorf("REF should render on the power track: %+v", refs)
+	}
+
+	// Metadata: process name plus requests/power tracks plus bank 2.
+	if n := len(findEvents(doc, "process_name", "M")); n != 1 {
+		t.Errorf("got %d process_name records, want 1", n)
+	}
+	threads := findEvents(doc, "thread_name", "M")
+	names := map[any]bool{}
+	for _, th := range threads {
+		names[th.Args["name"]] = true
+	}
+	for _, want := range []string{"requests", "refresh+power", "bank 2"} {
+		if !names[want] {
+			t.Errorf("missing thread_name %q in %v", want, names)
+		}
+	}
+}
+
+func TestTracePowerAndQueueLowering(t *testing.T) {
+	tr, _ := NewTrace(1)
+	s := tr.Channel(0)
+	s.Emit(Event{Kind: KindPowerDown, Flags: FlagPrechargedPD, Bank: -1, At: 500, End: 500, Aux: 100})
+	s.Emit(Event{Kind: KindEnqueue, Bank: 0, At: 600, Depth: 3})
+	s.Emit(Event{Kind: KindComplete, Bank: 0, At: 650, Depth: 2, Aux: 50})
+	s.Emit(Event{Kind: KindRowHit, At: 600}) // deliberately not exported
+	doc := tr.Build()
+
+	pd := findEvents(doc, "precharge power-down", "X")
+	if len(pd) != 1 || pd[0].Ts != 400 || pd[0].Dur != 100 {
+		t.Errorf("power-down slice wrong: %+v", pd)
+	}
+	states := findEvents(doc, "power_state", "C")
+	if len(states) != 2 || states[0].Ts != 400 || states[1].Ts != 500 {
+		t.Errorf("power_state counters wrong: %+v", states)
+	}
+	if states[0].Args["state"] != 1 || states[1].Args["state"] != 0 {
+		t.Errorf("power_state values wrong: %+v", states)
+	}
+	if n := len(findEvents(doc, "enqueue", "i")); n != 1 {
+		t.Errorf("got %d enqueue instants, want 1", n)
+	}
+	depths := findEvents(doc, "queue_depth", "C")
+	if len(depths) != 2 || depths[0].Args["depth"] != int32(3) || depths[1].Args["depth"] != int32(2) {
+		t.Errorf("queue_depth counters wrong: %+v", depths)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "row-hit" {
+			t.Errorf("row hits should not be exported: %+v", ev)
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "i" && ev.Scope != "t" {
+			t.Errorf("instant without thread scope: %+v", ev)
+		}
+	}
+}
+
+func TestTraceWriteJSONRoundTrip(t *testing.T) {
+	tr, _ := NewTrace(2)
+	tr.Channel(0).Emit(Event{Kind: KindWrite, Bank: 1, At: 4, End: 12, Aux: 4})
+	tr.Channel(1).Emit(Event{Kind: KindSelfRefresh, Bank: -1, At: 900, End: 900, Aux: 300})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("traceEvents[%d] missing %q: %v", i, key, ev)
+			}
+		}
+	}
+	if doc.OtherData["channels"] != float64(2) {
+		t.Errorf("otherData channels = %v, want 2", doc.OtherData["channels"])
+	}
+}

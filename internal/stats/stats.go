@@ -37,7 +37,8 @@ type Channel struct {
 	PowerDownExits    int64
 	// SelfRefreshCycles counts long idles spent in self-refresh; they are
 	// not part of PowerDownCycles.
-	SelfRefreshCycles  int64
+	SelfRefreshCycles int64
+	// SelfRefreshEntries counts self-refresh entry events.
 	SelfRefreshEntries int64
 }
 

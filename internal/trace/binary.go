@@ -52,10 +52,13 @@ func WriteBinary(w io.Writer, reqs []memsys.Request) error {
 		}
 		prevAddr = r.Addr
 		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
+			return fmt.Errorf("trace: writing record: %w", err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
 }
 
 // ReadBinary parses the compact binary format.

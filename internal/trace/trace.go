@@ -52,10 +52,19 @@ func (t *teeSource) Next() (memsys.Request, bool) {
 	return r, ok
 }
 
-// Write serializes requests to the text format.
+// Write serializes requests to the text format. Requests are validated
+// the same way WriteBinary validates them, so Write never produces a
+// trace Read would reject, and every buffered write error — including one
+// surfacing only at the final flush — is returned.
 func Write(w io.Writer, reqs []memsys.Request) error {
 	bw := bufio.NewWriter(w)
-	for _, r := range reqs {
+	for i, r := range reqs {
+		if r.Bytes <= 0 {
+			return fmt.Errorf("trace: request %d: non-positive size %d", i, r.Bytes)
+		}
+		if r.Addr < 0 {
+			return fmt.Errorf("trace: request %d: negative address %d", i, r.Addr)
+		}
 		op := "R"
 		if r.Write {
 			op = "W"
@@ -67,10 +76,13 @@ func Write(w io.Writer, reqs []memsys.Request) error {
 			_, err = fmt.Fprintf(bw, "%s %d %d\n", op, r.Addr, r.Bytes)
 		}
 		if err != nil {
-			return err
+			return fmt.Errorf("trace: writing request %d: %w", i, err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
 }
 
 // Read parses the text format into a request slice.
