@@ -1,11 +1,14 @@
 #!/bin/sh
 # ci.sh — the repository's check suite: static analysis, formatting,
-# race-enabled tests, and the probe-overhead guard asserting that the
+# race-enabled tests, the probe-overhead guard asserting that the
 # disabled observability path stays within PROBE_OVERHEAD_MAX_PCT
-# (default 2%) of the uninstrumented channel throughput.
+# (default 2%) of the uninstrumented channel throughput, a fuzz smoke
+# pass over the parser/decoder fuzz targets, and the fault determinism
+# gate diffing serial-vs-parallel QoS reports byte for byte.
 #
 # Usage: ./ci.sh [-quick]
-#   -quick skips the race detector and the overhead benchmark.
+#   -quick skips the race detector, the overhead benchmark, the fuzz
+#   smoke and the determinism gate.
 set -eu
 
 cd "$(dirname "$0")"
@@ -32,6 +35,29 @@ fi
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz smoke =="
+# Each target runs for a short budget; any crasher fails the build.
+go test -run '^$' -fuzz '^FuzzReadText$' -fuzztime "${FUZZ_SMOKE_TIME:-5s}" ./internal/trace/
+go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "${FUZZ_SMOKE_TIME:-5s}" ./internal/mapping/
+
+echo "== fault determinism gate =="
+# The flagship fault scenario must produce a byte-identical QoS report
+# whether the channels simulate serially or on parallel goroutines.
+qos_dir=$(mktemp -d)
+trap 'rm -rf "$qos_dir"' EXIT
+fault_flags="-format 1080p30 -channels 2 -fraction 0.02 -fault-seed 1 \
+    -fault-drop-channel 1 -fault-read-error-rate 0.005 -fault-stall-rate 0.002 \
+    -fault-frames 10"
+# shellcheck disable=SC2086
+go run ./cmd/mcmsim $fault_flags -serial -qos-out "$qos_dir/serial.txt" >/dev/null
+# shellcheck disable=SC2086
+go run ./cmd/mcmsim $fault_flags -qos-out "$qos_dir/parallel.txt" >/dev/null
+if ! cmp "$qos_dir/serial.txt" "$qos_dir/parallel.txt"; then
+    echo "ci: serial and parallel fault runs produced different QoS reports" >&2
+    exit 1
+fi
+echo "ci: fault determinism OK"
 
 echo "== probe overhead benchmark =="
 # Repeated -count runs, best-of-N per arm: scheduling noise only ever

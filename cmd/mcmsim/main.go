@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mapping"
 	"repro/internal/probe"
 	"repro/internal/units"
@@ -41,6 +42,17 @@ func main() {
 		probeWindow = flag.Int64("probe-window", 100000, "time-series epoch length in DRAM cycles (for -metrics-out)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the run to this file")
 		metricsOut  = flag.String("metrics-out", "", "write windowed time-series metrics to this file (.json = JSON, else CSV)")
+
+		faultSeed    = flag.Uint64("fault-seed", 1, "fault plan PRNG seed (same seed = byte-identical QoS report)")
+		faultDrop    = flag.Int("fault-drop-channel", -1, "channel to fail permanently (-1 = no dropout)")
+		faultDropAt  = flag.Int64("fault-drop-cycle", 0, "dispatch cycle of the dropout (0 = mid first frame slot)")
+		faultDerate  = flag.Int64("fault-derate-cycle", 0, "cycle of the thermal derate doubling refresh rate (0 = off)")
+		faultReadErr = flag.Float64("fault-read-error-rate", 0, "per-read probability of a transient ECC error (0 = off)")
+		faultStall   = flag.Float64("fault-stall-rate", 0, "per-request probability of a controller stall (0 = off)")
+		faultStallMx = flag.Int64("fault-stall-max", 0, "max stall length in cycles (0 = default)")
+		faultFrames  = flag.Int("fault-frames", 8, "frame slots to run in degraded mode (with any -fault-* active)")
+		serial       = flag.Bool("serial", false, "force single-goroutine simulation (results are identical; CI determinism gate)")
+		qosOut       = flag.String("qos-out", "", "write the deterministic QoS report to this file")
 	)
 	flag.Parse()
 
@@ -74,12 +86,36 @@ func main() {
 	mc.RefreshPostpone = *refPost
 	mc.PrechargeOnIdle = *preIdle
 
+	mc.Serial = *serial
+
 	obs, err := probe.NewObserver(*channels, *probeWindow, *traceOut, *metricsOut)
 	if err != nil {
 		fatal(err)
 	}
 	if obs.Enabled() {
 		mc.NewProbe = obs.Channel
+	}
+
+	plan := fault.Plan{
+		Seed:           *faultSeed,
+		DerateAtCycle:  *faultDerate,
+		ReadErrorRate:  *faultReadErr,
+		StallRate:      *faultStall,
+		StallMaxCycles: *faultStallMx,
+	}
+	if *faultDrop >= 0 {
+		plan.DropChannel = *faultDrop
+		plan.DropAtCycle = *faultDropAt
+		if plan.DropAtCycle == 0 {
+			// Default: halfway through the first (sampled) frame slot.
+			period := w.Profile.Format.FramePeriod().Cycles(mc.Freq)
+			plan.DropAtCycle = int64(float64(period)**fraction) / 2
+		}
+	}
+	if plan.Enabled() {
+		mc.Faults = &plan
+		runDegraded(w, mc, obs, *faultFrames, *fraction, *probeWindow, *qosOut)
+		return
 	}
 
 	start := time.Now()
@@ -144,6 +180,71 @@ func main() {
 			fmt.Printf("  %-22s %10d B  %10.3f ms  %8.3f mJ  eff %.2f\n",
 				s.Name, s.Bytes, s.Time.Milliseconds(), s.Energy.Millijoules(), s.Efficiency)
 		}
+	}
+}
+
+// runDegraded executes the fault-injected degraded-mode run and prints its
+// QoS report plus the per-frame timeline.
+func runDegraded(w core.Workload, mc core.MemoryConfig, obs *probe.Observer, frames int, fraction float64, probeWindow int64, qosOut string) {
+	start := time.Now()
+	res, err := core.SimulateDegraded(w, mc, frames)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+
+	if obs.Enabled() {
+		man := probe.NewManifest("mcmsim")
+		man.Channels = res.Channels
+		man.FreqMHz = float64(res.Freq) / float64(units.MHz)
+		man.SampleFraction = fraction
+		man.Config = map[string]any{
+			"mux": mc.Mux.String(), "page_policy": mc.Policy.String(),
+			"powerdown": !mc.DisablePowerDown, "probe_window": probeWindow,
+			"serial": mc.Serial, "fault_plan": fmt.Sprintf("%+v", *mc.Faults),
+		}
+		man.Workload = map[string]any{
+			"format": res.Format.Name, "level": res.Level.Number,
+			"frame_bytes": res.FrameBytes, "frames": frames,
+		}
+		man.Finish(res.SimulatedCycles, wall)
+		if err := obs.WriteOutputs(&man); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability: wrote %v\n", man.Outputs)
+	}
+
+	fmt.Printf("workload:   %s (H.264 level %s), %d B/frame, %d frame slot(s)\n",
+		res.Format, res.Level.Number, res.FrameBytes, frames)
+	fmt.Printf("memory:     %d channel(s) @ %v, fault plan %+v\n", res.Channels, res.Freq, *mc.Faults)
+	fmt.Printf("verdict:    %s (final level %d, final format %s)\n", res.Verdict, res.FinalLevel, res.FinalFormat.Name)
+	fmt.Printf("power:      %.1f mW total (interface %.1f mW)\n",
+		res.TotalPower.Milliwatts(), res.InterfacePower.Milliwatts())
+	fmt.Println("frames:")
+	for _, fr := range res.PerFrame {
+		status := "ok"
+		switch {
+		case fr.Dropped:
+			status = "dropped"
+		case fr.Missed:
+			status = "MISS"
+		case fr.Late:
+			status = "late"
+		}
+		completed := "-"
+		if !fr.Dropped {
+			completed = fmt.Sprintf("%d", fr.Completed)
+		}
+		fmt.Printf("  frame %2d  level %d  deadline %10d  completed %10s  %s\n",
+			fr.Frame, fr.Level, fr.Deadline, completed, status)
+	}
+	report := res.QoS.Report()
+	fmt.Print(report)
+	if qosOut != "" {
+		if err := os.WriteFile(qosOut, []byte(report), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("qos report: wrote %s\n", qosOut)
 	}
 }
 

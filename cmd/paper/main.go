@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/units"
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		only     = flag.String("only", "", "render one artifact: table1, fig3, fig4, fig5, xdr, ablations, geometry, operating, interleave")
+		only     = flag.String("only", "", "render one artifact: table1, fig3, fig4, fig5, xdr, ablations, geometry, operating, interleave, faults")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		fraction = flag.Float64("fraction", 0.2, "fraction of each frame to simulate (results extrapolate linearly)")
 		dir      = flag.String("dir", "", "also write each artifact to <dir>/<name>.txt (or .csv)")
@@ -53,6 +54,7 @@ func main() {
 		{"geometry", geometry},
 		{"operating", operating},
 		{"interleave", interleave},
+		{"faults", faults},
 	}
 	ran := false
 	for _, a := range artifacts {
@@ -368,6 +370,68 @@ func operating(opt core.RunOptions) (*report.Table, error) {
 			fmt.Sprintf("%.0f mW", p.PowerAtMin.Milliwatts()),
 			fmt.Sprintf("%.0f mW", p.PowerAtMax.Milliwatts()),
 			fmt.Sprintf("%.0f%%", p.Saving*100))
+	}
+	return t, nil
+}
+
+// faults renders the fault-tolerance experiment (R1): 1080p30 recordings
+// with a channel failing halfway through the first frame slot, showing how
+// the degradation engine keeps the recorder running on the survivors.
+func faults(opt core.RunOptions) (*report.Table, error) {
+	const frames = 10
+	t := report.NewTable("Fault tolerance: channel dropout mid-frame, degraded-mode QoS (1080p30 @ 400 MHz, 10 frame slots, seed 1)",
+		"scenario", "dropped", "late", "misses", "degradation", "recovery", "final format", "power [mW]")
+	scenarios := []struct {
+		name     string
+		channels int
+		dropCh   int
+	}{
+		{"4 ch, 1 failed", 4, 1},
+		{"2 ch, 1 failed", 2, 1},
+	}
+	for _, sc := range scenarios {
+		w, err := core.WorkloadFor("1080p30")
+		if err != nil {
+			return nil, err
+		}
+		w.SampleFraction = opt.SampleFraction
+		fraction := w.SampleFraction
+		if fraction == 0 {
+			fraction = 1
+		}
+		period := w.Profile.Format.FramePeriod().Cycles(core.PaperFrequency)
+		mc := core.PaperMemory(sc.channels, core.PaperFrequency)
+		mc.Faults = &fault.Plan{
+			Seed:        1,
+			DropChannel: sc.dropCh,
+			DropAtCycle: int64(float64(period)*fraction) / 2,
+		}
+		res, err := core.SimulateDegraded(w, mc, frames)
+		if err != nil {
+			return nil, err
+		}
+		q := res.QoS
+		degradation := "none"
+		if len(q.Steps) > 0 {
+			degradation = fmt.Sprintf("%d step(s) to level %d", len(q.Steps), res.FinalLevel)
+		}
+		recovery := "never degraded"
+		switch {
+		case q.FirstMissFrame >= 0 && q.RecoveredFrame >= 0:
+			recovery = fmt.Sprintf("frame %d (+%d)", q.RecoveredFrame, q.TimeToRecoverFrames())
+		case q.FirstMissFrame >= 0:
+			recovery = "not recovered"
+		}
+		t.AddRow(
+			sc.name,
+			fmt.Sprint(q.DroppedFrames),
+			fmt.Sprint(q.LateFrames),
+			fmt.Sprint(q.DeadlineMisses),
+			degradation,
+			recovery,
+			res.FinalFormat.Name,
+			fmt.Sprintf("%.0f", res.TotalPower.Milliwatts()),
+		)
 	}
 	return t, nil
 }

@@ -8,8 +8,10 @@ import (
 	"fmt"
 
 	"repro/internal/controller"
+	"repro/internal/fault"
 	"repro/internal/interconnect"
 	"repro/internal/mapping"
+	"repro/internal/probe"
 	"repro/internal/stats"
 )
 
@@ -22,6 +24,12 @@ type Config struct {
 	// bursts in front of the controller (extension; zero keeps the
 	// paper's in-order scheduling).
 	QueueDepth int
+	// Faults, when non-nil, is this channel's fault decision stream: the
+	// channel re-issues reads the stream marks as transient ECC errors,
+	// with bounded exponential backoff (see internal/fault). The same
+	// injector should be passed to Controller.Faults so stall jitter and
+	// the thermal derate share the channel's decision stream.
+	Faults *fault.ChannelInjector
 }
 
 // Channel is one memory channel: requests enter through the DRAM
@@ -31,6 +39,7 @@ type Channel struct {
 	ctl   *controller.Controller
 	queue *controller.ReorderQueue
 	link  interconnect.Link
+	inj   *fault.ChannelInjector // nil = fault-free (the fast path)
 }
 
 // New builds a channel.
@@ -49,6 +58,7 @@ func New(cfg Config) (*Channel, error) {
 		ctl:   ctl,
 		queue: controller.NewReorderQueue(ctl, cfg.QueueDepth),
 		link:  cfg.DRAMLink,
+		inj:   cfg.Faults,
 	}, nil
 }
 
@@ -60,9 +70,27 @@ func (ch *Channel) Access(write bool, local int64, arrival int64) int64 {
 	if arrival < 0 {
 		arrival = 0
 	}
-	end := ch.queue.Access(write, ch.decode(local), ch.link.Deliver(arrival))
+	loc := ch.decode(local)
+	end := ch.queue.Access(write, loc, ch.link.Deliver(arrival))
 	if write {
 		return end
+	}
+	if ch.inj != nil {
+		// Transient read error: the ECC detects a flipped bit and the
+		// channel re-reads the burst after a bounded, doubling backoff.
+		// Retry traffic runs through the normal scheduling path, so it
+		// costs real bus cycles and appears in the stats and the probe
+		// stream like any other read.
+		if retries, _ := ch.inj.ReadOutcome(); retries > 0 {
+			for attempt := 0; attempt < retries; attempt++ {
+				at := end + ch.inj.RetryBackoff(attempt)
+				if ch.ctl.HasProbe() {
+					ch.ctl.EmitEvent(probe.Event{Kind: probe.KindReadRetry, Bank: -1,
+						At: at, End: at, Aux: int64(attempt + 1)})
+				}
+				end = ch.queue.Access(false, loc, at)
+			}
+		}
 	}
 	return ch.link.Complete(end)
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/mapping"
 	"repro/internal/probe"
 	"repro/internal/stats"
@@ -87,6 +88,11 @@ type Config struct {
 	Probe probe.Sink
 	// Channel tags emitted events with this channel index.
 	Channel int
+	// Faults, when non-nil, is this channel's fault decision stream (see
+	// internal/fault): the controller draws stall jitter per request and
+	// applies the thermal refresh derate when the plan's cycle passes.
+	// Nil — the default — keeps the hot path fault-free, same as Probe.
+	Faults *fault.ChannelInjector
 }
 
 // Controller is the cycle-level model of one channel: memory controller,
@@ -109,6 +115,8 @@ type Controller struct {
 	actCount      int64
 	srThreshold   int64
 	refreshDebt   int
+	refi          int64 // effective refresh interval (derated thermally)
+	derated       bool
 	nextRefreshAt int64
 	firstCmdAt    int64
 	haveCmd       bool
@@ -160,6 +168,7 @@ func New(cfg Config) (*Controller, error) {
 		probe:  cfg.Probe,
 		chID:   int32(cfg.Channel),
 	}
+	c.refi = cfg.Speed.REFI
 	c.nextRefreshAt = cfg.Speed.REFI
 	switch {
 	case cfg.SelfRefreshThreshold > 0:
@@ -257,7 +266,7 @@ func (c *Controller) refresh(earliest int64) {
 	for i := range c.banks {
 		c.banks[i].actReady = max64(c.banks[i].actReady, done)
 	}
-	c.nextRefreshAt += c.cfg.Speed.REFI
+	c.nextRefreshAt += c.refi
 }
 
 // wake accounts an idle gap before arrival and returns the earliest command
@@ -283,7 +292,7 @@ func (c *Controller) wake(arrival int64) int64 {
 					Bank: -1, At: arrival - (gap - 1), End: arrival, Aux: gap - 1})
 			}
 			earliest = arrival + c.cfg.Speed.XSR
-			c.nextRefreshAt = arrival + c.cfg.Speed.REFI
+			c.nextRefreshAt = arrival + c.refi
 		case gap > 1 && c.cfg.PowerDown:
 			// The cluster powers down after the first idle cycle
 			// and needs tXP before the next command. With all
@@ -360,6 +369,14 @@ func (c *Controller) Access(write bool, loc mapping.Location, arrival int64) int
 	if arrival < 0 {
 		arrival = 0
 	}
+	if c.cfg.Faults != nil {
+		if st := c.cfg.Faults.Stall(); st > 0 {
+			if c.probe != nil {
+				c.emitEv(probe.Event{Kind: probe.KindStall, Bank: -1, At: arrival, End: arrival + st, Aux: st})
+			}
+			arrival += st
+		}
+	}
 	if write && c.cfg.WriteBufferDepth > 0 {
 		// Posted write: buffered with no DRAM interaction, so the
 		// cluster's power state is untouched until the drain.
@@ -396,13 +413,34 @@ func (c *Controller) perform(write bool, loc mapping.Location, earliest, arrival
 	s := c.cfg.Speed
 	attendAt := max64(arrival, max64(c.cmdClock, c.busFreeAt))
 
+	// Thermal derate: once the plan's cycle passes, the refresh interval
+	// shortens (hot devices refresh at a multiple of the nominal rate) and
+	// the next due refresh moves up accordingly.
+	if c.cfg.Faults != nil && !c.derated {
+		if at := c.cfg.Faults.DerateAtCycle(); at > 0 && max64(earliest, c.cmdClock) >= at {
+			c.derated = true
+			c.refi = s.REFI / c.cfg.Faults.RefreshDivisor()
+			if c.refi < 1 {
+				c.refi = 1
+			}
+			if due := max64(earliest, c.cmdClock) + c.refi; c.nextRefreshAt > due {
+				c.nextRefreshAt = due
+			}
+			c.cfg.Faults.CountDerate()
+			if c.probe != nil {
+				c.emitEv(probe.Event{Kind: probe.KindThermalDerate, Bank: -1,
+					At: max64(earliest, c.cmdClock), End: max64(earliest, c.cmdClock), Aux: c.refi})
+			}
+		}
+	}
+
 	// Serve any due refresh before the access, unless postponement has
 	// headroom to keep the stream flowing.
 	if !c.cfg.RefreshDisabled {
 		for c.nextRefreshAt <= max64(earliest, c.cmdClock) {
 			if c.refreshDebt < c.cfg.RefreshPostpone {
 				c.refreshDebt++
-				c.nextRefreshAt += c.cfg.Speed.REFI
+				c.nextRefreshAt += c.refi
 				continue
 			}
 			c.refresh(earliest)
@@ -594,5 +632,6 @@ func (c *Controller) Reset() {
 		chID:   int32(cfg.Channel),
 	}
 	c.srThreshold = srThreshold
+	c.refi = cfg.Speed.REFI
 	c.nextRefreshAt = cfg.Speed.REFI
 }

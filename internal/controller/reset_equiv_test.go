@@ -1,0 +1,158 @@
+package controller
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/probe"
+)
+
+// TestResetEquivalence is the regression guard for the "Reset forgot a
+// field" bug class (a PR once dropped srThreshold on Reset): across
+// randomized configurations and access patterns, a controller that ran a
+// workload and was Reset must replay the workload bit-identically to a
+// freshly constructed controller — same completion times, stats, busy
+// cycles, latency histogram and probe event stream.
+func TestResetEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	speed := speed400(t)
+	bankBytes := speed.Geometry.BankBytes() * int64(speed.Geometry.Banks)
+
+	type op struct {
+		write   bool
+		local   int64
+		arrival int64
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		cfg := Config{
+			Speed:                speed,
+			Policy:               PagePolicy(rng.Intn(2)),
+			PowerDown:            rng.Intn(2) == 0,
+			RecordLatency:        rng.Intn(2) == 0,
+			RefreshPostpone:      rng.Intn(5),
+			PrechargeOnIdle:      rng.Intn(2) == 0,
+			SelfRefreshThreshold: []int64{0, -1, 512 + rng.Int63n(4096)}[rng.Intn(3)],
+			WriteBufferDepth:     rng.Intn(9),
+			Channel:              rng.Intn(4),
+		}
+		var freshRec, resetRec *probe.Recorder
+		if rng.Intn(2) == 0 {
+			freshRec = &probe.Recorder{}
+			resetRec = &probe.Recorder{}
+		}
+		var freshInj, resetInj *fault.Injector
+		if rng.Intn(2) == 0 {
+			plan := fault.Plan{
+				Seed:          rng.Uint64(),
+				ReadErrorRate: float64(rng.Intn(3)) * 0.02,
+				StallRate:     float64(rng.Intn(3)) * 0.01,
+				DerateAtCycle: []int64{0, 1 + rng.Int63n(5000)}[rng.Intn(2)],
+			}
+			var err error
+			if freshInj, err = fault.NewInjector(plan, 1); err != nil {
+				t.Fatal(err)
+			}
+			if resetInj, err = fault.NewInjector(plan, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		ops := make([]op, 400)
+		arrival := int64(0)
+		for i := range ops {
+			// Occasional long gaps exercise power-down and self-refresh.
+			switch rng.Intn(10) {
+			case 0:
+				arrival += speed.REFI * (1 + rng.Int63n(6))
+			case 1, 2:
+				arrival += rng.Int63n(200)
+			}
+			ops[i] = op{
+				write:   rng.Intn(2) == 0,
+				local:   rng.Int63n(bankBytes) &^ 15,
+				arrival: arrival,
+			}
+		}
+
+		run := func(c *Controller, inj *fault.ChannelInjector) ([]int64, int64) {
+			var ends []int64
+			for _, o := range ops {
+				end := c.AccessAddr(o.write, o.local, o.arrival)
+				if inj != nil && !o.write {
+					// Mirror the channel layer's ECC retry re-issue so the
+					// fault stream advances like a real run.
+					if retries, _ := inj.ReadOutcome(); retries > 0 {
+						for a := 0; a < retries; a++ {
+							end = c.AccessAddr(false, o.local, end+inj.RetryBackoff(a))
+						}
+					}
+				}
+				ends = append(ends, end)
+			}
+			return ends, c.Flush()
+		}
+
+		freshCfg := cfg
+		if freshRec != nil {
+			freshCfg.Probe = freshRec
+		}
+		if freshInj != nil {
+			freshCfg.Faults = freshInj.Channel(0)
+		}
+		fresh := newCtl(t, freshCfg)
+		var freshChInj *fault.ChannelInjector
+		if freshInj != nil {
+			freshChInj = freshInj.Channel(0)
+		}
+		wantEnds, wantFlush := run(fresh, freshChInj)
+
+		resetCfg := cfg
+		if resetRec != nil {
+			resetCfg.Probe = resetRec
+		}
+		var resetChInj *fault.ChannelInjector
+		if resetInj != nil {
+			resetCfg.Faults = resetInj.Channel(0)
+			resetChInj = resetInj.Channel(0)
+		}
+		ctl := newCtl(t, resetCfg)
+		run(ctl, resetChInj) // dirty the controller
+		ctl.Reset()
+		if resetInj != nil {
+			resetInj.Reset()
+		}
+		if resetRec != nil {
+			resetRec.Events = resetRec.Events[:0]
+		}
+		gotEnds, gotFlush := run(ctl, resetChInj)
+
+		if !reflect.DeepEqual(gotEnds, wantEnds) {
+			for i := range wantEnds {
+				if gotEnds[i] != wantEnds[i] {
+					t.Fatalf("trial %d (cfg %+v): op %d completed at %d after Reset, fresh at %d",
+						trial, cfg, i, gotEnds[i], wantEnds[i])
+				}
+			}
+		}
+		if gotFlush != wantFlush {
+			t.Errorf("trial %d: flush %d after Reset, fresh %d", trial, gotFlush, wantFlush)
+		}
+		if got, want := ctl.Stats(), fresh.Stats(); got != want {
+			t.Errorf("trial %d (cfg %+v): stats diverged after Reset:\nreset: %+v\nfresh: %+v",
+				trial, cfg, got, want)
+		}
+		if got, want := ctl.BusyCycles(), fresh.BusyCycles(); got != want {
+			t.Errorf("trial %d: busy cycles %d after Reset, fresh %d", trial, got, want)
+		}
+		if cfg.RecordLatency && !reflect.DeepEqual(ctl.Latency(), fresh.Latency()) {
+			t.Errorf("trial %d: latency histograms diverged", trial)
+		}
+		if freshRec != nil && !reflect.DeepEqual(resetRec.Events, freshRec.Events) {
+			t.Errorf("trial %d: probe event streams diverged after Reset (%d vs %d events)",
+				trial, len(resetRec.Events), len(freshRec.Events))
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/load"
 	"repro/internal/mapping"
 	"repro/internal/memsys"
@@ -74,6 +75,17 @@ type MemoryConfig struct {
 	// memsys.Config.NewProbe). Events cover only the simulated fraction
 	// of the frame when sampling.
 	NewProbe func(channel int) probe.Sink
+	// Faults, when non-nil and enabled, injects the deterministic fault
+	// plan into the subsystem (channel dropout, thermal refresh derate,
+	// transient read errors, controller stall jitter — see internal/fault).
+	// Nil keeps every hot path fault-free.
+	Faults *fault.Plan
+	// Serial forces single-goroutine execution even for multi-channel
+	// configurations. The per-channel op order is identical either way
+	// (the bit-identical guarantee), so this is a debugging/CI knob: the
+	// determinism gate runs the same fault scenario serial and parallel
+	// and diffs the QoS reports byte for byte.
+	Serial bool
 }
 
 // PaperMemory returns the paper's baseline configuration at the given
@@ -196,6 +208,11 @@ type Result struct {
 	// (nil unless Workload.RecordLatency was set). Latencies are raw
 	// samples, not scaled by the sample fraction.
 	Latency *stats.Histogram
+
+	// QoS carries the fault-injection quality-of-service accounting (nil
+	// unless MemoryConfig.Faults is set and enabled). Same seed, same
+	// plan ⇒ byte-identical QoS.Report(), serial or parallel.
+	QoS *fault.QoS
 }
 
 // memsysConfig lowers the MemoryConfig for the subsystem constructor.
@@ -213,8 +230,9 @@ func (mc MemoryConfig) memsysConfig() memsys.Config {
 		RefreshPostpone:       mc.RefreshPostpone,
 		PrechargeOnIdle:       mc.PrechargeOnIdle,
 		InterleaveGranularity: mc.InterleaveGranularity,
-		Parallel:              mc.Channels > 1,
+		Parallel:              mc.Channels > 1 && !mc.Serial,
 		NewProbe:              mc.NewProbe,
+		Faults:                mc.Faults,
 	}
 }
 
@@ -243,15 +261,18 @@ func scaleStats(st stats.Channel, k float64) stats.Channel {
 
 // Simulate runs one frame of the workload on the memory configuration.
 func Simulate(w Workload, mc MemoryConfig) (Result, error) {
+	if err := mc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
 	if w.Params == (usecase.Params{}) {
 		w.Params = usecase.DefaultParams()
 	}
 	fraction := w.SampleFraction
 	if fraction == 0 {
 		fraction = 1
-	}
-	if fraction < 0 || fraction > 1 {
-		return Result{}, fmt.Errorf("core: sample fraction %v outside (0,1]", fraction)
 	}
 
 	ucLoad, err := usecase.New(w.Profile, w.Params)
@@ -341,6 +362,17 @@ func Simulate(w Workload, mc MemoryConfig) (Result, error) {
 		for _, ch := range sys.Channels() {
 			res.Latency.Merge(ch.Latency())
 		}
+	}
+	if inj := sys.Injector(); inj != nil {
+		q := fault.NewQoS(1)
+		q.Counters = inj.Counters()
+		q.FailedChannel = run.FailedChannel
+		q.DropClock = run.DropClock
+		if res.Verdict == Infeasible {
+			q.DeadlineMisses = 1
+			q.FirstMissFrame = 0
+		}
+		res.QoS = &q
 	}
 	return res, nil
 }

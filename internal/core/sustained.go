@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/load"
 	"repro/internal/memsys"
 	"repro/internal/power"
@@ -38,15 +39,18 @@ func SimulateSustained(w Workload, mc MemoryConfig, frames int) (SustainedResult
 	if frames <= 0 {
 		return SustainedResult{}, fmt.Errorf("core: %d frames", frames)
 	}
+	if err := mc.Validate(); err != nil {
+		return SustainedResult{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return SustainedResult{}, err
+	}
 	if w.Params == (usecase.Params{}) {
 		w.Params = usecase.DefaultParams()
 	}
 	fraction := w.SampleFraction
 	if fraction == 0 {
 		fraction = 1
-	}
-	if fraction < 0 || fraction > 1 {
-		return SustainedResult{}, fmt.Errorf("core: sample fraction %v outside (0,1]", fraction)
 	}
 
 	ucLoad, err := usecase.New(w.Profile, w.Params)
@@ -144,6 +148,19 @@ func SimulateSustained(w Workload, mc MemoryConfig, frames int) (SustainedResult
 	}
 	if n := int64(len(run.PerChannel)) * windowCycles; n > 0 {
 		res.PowerDownResidency = float64(pdCycles) / float64(n)
+	}
+	if inj := sys.Injector(); inj != nil {
+		q := fault.NewQoS(frames)
+		q.Counters = inj.Counters()
+		q.FailedChannel = run.FailedChannel
+		q.DropClock = run.DropClock
+		if res.Lateness > 0 {
+			// A single paced run only exposes terminal lateness; per-frame
+			// miss accounting needs the degradation engine (SimulateDegraded).
+			q.DeadlineMisses = 1
+			q.FirstMissFrame = frames - 1
+		}
+		res.QoS = &q
 	}
 	return res, nil
 }

@@ -1,0 +1,208 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name     string
+		plan     Plan
+		channels int
+		wantErr  string
+	}{
+		{"zero plan", Plan{}, 4, ""},
+		{"good dropout", Plan{DropChannel: 1, DropAtCycle: 100}, 4, ""},
+		{"dropout channel out of range", Plan{DropChannel: 4, DropAtCycle: 100}, 4, "outside"},
+		{"dropout negative channel", Plan{DropChannel: -1, DropAtCycle: 100}, 4, "outside"},
+		{"dropout single channel", Plan{DropChannel: 0, DropAtCycle: 100}, 1, "only channel"},
+		{"negative drop cycle", Plan{DropAtCycle: -1}, 4, "negative dropout cycle"},
+		{"negative derate cycle", Plan{DerateAtCycle: -5}, 4, "negative derate cycle"},
+		{"read error rate too high", Plan{ReadErrorRate: 1.5}, 4, "outside [0,1]"},
+		{"negative stall rate", Plan{StallRate: -0.1}, 4, "outside [0,1]"},
+		{"negative retry limit", Plan{RetryLimit: -1}, 4, "negative retry limit"},
+		{"negative stall bound", Plan{StallMaxCycles: -1}, 4, "negative stall bound"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(tc.channels)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestPlanEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	if (Plan{Seed: 7}).Enabled() {
+		t.Error("seed-only plan reports enabled")
+	}
+	for _, p := range []Plan{
+		{DropAtCycle: 1},
+		{DerateAtCycle: 1},
+		{ReadErrorRate: 0.01},
+		{StallRate: 0.01},
+	} {
+		if !p.Enabled() {
+			t.Errorf("plan %+v reports disabled", p)
+		}
+	}
+}
+
+// Two injectors with the same plan must produce identical decision
+// sequences; sibling channels must not mirror each other.
+func TestStreamDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, ReadErrorRate: 0.3, StallRate: 0.2}
+	a, err := NewInjector(plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sameAsSibling int
+	const draws = 1000
+	for i := 0; i < draws; i++ {
+		ra, _ := a.Channel(0).ReadOutcome()
+		rb, _ := b.Channel(0).ReadOutcome()
+		if ra != rb {
+			t.Fatalf("draw %d: channel 0 diverged (%d vs %d)", i, ra, rb)
+		}
+		rs, _ := a.Channel(1).ReadOutcome()
+		if rs == ra {
+			sameAsSibling++
+		}
+		if sa, sb := a.Channel(0).Stall(), b.Channel(0).Stall(); sa != sb {
+			t.Fatalf("draw %d: stalls diverged (%d vs %d)", i, sa, sb)
+		}
+	}
+	if sameAsSibling == draws {
+		t.Error("channel 1's stream mirrors channel 0's")
+	}
+	if a.Channel(0).Counters() != b.Channel(0).Counters() {
+		t.Errorf("counters diverged: %+v vs %+v", a.Channel(0).Counters(), b.Channel(0).Counters())
+	}
+}
+
+func TestResetReplaysStream(t *testing.T) {
+	plan := Plan{Seed: 9, ReadErrorRate: 0.25, StallRate: 0.25}
+	in, err := NewInjector(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := in.Channel(0)
+	type draw struct {
+		retries int
+		stall   int64
+	}
+	var first []draw
+	for i := 0; i < 200; i++ {
+		r, _ := ci.ReadOutcome()
+		first = append(first, draw{r, ci.Stall()})
+	}
+	cnt := in.Counters()
+	in.Reset()
+	if got := in.Counters(); got != (Counters{}) {
+		t.Fatalf("counters after reset: %+v", got)
+	}
+	for i, want := range first {
+		r, _ := ci.ReadOutcome()
+		s := ci.Stall()
+		if r != want.retries || s != want.stall {
+			t.Fatalf("replay draw %d: (%d,%d), want (%d,%d)", i, r, s, want.retries, want.stall)
+		}
+	}
+	if got := in.Counters(); got != cnt {
+		t.Errorf("replayed counters %+v, want %+v", got, cnt)
+	}
+}
+
+func TestReadOutcomeCounters(t *testing.T) {
+	// Rate 1 forces an error on every draw, so every read exhausts its
+	// retry budget.
+	in, err := NewInjector(Plan{ReadErrorRate: 1, RetryLimit: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := in.Channel(0)
+	retries, exhausted := ci.ReadOutcome()
+	if retries != 2 || !exhausted {
+		t.Errorf("ReadOutcome = (%d,%v), want (2,true)", retries, exhausted)
+	}
+	c := ci.Counters()
+	if c.ReadErrors != 1 || c.Retries != 2 || c.RetriesExhausted != 1 {
+		t.Errorf("counters %+v", c)
+	}
+	// Rate 0 must not advance the stream or count anything.
+	in2, _ := NewInjector(Plan{StallRate: 1, StallMaxCycles: 4}, 1)
+	ci2 := in2.Channel(0)
+	if r, _ := ci2.ReadOutcome(); r != 0 {
+		t.Errorf("clean plan produced %d retries", r)
+	}
+	s := ci2.Stall()
+	if s < 1 || s > 4 {
+		t.Errorf("stall %d outside [1,4]", s)
+	}
+	if c := ci2.Counters(); c.Stalls != 1 || c.StallCycles != s {
+		t.Errorf("stall counters %+v", c)
+	}
+}
+
+func TestRetryBackoffDoubles(t *testing.T) {
+	in, _ := NewInjector(Plan{ReadErrorRate: 0.5, RetryBackoff: 8}, 1)
+	ci := in.Channel(0)
+	for i, want := range []int64{8, 16, 32, 64} {
+		if got := ci.RetryBackoff(i); got != want {
+			t.Errorf("backoff(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := ci.RetryBackoff(40); got > 1<<21 {
+		t.Errorf("backoff(40) = %d, want capped", got)
+	}
+}
+
+func TestQoSReport(t *testing.T) {
+	q := NewQoS(8)
+	if q.FailedChannel != -1 || q.FirstMissFrame != -1 || q.RecoveredFrame != -1 {
+		t.Fatalf("sentinels not initialized: %+v", q)
+	}
+	if !q.Recovered() {
+		t.Error("pristine run reports unrecovered")
+	}
+	if q.TimeToRecoverFrames() != -1 {
+		t.Error("pristine run reports a recovery time")
+	}
+	q.FailedChannel = 2
+	q.DropClock = 12345
+	q.DeadlineMisses = 1
+	q.FirstMissFrame = 3
+	q.RecoveredFrame = 5
+	q.Steps = []Step{{Frame: 3, Action: "half frame rate (drop alternate frames)"}}
+	r := q.Report()
+	for _, want := range []string{
+		"channel 2 at dispatch cycle 12345",
+		"1 deadline misses",
+		"after frame 3: half frame rate",
+		"frame 5 (2 frame(s) after first miss)",
+	} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+	if q.TimeToRecoverFrames() != 2 {
+		t.Errorf("TimeToRecoverFrames = %d, want 2", q.TimeToRecoverFrames())
+	}
+	// The report must be deterministic text.
+	if q.Report() != r {
+		t.Error("report not stable across calls")
+	}
+}

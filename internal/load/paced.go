@@ -56,6 +56,55 @@ func (g *Generator) Paced(fraction float64, periodCycles, paceCycles int64, fram
 	}, nil
 }
 
+// PacedFrame returns a transaction source for a single frame whose arrivals
+// are spread evenly across the paceCycles starting at startCycle. It is the
+// one-slot building block the degradation engine uses to pace frames
+// individually while it adapts the workload between slots (see
+// core.SimulateDegraded); cycle values are in the caller's clock domain, so
+// a sampling caller passes an already fraction-scaled slot.
+func (g *Generator) PacedFrame(fraction float64, startCycle, paceCycles int64) (memsys.Source, error) {
+	if startCycle < 0 {
+		return nil, fmt.Errorf("load: negative slot start %d", startCycle)
+	}
+	if paceCycles <= 0 {
+		return nil, fmt.Errorf("load: pace window %d cycles", paceCycles)
+	}
+	src, err := g.Frame(fraction) // validates fraction
+	if err != nil {
+		return nil, err
+	}
+	var frameBytes int64
+	for _, st := range g.stages {
+		for _, s := range st.streams {
+			frameBytes += int64(float64(s.bytes) * fraction)
+		}
+	}
+	if frameBytes <= 0 {
+		return nil, fmt.Errorf("load: empty frame at fraction %v", fraction)
+	}
+	return &slotSource{src: src, start: startCycle, pace: paceCycles, frameBytes: frameBytes}, nil
+}
+
+// slotSource stamps paced arrivals for one frame slot.
+type slotSource struct {
+	src        memsys.Source
+	start      int64
+	pace       int64
+	frameBytes int64
+	sent       int64
+}
+
+// Next implements memsys.Source.
+func (s *slotSource) Next() (memsys.Request, bool) {
+	req, ok := s.src.Next()
+	if !ok {
+		return memsys.Request{}, false
+	}
+	req.Arrival = s.start + s.sent*s.pace/s.frameBytes
+	s.sent += req.Bytes
+	return req, true
+}
+
 // pacedSource stamps arrivals onto the frame source and re-arms it for each
 // successive frame slot.
 type pacedSource struct {

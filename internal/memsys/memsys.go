@@ -13,6 +13,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/controller"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/interconnect"
 	"repro/internal/mapping"
 	"repro/internal/probe"
@@ -69,6 +70,12 @@ type Config struct {
 	// mutable state (probe.TimeSeries.Channel and probe.Trace.Channel
 	// satisfy this).
 	NewProbe func(channel int) probe.Sink
+	// Faults, when non-nil and enabled, injects the deterministic seeded
+	// fault plan (see internal/fault): channel dropout with re-interleave
+	// over the survivors, thermal refresh derate, transient read errors
+	// with ECC retry traffic, and controller stall jitter. Nil keeps every
+	// hot path on the fault-free nil-check fast path, like NewProbe.
+	Faults *fault.Plan
 }
 
 // PaperConfig returns the paper's baseline configuration at the given
@@ -128,6 +135,21 @@ type System struct {
 	interleave mapping.ChannelInterleave
 	onchip     interconnect.Link
 	chans      []*channel.Channel
+
+	// Fault state. The dispatch clock is a deterministic lower bound on
+	// the simulation time at the point of dispatch — the latest request
+	// arrival seen, or the dispatched data-bus cycles spread evenly over
+	// the live channels, whichever is larger — so the dropout trigger
+	// depends only on the request stream, never on completion times, and
+	// serial and parallel runs fail the channel at the identical burst.
+	inj         *fault.Injector
+	dropped     bool
+	deadChannel int
+	dropClock   int64
+	survivors   []int                     // logical -> physical after dropout
+	liveIlv     mapping.ChannelInterleave // Table II remap over M-1
+	dispArrival int64                     // max request arrival dispatched
+	dispBus     int64                     // data-bus cycles dispatched
 }
 
 // New builds the subsystem, validating the configuration.
@@ -168,11 +190,22 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, speed: speed, interleave: interleave, onchip: onchip}
+	s := &System{cfg: cfg, speed: speed, interleave: interleave, onchip: onchip, deadChannel: -1}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(*cfg.Faults, cfg.Channels)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+	}
 	for i := 0; i < cfg.Channels; i++ {
 		var sink probe.Sink
 		if cfg.NewProbe != nil {
 			sink = cfg.NewProbe(i)
+		}
+		var chInj *fault.ChannelInjector
+		if s.inj != nil {
+			chInj = s.inj.Channel(i)
 		}
 		ch, err := channel.New(channel.Config{
 			Controller: controller.Config{
@@ -186,9 +219,11 @@ func New(cfg Config) (*System, error) {
 				PrechargeOnIdle:  cfg.PrechargeOnIdle,
 				Probe:            sink,
 				Channel:          i,
+				Faults:           chInj,
 			},
 			DRAMLink:   dramLink,
 			QueueDepth: cfg.QueueDepth,
+			Faults:     chInj,
 		})
 		if err != nil {
 			return nil, err
@@ -231,6 +266,11 @@ type Result struct {
 	Bursts       int64
 	// PerChannel holds each channel's statistics.
 	PerChannel []stats.Channel
+	// FailedChannel is the channel the fault plan dropped (-1 = none);
+	// DropClock is the dispatch-clock cycle the dropout fired at. A
+	// dropout persists across Run calls on the same System.
+	FailedChannel int
+	DropClock     int64
 }
 
 // Totals aggregates the per-channel statistics (counts summed, makespan
@@ -271,7 +311,7 @@ func (r Result) BusUtilization() float64 {
 // to its channel in program order (concurrently across channels when
 // Parallel is set — same results, faster simulation).
 func (s *System) Run(src Source) (Result, error) {
-	res := Result{PerChannel: make([]stats.Channel, len(s.chans))}
+	res := Result{PerChannel: make([]stats.Channel, len(s.chans)), FailedChannel: -1}
 	burst := s.cfg.Geometry.BurstBytes()
 	var last int64
 
@@ -312,6 +352,9 @@ func (s *System) Run(src Source) (Result, error) {
 		}
 	}
 
+	// Pending dropout from the fault plan (fires at most once per System).
+	dropPending := s.inj != nil && !s.dropped && s.inj.Plan().DropAtCycle > 0
+
 	for {
 		req, ok := src.Next()
 		if !ok {
@@ -329,13 +372,22 @@ func (s *System) Run(src Source) (Result, error) {
 		} else {
 			res.BytesRead += req.Bytes
 		}
+		if req.Arrival > s.dispArrival {
+			s.dispArrival = req.Arrival
+		}
+		if dropPending && s.dispatchClock() >= s.inj.Plan().DropAtCycle {
+			dropPending = false
+			if parallel {
+				flush() // drain in-flight work so events sit at the failure point
+			}
+			s.failChannel(s.inj.Plan().DropChannel)
+		}
 		arrival := s.onchip.Deliver(req.Arrival)
 		// Split into whole bursts covering [Addr, Addr+Bytes).
 		start := req.Addr - req.Addr%burst
 		end := req.Addr + req.Bytes
 		for a := start; a < end; a += burst {
-			ch := s.interleave.Channel(a)
-			local := s.interleave.Local(a)
+			ch, local := s.route(a)
 			if parallel {
 				batches[ch] = append(batches[ch], chanOp{write: req.Write, local: local, arrival: arrival})
 				if len(batches[ch]) >= batchOps {
@@ -347,6 +399,7 @@ func (s *System) Run(src Source) (Result, error) {
 					last = done
 				}
 			}
+			s.dispBus += s.speed.BurstCycles
 			res.Bursts++
 			res.BusBytes += burst
 		}
@@ -366,7 +419,75 @@ func (s *System) Run(src Source) (Result, error) {
 		res.Cycles = 0
 	}
 	res.Time = s.speed.CycleDuration(res.Cycles)
+	if s.dropped {
+		res.FailedChannel = s.deadChannel
+		res.DropClock = s.dropClock
+	}
 	return res, nil
+}
+
+// dispatchClock returns the deterministic dispatch-time lower bound the
+// dropout trigger is evaluated against (see the System field comment).
+func (s *System) dispatchClock() int64 {
+	live := int64(len(s.chans))
+	if s.dropped {
+		live = int64(len(s.survivors))
+	}
+	if c := s.dispBus / live; c > s.dispArrival {
+		return c
+	}
+	return s.dispArrival
+}
+
+// route maps a system byte address to its (physical channel, local address),
+// honoring the post-dropout Table II remap over the survivors.
+func (s *System) route(addr int64) (int, int64) {
+	if !s.dropped {
+		return s.interleave.Channel(addr), s.interleave.Local(addr)
+	}
+	return s.survivors[s.liveIlv.Channel(addr)], s.liveIlv.Local(addr)
+}
+
+// failChannel drops the channel permanently: subsequent traffic is
+// re-interleaved over the M-1 survivors at the original granularity, and a
+// channel-fail event is emitted on every observed channel so the failure
+// point is visible on each trace track.
+func (s *System) failChannel(dead int) {
+	s.dropClock = s.dispatchClock() // before dropped flips: clock over M live channels
+	s.dropped = true
+	s.deadChannel = dead
+	s.survivors = s.survivors[:0]
+	for i := range s.chans {
+		if i != dead {
+			s.survivors = append(s.survivors, i)
+		}
+	}
+	// len(survivors) >= 1 is guaranteed by fault.Plan.Validate.
+	ilv, err := mapping.NewChannelInterleave(len(s.survivors), s.interleave.Granularity())
+	if err != nil {
+		// Unreachable: the original interleave validated the granularity.
+		panic(fmt.Sprintf("memsys: survivor interleave: %v", err))
+	}
+	s.liveIlv = ilv
+	for _, ch := range s.chans {
+		if ch.Observed() {
+			ch.Controller().EmitEvent(probe.Event{Kind: probe.KindChannelFail, Bank: -1,
+				At: s.dropClock, End: s.dropClock, Aux: int64(dead)})
+		}
+	}
+}
+
+// Injector returns the instantiated fault injector (nil when the
+// configuration carries no enabled fault plan).
+func (s *System) Injector() *fault.Injector { return s.inj }
+
+// FailedChannel returns the dropped channel index (-1 when none, or none
+// yet) and the dispatch-clock cycle the dropout fired at.
+func (s *System) FailedChannel() (int, int64) {
+	if !s.dropped {
+		return -1, 0
+	}
+	return s.deadChannel, s.dropClock
 }
 
 // chanOp is one burst bound for a specific channel in a parallel batch.
@@ -376,9 +497,21 @@ type chanOp struct {
 	arrival int64
 }
 
-// Reset restores every channel to its initial state.
+// Reset restores every channel to its initial state, revives a dropped
+// channel, and rewinds the fault decision streams so a reset system replays
+// the identical fault sequence.
 func (s *System) Reset() {
 	for _, ch := range s.chans {
 		ch.Reset()
+	}
+	s.dropped = false
+	s.deadChannel = -1
+	s.dropClock = 0
+	s.survivors = nil
+	s.liveIlv = mapping.ChannelInterleave{}
+	s.dispArrival = 0
+	s.dispBus = 0
+	if s.inj != nil {
+		s.inj.Reset()
 	}
 }

@@ -57,6 +57,24 @@ const (
 	// cycles (completion minus arrival of the triggering request; under a
 	// reorder window the completing request may differ from the arrival).
 	KindComplete
+	// KindChannelFail marks a channel dropout (see internal/fault): Aux is
+	// the failed channel index. The subsystem emits it on every observed
+	// channel so each trace track shows the failure point.
+	KindChannelFail
+	// KindThermalDerate marks the controller switching to the derated
+	// (shortened) refresh interval; Aux is the new interval in cycles.
+	KindThermalDerate
+	// KindReadRetry marks one ECC read-retry re-issued after a transient
+	// read error; Aux is the 1-based retry attempt.
+	KindReadRetry
+	// KindStall marks an injected controller stall of Aux cycles.
+	KindStall
+	// KindDegrade marks the degradation engine stepping the workload down;
+	// Aux is the new ladder level.
+	KindDegrade
+	// KindRecover marks the first frame meeting its deadline again after a
+	// miss; Aux is the frame index.
+	KindRecover
 
 	numKinds
 )
@@ -88,6 +106,18 @@ func (k Kind) String() string {
 		return "enqueue"
 	case KindComplete:
 		return "complete"
+	case KindChannelFail:
+		return "channel-fail"
+	case KindThermalDerate:
+		return "thermal-derate"
+	case KindReadRetry:
+		return "read-retry"
+	case KindStall:
+		return "stall"
+	case KindDegrade:
+		return "degrade"
+	case KindRecover:
+		return "recover"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

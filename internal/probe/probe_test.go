@@ -7,18 +7,24 @@ import (
 
 func TestKindString(t *testing.T) {
 	want := map[Kind]string{
-		KindActivate:    "ACT",
-		KindPrecharge:   "PRE",
-		KindRead:        "RD",
-		KindWrite:       "WR",
-		KindRefresh:     "REF",
-		KindRowHit:      "row-hit",
-		KindRowMiss:     "row-miss",
-		KindRowConflict: "row-conflict",
-		KindPowerDown:   "power-down",
-		KindSelfRefresh: "self-refresh",
-		KindEnqueue:     "enqueue",
-		KindComplete:    "complete",
+		KindActivate:      "ACT",
+		KindPrecharge:     "PRE",
+		KindRead:          "RD",
+		KindWrite:         "WR",
+		KindRefresh:       "REF",
+		KindRowHit:        "row-hit",
+		KindRowMiss:       "row-miss",
+		KindRowConflict:   "row-conflict",
+		KindPowerDown:     "power-down",
+		KindSelfRefresh:   "self-refresh",
+		KindEnqueue:       "enqueue",
+		KindComplete:      "complete",
+		KindChannelFail:   "channel-fail",
+		KindThermalDerate: "thermal-derate",
+		KindReadRetry:     "read-retry",
+		KindStall:         "stall",
+		KindDegrade:       "degrade",
+		KindRecover:       "recover",
 	}
 	if len(want) != int(numKinds) {
 		t.Fatalf("test covers %d kinds, package defines %d", len(want), numKinds)

@@ -178,6 +178,26 @@ func convert(ch int, ev Event) []ChromeEvent {
 				Args: map[string]any{"latency_cycles": ev.Aux}},
 			{Name: "queue_depth", Ph: "C", Ts: ev.At, Pid: ch, Tid: tidRequests, Args: map[string]any{"depth": ev.Depth}},
 		}
+	case KindChannelFail:
+		// Process-scoped instant so the dropout is visible on every track
+		// of the channel at the failure point.
+		return []ChromeEvent{{Name: "CHANNEL FAIL", Ph: "i", Ts: ev.At, Pid: ch, Tid: tidRequests, Scope: "p",
+			Args: map[string]any{"failed_channel": ev.Aux}}}
+	case KindThermalDerate:
+		return []ChromeEvent{{Name: "thermal-derate", Ph: "i", Ts: ev.At, Pid: ch, Tid: tidPower, Scope: "p",
+			Args: map[string]any{"refresh_interval_cycles": ev.Aux}}}
+	case KindReadRetry:
+		return []ChromeEvent{{Name: "read-retry", Ph: "i", Ts: ev.At, Pid: ch, Tid: tidRequests, Scope: "t",
+			Args: map[string]any{"attempt": ev.Aux}}}
+	case KindStall:
+		return []ChromeEvent{{Name: "stall", Ph: "X", Ts: ev.At, Dur: dur(ev), Pid: ch, Tid: tidRequests,
+			Args: map[string]any{"stall_cycles": ev.Aux}}}
+	case KindDegrade:
+		return []ChromeEvent{{Name: "degrade", Ph: "i", Ts: ev.At, Pid: ch, Tid: tidRequests, Scope: "p",
+			Args: map[string]any{"ladder_level": ev.Aux}}}
+	case KindRecover:
+		return []ChromeEvent{{Name: "recover", Ph: "i", Ts: ev.At, Pid: ch, Tid: tidRequests, Scope: "p",
+			Args: map[string]any{"frame": ev.Aux}}}
 	default:
 		// Row hits/misses stay in the time series; they would double the
 		// trace size for little visual value.

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadText exercises the text parser with arbitrary input. Invariants:
+// Read never panics; when it accepts input, every parsed request satisfies
+// the format's constraints (positive size, non-negative address), and
+// Write/Read round-trips the parsed requests exactly — modulo the one
+// canonicalization Write applies (a zero arrival is omitted).
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("R 0 16\n"))
+	f.Add([]byte("W 1024 64 200\n"))
+	f.Add([]byte("# comment\n\nr 16 16 0\nw 32 16\n"))
+	f.Add([]byte("R 9223372036854775807 1\n"))
+	f.Add([]byte("R 0 16 -5\n"))
+	f.Add([]byte("X 0 16\n"))
+	f.Add([]byte("R 0\n"))
+	f.Add([]byte("R 0 16 1 2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; not panicking is the invariant
+		}
+		for i, r := range reqs {
+			if r.Bytes <= 0 {
+				t.Fatalf("request %d: accepted non-positive size %d", i, r.Bytes)
+			}
+			if r.Addr < 0 {
+				t.Fatalf("request %d: accepted negative address %d", i, r.Addr)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, reqs); err != nil {
+			t.Fatalf("Write rejected requests Read accepted: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read rejected Write's own output: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip changed count: %d -> %d", len(reqs), len(again))
+		}
+		if len(reqs) > 0 && !reflect.DeepEqual(again, reqs) {
+			t.Fatalf("round trip changed requests:\nin:  %+v\nout: %+v", reqs, again)
+		}
+	})
+}
