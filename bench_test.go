@@ -202,10 +202,16 @@ func BenchmarkChannelScaling(b *testing.B) {
 	b.ReportMetric(t1/t8, "1ch_vs_8ch_speedup")
 }
 
-// BenchmarkRawChannel measures the simulator's own throughput: bursts
-// simulated per second on a saturated sequential read stream.
-func BenchmarkRawChannel(b *testing.B) {
-	sys, err := memsys.New(memsys.PaperConfig(4, 400*units.MHz))
+// rawRun drives the saturated 4 MiB sequential read stream through a
+// 4-channel system built from the (possibly mutated) paper configuration —
+// the shared core of the simulator-throughput benchmarks below.
+func rawRun(b *testing.B, mutate func(*memsys.Config)) {
+	b.Helper()
+	cfg := memsys.PaperConfig(4, 400*units.MHz)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sys, err := memsys.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -218,6 +224,35 @@ func BenchmarkRawChannel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRawChannel measures the simulator's own throughput: bursts
+// simulated per second on a saturated sequential read stream, on the
+// default (serial, burst-coalesced) dispatch path. ci.sh gates this
+// number against the floor in results/BENCH_FLOOR.
+func BenchmarkRawChannel(b *testing.B) {
+	rawRun(b, nil)
+}
+
+// BenchmarkPerBurstRun is the same stream with coalescing disabled — the
+// pre-optimization per-burst dispatch loop, kept measurable so the gain
+// (and the cost of the probe/fault fallback path) stays visible.
+func BenchmarkPerBurstRun(b *testing.B) {
+	rawRun(b, func(cfg *memsys.Config) { cfg.NoCoalesce = true })
+}
+
+// BenchmarkCoalescedRun pins the burst-coalesced fast path explicitly
+// (independent of the config default), for before/after comparison with
+// BenchmarkPerBurstRun.
+func BenchmarkCoalescedRun(b *testing.B) {
+	rawRun(b, func(cfg *memsys.Config) { cfg.NoCoalesce = false })
+}
+
+// BenchmarkParallelRun adds the persistent per-channel worker engine on
+// top of coalescing: one goroutine per channel fed with reusable op
+// batches, zero allocations per flush.
+func BenchmarkParallelRun(b *testing.B) {
+	rawRun(b, func(cfg *memsys.Config) { cfg.Parallel = true })
 }
 
 // probeBenchRun drives one saturated 4 MiB stream through a 4-channel

@@ -3,12 +3,15 @@
 # race-enabled tests, the probe-overhead guard asserting that the
 # disabled observability path stays within PROBE_OVERHEAD_MAX_PCT
 # (default 2%) of the uninstrumented channel throughput, a fuzz smoke
-# pass over the parser/decoder fuzz targets, and the fault determinism
-# gate diffing serial-vs-parallel QoS reports byte for byte.
+# pass over the parser/decoder fuzz targets, the fault determinism
+# gate diffing serial-vs-parallel QoS reports byte for byte, and the
+# throughput gate recording the simulator benchmarks to
+# results/BENCH_<date>.json and failing if BenchmarkRawChannel falls
+# below the floor checked in at results/BENCH_FLOOR.
 #
 # Usage: ./ci.sh [-quick]
-#   -quick skips the race detector, the overhead benchmark, the fuzz
-#   smoke and the determinism gate.
+#   -quick skips the race detector, the benchmarks, the fuzz smoke and
+#   the determinism gate.
 set -eu
 
 cd "$(dirname "$0")"
@@ -88,4 +91,50 @@ while :; do
     i=$((i + 1))
     echo "ci: retrying overhead benchmark (attempt $i of $attempts)"
 done
+
+echo "== benchmark throughput gate =="
+# Record the simulator-throughput benchmarks (best of BENCH_COUNT runs
+# per name: min ns/op, max MB/s — noise only ever slows an iteration)
+# to results/BENCH_<date>.json and gate the headline BenchmarkRawChannel
+# MB/s against the checked-in floor. The floor is deliberately far below
+# tuned-hardware numbers so only a real regression (e.g. losing the
+# burst-coalesced fast path) trips it.
+mkdir -p results
+bench_json="results/BENCH_$(date +%Y%m%d).json"
+raw_out=$(go test -run '^$' \
+    -bench 'BenchmarkRawChannel$|BenchmarkPerBurstRun$|BenchmarkCoalescedRun$|BenchmarkParallelRun$' \
+    -benchmem -benchtime "${BENCH_BENCHTIME:-0.5s}" -count "${BENCH_COUNT:-3}" .)
+echo "$raw_out"
+echo "$raw_out" | awk -v date="$(date +%Y-%m-%d)" '
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        ns = 0; mbs = 0; alloc = -1
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op") ns = $(i-1)
+            if ($i == "MB/s") mbs = $(i-1)
+            if ($i == "allocs/op") alloc = $(i-1)
+        }
+        if (!(name in best_ns) || ns < best_ns[name]) best_ns[name] = ns
+        if (!(name in best_mbs) || mbs > best_mbs[name]) best_mbs[name] = mbs
+        allocs[name] = alloc
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+    END {
+        printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": {\n", date
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            printf "    \"%s\": {\"ns_per_op\": %s, \"mb_per_s\": %s, \"allocs_per_op\": %s}%s\n",
+                name, best_ns[name], best_mbs[name], allocs[name], (i < n ? "," : "")
+        }
+        printf "  }\n}\n"
+    }' > "$bench_json"
+echo "ci: wrote $bench_json"
+floor=$(grep -v '^#' results/BENCH_FLOOR | head -1)
+echo "$raw_out" | awk -v floor="$floor" '
+    /^BenchmarkRawChannel/ { for (i = 2; i <= NF; i++) if ($i == "MB/s" && $(i-1) > best) best = $(i-1) }
+    END {
+        if (best == 0) { print "ci: BenchmarkRawChannel output missing MB/s"; exit 1 }
+        printf "ci: BenchmarkRawChannel %.0f MB/s (floor %s MB/s)\n", best, floor
+        if (best + 0 < floor + 0) { print "ci: throughput below floor — simulator regression" ; exit 1 }
+    }'
 echo "ci: OK"

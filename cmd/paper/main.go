@@ -32,6 +32,7 @@ func main() {
 		only     = flag.String("only", "", "render one artifact: table1, fig3, fig4, fig5, xdr, ablations, geometry, operating, interleave, faults")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		fraction = flag.Float64("fraction", 0.2, "fraction of each frame to simulate (results extrapolate linearly)")
+		jobs     = flag.Int("jobs", 0, "concurrent sweep points per artifact (0 = one per CPU, 1 = serial); output is identical at any job count")
 		dir      = flag.String("dir", "", "also write each artifact to <dir>/<name>.txt (or .csv)")
 
 		probeWindow = flag.Int64("probe-window", 100000, "time-series epoch length in DRAM cycles (for -metrics-out)")
@@ -39,7 +40,7 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write the instrumented run's windowed time-series metrics (.json = JSON, else CSV)")
 	)
 	flag.Parse()
-	opt := core.RunOptions{SampleFraction: *fraction}
+	opt := core.RunOptions{SampleFraction: *fraction, Jobs: *jobs}
 
 	artifacts := []struct {
 		name string

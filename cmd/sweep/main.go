@@ -2,16 +2,22 @@
 // channel counts and clock frequencies and emits one CSV row per point —
 // the raw data behind the paper's figures, ready for external plotting.
 //
+// Points are independent, so the cross product runs on a worker pool
+// (-jobs, default one per CPU) with the output order identical to the
+// serial sweep.
+//
 // Usage:
 //
 //	sweep                              # full paper cross product
 //	sweep -formats 1080p30,1080p60 -channels 2,4 -freqs 400,533
+//	sweep -jobs 1                      # serial (e.g. when profiling)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -21,12 +27,27 @@ import (
 
 func main() {
 	var (
-		formats  = flag.String("formats", "720p30,720p60,1080p30,1080p60,2160p30,2160p60", "comma-separated frame formats")
-		channels = flag.String("channels", "1,2,4,8", "comma-separated channel counts")
-		freqs    = flag.String("freqs", "200,266,333,400,533", "comma-separated clock frequencies in MHz")
-		fraction = flag.Float64("fraction", 0.1, "frame fraction to simulate")
+		formats    = flag.String("formats", "720p30,720p60,1080p30,1080p60,2160p30,2160p60", "comma-separated frame formats")
+		channels   = flag.String("channels", "1,2,4,8", "comma-separated channel counts")
+		freqs      = flag.String("freqs", "200,266,333,400,533", "comma-separated clock frequencies in MHz")
+		fraction   = flag.Float64("fraction", 0.1, "frame fraction to simulate")
+		jobs       = flag.Int("jobs", 0, "concurrent sweep points (0 = one per CPU, 1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	chList, err := parseInts(*channels)
 	if err != nil {
@@ -36,31 +57,64 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	fmt.Println("format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw")
-	for _, format := range strings.Split(*formats, ",") {
+	formatList := strings.Split(*formats, ",")
+	workloads := make([]core.Workload, len(formatList))
+	for i, format := range formatList {
 		w, err := core.WorkloadFor(strings.TrimSpace(format))
 		if err != nil {
 			fatal(err)
 		}
 		w.SampleFraction = *fraction
+		workloads[i] = w
+	}
+
+	type point struct {
+		w  core.Workload
+		ch int
+		f  int
+	}
+	var grid []point
+	for _, w := range workloads {
 		for _, ch := range chList {
 			for _, f := range freqList {
-				res, err := core.Simulate(w, core.PaperMemory(ch, units.Frequency(f)*units.MHz))
-				if err != nil {
-					fatal(err)
-				}
-				fmt.Printf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f\n",
-					res.Format.Name, ch, f,
-					res.FrameBytes,
-					res.RequiredBandwidth.GBps(),
-					res.AccessTime.Milliseconds(),
-					res.FramePeriod.Milliseconds(),
-					res.Verdict,
-					res.Efficiency,
-					res.TotalPower.Milliwatts(),
-					res.InterfacePower.Milliwatts())
+				grid = append(grid, point{w, ch, f})
 			}
+		}
+	}
+	njobs := *jobs
+	if njobs == 0 {
+		njobs = core.DefaultJobs()
+	}
+	results, err := core.RunIndexed(njobs, len(grid), func(i int) (core.Result, error) {
+		p := grid[i]
+		return core.Simulate(p.w, core.PaperMemory(p.ch, units.Frequency(p.f)*units.MHz))
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw")
+	for i, res := range results {
+		fmt.Printf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f\n",
+			res.Format.Name, grid[i].ch, grid[i].f,
+			res.FrameBytes,
+			res.RequiredBandwidth.GBps(),
+			res.AccessTime.Milliseconds(),
+			res.FramePeriod.Milliseconds(),
+			res.Verdict,
+			res.Efficiency,
+			res.TotalPower.Milliwatts(),
+			res.InterfacePower.Milliwatts())
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -95,6 +95,44 @@ func (ch *Channel) Access(write bool, local int64, arrival int64) int64 {
 	return ch.link.Complete(end)
 }
 
+// AccessRun performs a run of sequential same-direction bursts starting at
+// the channel-local byte address, all with the same arrival — the per-channel
+// shape of one interleaved master transaction. It returns the latest
+// per-burst completion cycle, bit-identical to calling Access once per burst
+// in address order.
+//
+// With an in-order, unobserved, fault-free channel the run is handed to the
+// controller's coalesced fast path (see controller.AccessRun); a reorder
+// window, an attached probe, or a fault stream falls back to the per-burst
+// path so event streams and fault decisions stay identical.
+func (ch *Channel) AccessRun(write bool, local int64, bursts int, arrival int64) int64 {
+	if bursts <= 1 {
+		if bursts < 1 {
+			return 0
+		}
+		return ch.Access(write, local, arrival)
+	}
+	if ch.inj != nil || ch.queue.Depth() > 0 || ch.ctl.HasProbe() {
+		burstBytes := ch.ctl.Config().Speed.Geometry.BurstBytes()
+		var end int64
+		for i := 0; i < bursts; i++ {
+			if e := ch.Access(write, local, arrival); e > end {
+				end = e
+			}
+			local += burstBytes
+		}
+		return end
+	}
+	if arrival < 0 {
+		arrival = 0
+	}
+	end := ch.ctl.AccessRun(write, local, bursts, ch.link.Deliver(arrival))
+	if write {
+		return end
+	}
+	return ch.link.Complete(end)
+}
+
 // Flush drains the reorder window and any posted writes, returning the
 // channel makespan at the DRAM bus.
 func (ch *Channel) Flush() int64 { return ch.queue.Flush() }

@@ -584,6 +584,121 @@ func (c *Controller) AccessAddr(write bool, local int64, arrival int64) int64 {
 	return c.Access(write, c.mapper.Decode(local), arrival)
 }
 
+// AccessRun performs a run of sequential same-direction bursts starting at
+// the channel-local byte address, all sharing one arrival cycle — the shape
+// a channel-interleaved master transaction presents to each channel. The
+// returned cycle is the latest per-burst completion, exactly as if Access
+// had been called once per burst in address order.
+//
+// When the configuration allows (open page, no probe, no faults, and no
+// posted-write buffering for writes), same-row stretches are advanced
+// arithmetically instead of burst by burst: after the first burst of a row
+// streak the command issue time provably advances by exactly BurstCycles per
+// burst (the data bus is the only binding constraint), so the remaining
+// bursts collapse into O(1) state updates, capped so that any due refresh
+// still fires on the identical cycle. Any other configuration falls back to
+// the per-burst path, so results are bit-identical either way.
+func (c *Controller) AccessRun(write bool, local int64, bursts int, arrival int64) int64 {
+	if bursts <= 1 {
+		if bursts < 1 {
+			return 0
+		}
+		return c.Access(write, c.mapper.Decode(local), arrival)
+	}
+	burstBytes := c.cfg.Speed.Geometry.BurstBytes()
+	if c.probe != nil || c.cfg.Faults != nil || c.cfg.Policy != OpenPage ||
+		(write && c.cfg.WriteBufferDepth > 0) {
+		var end int64
+		for i := 0; i < bursts; i++ {
+			if e := c.Access(write, c.mapper.Decode(local), arrival); e > end {
+				end = e
+			}
+			local += burstBytes
+		}
+		return end
+	}
+	g := c.cfg.Speed.Geometry
+	var end int64
+	for bursts > 0 {
+		loc := c.mapper.Decode(local)
+		n := (g.Columns - loc.Column) / g.BurstLength // bursts left in this row
+		if n > bursts {
+			n = bursts
+		}
+		if e := c.accessRow(write, loc, n, arrival); e > end {
+			end = e
+		}
+		local += int64(n) * burstBytes
+		bursts -= n
+	}
+	return end
+}
+
+// accessRow serves n sequential bursts inside one row. The first burst runs
+// through the full Access path (wake, refresh, row transition, turnaround);
+// the rest are row hits whose issue times advance by exactly BurstCycles, so
+// they are applied as bulk state updates, falling back to per-burst Access
+// whenever a refresh would become due mid-streak.
+func (c *Controller) accessRow(write bool, loc mapping.Location, n int, arrival int64) int64 {
+	s := c.cfg.Speed
+	end := c.Access(write, loc, arrival)
+	remaining := int64(n - 1)
+	b := &c.banks[loc.Bank]
+	for remaining > 0 {
+		// After the streak's previous burst issued at t0 = cmdClock-1, the
+		// j-th further same-row burst issues at t0 + j*BurstCycles: its
+		// candidate is max(arrival, rdwrReady, busFreeAt-CL, cmdClock), and
+		// t0 already dominates arrival and rdwrReady while busFreeAt-CL
+		// equals t0+BurstCycles. The only per-burst side effect that can
+		// interrupt the recurrence is a due refresh, checked against the
+		// command clock — cap the jump so the first burst whose refresh
+		// check would fire is executed by the exact path instead.
+		m := remaining
+		if !c.cfg.RefreshDisabled {
+			slack := c.nextRefreshAt - c.cmdClock - 1
+			if slack < 0 {
+				m = 0
+			} else if ext := slack/s.BurstCycles + 1; ext < m {
+				m = ext
+			}
+		}
+		if m <= 0 {
+			end = c.Access(write, loc, arrival)
+			remaining--
+			continue
+		}
+		t := c.cmdClock - 1 + m*s.BurstCycles
+		var dataEnd int64
+		if write {
+			dataEnd = t + s.CWL + s.BurstCycles
+			c.lastWrDataEnd = dataEnd
+			b.preReady = max64(b.preReady, dataEnd+s.WR)
+			c.st.Writes += m
+			c.st.WriteBusCycles += m * s.BurstCycles
+		} else {
+			dataEnd = t + s.CL + s.BurstCycles
+			c.lastRdDataEnd = dataEnd
+			b.preReady = max64(b.preReady, t+s.RTP)
+			c.st.Reads += m
+			c.st.ReadBusCycles += m * s.BurstCycles
+		}
+		c.cmdClock = t + 1
+		c.busFreeAt = dataEnd
+		b.lastDataEnd = dataEnd
+		b.accesses += m
+		c.st.RowHits += m
+		c.st.BusyCycles = dataEnd
+		if c.cfg.RecordLatency {
+			// Each jumped burst completes BurstCycles after the previous
+			// one and could first be attended at that previous completion.
+			c.lat.ObserveN(s.BurstCycles, m)
+		}
+		end = dataEnd
+		remaining -= m
+	}
+	return end
+}
+
 // Decode maps a channel-local byte address to its DRAM coordinate.
 func (c *Controller) Decode(local int64) mapping.Location {
 	return c.mapper.Decode(local)

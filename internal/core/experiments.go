@@ -21,6 +21,11 @@ type RunOptions struct {
 	// Params overrides the use-case constants; zero value means the
 	// paper defaults.
 	Params usecase.Params
+	// Jobs bounds how many sweep points simulate concurrently; zero means
+	// one worker per CPU (DefaultJobs), one forces the serial order. Every
+	// runner returns identical results at any job count — points are
+	// independent and RunIndexed keeps index order.
+	Jobs int
 }
 
 func (o RunOptions) fraction() float64 {
@@ -28,6 +33,13 @@ func (o RunOptions) fraction() float64 {
 		return 0.2
 	}
 	return o.SampleFraction
+}
+
+func (o RunOptions) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return DefaultJobs()
 }
 
 func (o RunOptions) workload(format string) (Workload, error) {
@@ -110,38 +122,38 @@ func RunFig3(opt RunOptions) ([]FigPoint, error) {
 		return nil, err
 	}
 	freqs := []units.Frequency{200 * units.MHz, 266 * units.MHz, 333 * units.MHz, 400 * units.MHz, 533 * units.MHz}
-	var points []FigPoint
-	for _, ch := range EvaluatedChannelCounts {
-		for _, f := range freqs {
-			res, err := Simulate(w, PaperMemory(ch, f))
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, FigPoint{Format: "720p30", Channels: ch, Freq: f, Result: res})
+	return RunIndexed(opt.jobs(), len(EvaluatedChannelCounts)*len(freqs), func(i int) (FigPoint, error) {
+		ch := EvaluatedChannelCounts[i/len(freqs)]
+		f := freqs[i%len(freqs)]
+		res, err := Simulate(w, PaperMemory(ch, f))
+		if err != nil {
+			return FigPoint{}, err
 		}
-	}
-	return points, nil
+		return FigPoint{Format: "720p30", Channels: ch, Freq: f, Result: res}, nil
+	})
 }
 
 // RunFormatMatrix regenerates the simulation matrix behind figures 4 and 5:
 // every evaluated frame format on 1, 2, 4 and 8 channels at 400 MHz.
 // Fig. 4 reads the access times, Fig. 5 the powers.
 func RunFormatMatrix(opt RunOptions) ([]FigPoint, error) {
-	var points []FigPoint
-	for _, format := range FormatNames {
+	workloads := make([]Workload, len(FormatNames))
+	for i, format := range FormatNames {
 		w, err := opt.workload(format)
 		if err != nil {
 			return nil, err
 		}
-		for _, ch := range EvaluatedChannelCounts {
-			res, err := Simulate(w, PaperMemory(ch, PaperFrequency))
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, FigPoint{Format: format, Channels: ch, Freq: PaperFrequency, Result: res})
-		}
+		workloads[i] = w
 	}
-	return points, nil
+	nch := len(EvaluatedChannelCounts)
+	return RunIndexed(opt.jobs(), len(FormatNames)*nch, func(i int) (FigPoint, error) {
+		format, ch := FormatNames[i/nch], EvaluatedChannelCounts[i%nch]
+		res, err := Simulate(workloads[i/nch], PaperMemory(ch, PaperFrequency))
+		if err != nil {
+			return FigPoint{}, err
+		}
+		return FigPoint{Format: format, Channels: ch, Freq: PaperFrequency, Result: res}, nil
+	})
 }
 
 // XDRRow compares one recording format's memory power against the XDR
@@ -174,15 +186,18 @@ type XDRComparison struct {
 func RunXDRComparison(opt RunOptions) (XDRComparison, error) {
 	base := xdr.CellBE()
 	cmp := XDRComparison{XDR: base, MinRatio: 1}
-	for _, format := range FormatNames {
-		w, err := opt.workload(format)
+	results, err := RunIndexed(opt.jobs(), len(FormatNames), func(i int) (Result, error) {
+		w, err := opt.workload(FormatNames[i])
 		if err != nil {
-			return XDRComparison{}, err
+			return Result{}, err
 		}
-		res, err := Simulate(w, PaperMemory(8, PaperFrequency))
-		if err != nil {
-			return XDRComparison{}, err
-		}
+		return Simulate(w, PaperMemory(8, PaperFrequency))
+	})
+	if err != nil {
+		return XDRComparison{}, err
+	}
+	for i, format := range FormatNames {
+		res := results[i]
 		cmp.Mobile = res.PeakBandwidth
 		if res.Verdict == Infeasible {
 			continue // the paper compares only formats the memory serves
@@ -221,68 +236,55 @@ type AblationRow struct {
 // RBC vs BRC address multiplexing (A1), aggressive power-down on/off (A2),
 // and open vs closed page policy (A3).
 func RunAblations(opt RunOptions) ([]AblationRow, error) {
-	var rows []AblationRow
-
-	// A1: address multiplexing, on the bandwidth-critical 1080p30 load.
-	w, err := opt.workload("1080p30")
+	w1080, err := opt.workload("1080p30")
 	if err != nil {
 		return nil, err
 	}
-	base, err := Simulate(w, PaperMemory(4, PaperFrequency))
-	if err != nil {
-		return nil, err
-	}
-	mc := PaperMemory(4, PaperFrequency)
-	mc.Mux = mapping.BRC
-	brc, err := Simulate(w, mc)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{Name: "RBC vs BRC multiplexing", Workload: "1080p30 4ch", Baseline: base, Variant: brc})
-
-	// A2: power-down, on the low-utilization 8-channel 720p30 point where
-	// idle power dominates.
 	w720, err := opt.workload("720p30")
 	if err != nil {
 		return nil, err
 	}
-	pdOn, err := Simulate(w720, PaperMemory(8, PaperFrequency))
-	if err != nil {
-		return nil, err
-	}
-	mc = PaperMemory(8, PaperFrequency)
-	mc.DisablePowerDown = true
-	pdOff, err := Simulate(w720, mc)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{Name: "power-down vs always-standby", Workload: "720p30 8ch", Baseline: pdOn, Variant: pdOff})
 
+	// A1: address multiplexing, on the bandwidth-critical 1080p30 load.
+	brc := PaperMemory(4, PaperFrequency)
+	brc.Mux = mapping.BRC
+	// A2: power-down, on the low-utilization 8-channel 720p30 point where
+	// idle power dominates.
+	pdOff := PaperMemory(8, PaperFrequency)
+	pdOff.DisablePowerDown = true
 	// A3: page policy, on the single-channel streaming point.
-	open, err := Simulate(w720, PaperMemory(1, PaperFrequency))
-	if err != nil {
-		return nil, err
-	}
-	mc = PaperMemory(1, PaperFrequency)
-	mc.Policy = controller.ClosedPage
-	closed, err := Simulate(w720, mc)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{Name: "open vs closed page", Workload: "720p30 1ch", Baseline: open, Variant: closed})
-
+	closed := PaperMemory(1, PaperFrequency)
+	closed.Policy = controller.ClosedPage
 	// A4 (extension): the posted-write buffer from the conclusions'
 	// "advanced control mechanisms" — batched write drains amortize bus
 	// turnarounds on the read/write-interleaved recording streams.
-	mc = PaperMemory(1, PaperFrequency)
-	mc.WriteBufferDepth = 32
-	buffered, err := Simulate(w720, mc)
+	buffered := PaperMemory(1, PaperFrequency)
+	buffered.WriteBufferDepth = 32
+
+	sims := []struct {
+		w  Workload
+		mc MemoryConfig
+	}{
+		{w1080, PaperMemory(4, PaperFrequency)}, // A1 baseline
+		{w1080, brc},
+		{w720, PaperMemory(8, PaperFrequency)}, // A2 baseline
+		{w720, pdOff},
+		{w720, PaperMemory(1, PaperFrequency)}, // A3/A4 baseline
+		{w720, closed},
+		{w720, buffered},
+	}
+	res, err := RunIndexed(opt.jobs(), len(sims), func(i int) (Result, error) {
+		return Simulate(sims[i].w, sims[i].mc)
+	})
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, AblationRow{Name: "write buffer (depth 32) vs none", Workload: "720p30 1ch", Baseline: open, Variant: buffered})
-
-	return rows, nil
+	return []AblationRow{
+		{Name: "RBC vs BRC multiplexing", Workload: "1080p30 4ch", Baseline: res[0], Variant: res[1]},
+		{Name: "power-down vs always-standby", Workload: "720p30 8ch", Baseline: res[2], Variant: res[3]},
+		{Name: "open vs closed page", Workload: "720p30 1ch", Baseline: res[4], Variant: res[5]},
+		{Name: "write buffer (depth 32) vs none", Workload: "720p30 1ch", Baseline: res[4], Variant: res[6]},
+	}, nil
 }
 
 // InterleavePoint is one Table II granularity variant's result.
@@ -308,21 +310,20 @@ func RunInterleaveSweep(opt RunOptions) ([]InterleavePoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	var points []InterleavePoint
-	for _, g := range []int64{16, 32, 64, 128, 256} {
+	grans := []int64{16, 32, 64, 128, 256}
+	return RunIndexed(opt.jobs(), len(grans), func(i int) (InterleavePoint, error) {
 		mc := PaperMemory(4, PaperFrequency)
-		mc.InterleaveGranularity = g
+		mc.InterleaveGranularity = grans[i]
 		res, err := Simulate(w, mc)
 		if err != nil {
-			return nil, err
+			return InterleavePoint{}, err
 		}
 		lat, err := isolatedTransactionLatency(mc, 256)
 		if err != nil {
-			return nil, err
+			return InterleavePoint{}, err
 		}
-		points = append(points, InterleavePoint{Granularity: g, Result: res, IsolatedLatency: lat})
-	}
-	return points, nil
+		return InterleavePoint{Granularity: grans[i], Result: res, IsolatedLatency: lat}, nil
+	})
 }
 
 // isolatedTransactionLatency serves one transaction of the given size on a

@@ -29,35 +29,35 @@ func RunGeometrySweep(opt RunOptions) ([]GeometryPoint, error) {
 		return nil, err
 	}
 	capacityBits := dram.DefaultGeometry().CapacityBits()
-	var points []GeometryPoint
-	for _, banks := range []int{2, 4, 8} {
-		for _, columns := range []int{256, 512, 1024} {
-			g := dram.DefaultGeometry()
-			g.Banks = banks
-			g.Columns = columns
-			g.Rows = int(int64(capacityBits) / (int64(banks) * int64(columns) * int64(g.WordBits)))
-			if err := g.Validate(); err != nil {
-				return nil, fmt.Errorf("core: geometry %d banks x %d cols: %w", banks, columns, err)
-			}
-			if g.CapacityBits() != capacityBits {
-				return nil, fmt.Errorf("core: geometry %d banks x %d cols: capacity %v, want %v",
-					banks, columns, g.CapacityBits(), capacityBits)
-			}
-			mc := PaperMemory(4, PaperFrequency)
-			mc.Geometry = g
-			res, err := Simulate(w, mc)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, GeometryPoint{
-				Banks:    banks,
-				Columns:  columns,
-				RowBytes: g.RowBytes(),
-				Result:   res,
-			})
+	bankCounts := []int{2, 4, 8}
+	columnCounts := []int{256, 512, 1024}
+	return RunIndexed(opt.jobs(), len(bankCounts)*len(columnCounts), func(i int) (GeometryPoint, error) {
+		banks := bankCounts[i/len(columnCounts)]
+		columns := columnCounts[i%len(columnCounts)]
+		g := dram.DefaultGeometry()
+		g.Banks = banks
+		g.Columns = columns
+		g.Rows = int(int64(capacityBits) / (int64(banks) * int64(columns) * int64(g.WordBits)))
+		if err := g.Validate(); err != nil {
+			return GeometryPoint{}, fmt.Errorf("core: geometry %d banks x %d cols: %w", banks, columns, err)
 		}
-	}
-	return points, nil
+		if g.CapacityBits() != capacityBits {
+			return GeometryPoint{}, fmt.Errorf("core: geometry %d banks x %d cols: capacity %v, want %v",
+				banks, columns, g.CapacityBits(), capacityBits)
+		}
+		mc := PaperMemory(4, PaperFrequency)
+		mc.Geometry = g
+		res, err := Simulate(w, mc)
+		if err != nil {
+			return GeometryPoint{}, err
+		}
+		return GeometryPoint{
+			Banks:    banks,
+			Columns:  columns,
+			RowBytes: g.RowBytes(),
+			Result:   res,
+		}, nil
+	})
 }
 
 // PaperGeometryPoint returns the sweep point matching the paper's device.

@@ -29,39 +29,41 @@ type OperatingPoint struct {
 // clock range and reports the lowest feasible clock and its power saving
 // against running flat-out at 533 MHz.
 func RunOperatingPoints(opt RunOptions) ([]OperatingPoint, error) {
-	var points []OperatingPoint
-	for _, format := range FormatNames {
+	workloads := make([]Workload, len(FormatNames))
+	for i, format := range FormatNames {
 		w, err := opt.workload(format)
 		if err != nil {
 			return nil, err
 		}
-		for _, ch := range EvaluatedChannelCounts {
-			op := OperatingPoint{Format: format, Channels: ch}
-			var atMin, atMax *Result
-			for _, freq := range dram.EvaluatedFrequencies {
-				res, err := Simulate(w, PaperMemory(ch, freq))
-				if err != nil {
-					return nil, err
-				}
-				if res.Verdict == Feasible && op.MinFreq == 0 {
-					op.MinFreq = freq
-					r := res
-					atMin = &r
-				}
-				if freq == dram.EvaluatedFrequencies[len(dram.EvaluatedFrequencies)-1] {
-					r := res
-					atMax = &r
-				}
-			}
-			if atMin != nil && atMax != nil && atMax.Verdict != Infeasible {
-				op.PowerAtMin = atMin.TotalPower
-				op.PowerAtMax = atMax.TotalPower
-				if atMax.TotalPower > 0 {
-					op.Saving = 1 - float64(atMin.TotalPower)/float64(atMax.TotalPower)
-				}
-			}
-			points = append(points, op)
-		}
+		workloads[i] = w
 	}
-	return points, nil
+	nch := len(EvaluatedChannelCounts)
+	return RunIndexed(opt.jobs(), len(FormatNames)*nch, func(i int) (OperatingPoint, error) {
+		format, ch := FormatNames[i/nch], EvaluatedChannelCounts[i%nch]
+		op := OperatingPoint{Format: format, Channels: ch}
+		var atMin, atMax *Result
+		for _, freq := range dram.EvaluatedFrequencies {
+			res, err := Simulate(workloads[i/nch], PaperMemory(ch, freq))
+			if err != nil {
+				return OperatingPoint{}, err
+			}
+			if res.Verdict == Feasible && op.MinFreq == 0 {
+				op.MinFreq = freq
+				r := res
+				atMin = &r
+			}
+			if freq == dram.EvaluatedFrequencies[len(dram.EvaluatedFrequencies)-1] {
+				r := res
+				atMax = &r
+			}
+		}
+		if atMin != nil && atMax != nil && atMax.Verdict != Infeasible {
+			op.PowerAtMin = atMin.TotalPower
+			op.PowerAtMax = atMax.TotalPower
+			if atMax.TotalPower > 0 {
+				op.Saving = 1 - float64(atMin.TotalPower)/float64(atMax.TotalPower)
+			}
+		}
+		return op, nil
+	})
 }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunIndexed evaluates fn(0..n-1) on up to jobs concurrent workers and
+// returns the results in index order, so a parallel sweep emits byte-for-byte
+// the output of its serial counterpart. Each index is claimed by exactly one
+// worker; every simulated point is independent (Simulate builds a fresh
+// memory subsystem per call), so no further coordination is needed.
+//
+// Errors are deterministic too: every index runs to completion and the error
+// with the LOWEST index is returned, regardless of which worker hit it first
+// in wall-clock order. jobs <= 1 runs inline with fail-fast semantics — the
+// same lowest-index error, since indices are visited in order.
+func RunIndexed[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DefaultJobs is the worker count used when RunOptions.Jobs is zero: one
+// worker per available CPU.
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }

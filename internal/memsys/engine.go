@@ -1,0 +1,138 @@
+package memsys
+
+import "repro/internal/channel"
+
+// runOp is one dispatch unit bound for a specific channel: a run of
+// sequential same-direction bursts sharing one arrival cycle. Per-burst
+// dispatch (probes or faults attached) uses bursts == 1.
+type runOp struct {
+	write   bool
+	local   int64
+	bursts  int32
+	arrival int64
+}
+
+// batchOps is the dispatch batch capacity per channel. Coalesced runs pack
+// whole transactions into single ops, so a batch covers far more traffic
+// than the same capacity did under per-burst dispatch.
+const batchOps = 1 << 15
+
+// chanWorker is one channel's persistent dispatch lane: a goroutine that
+// lives for the whole Run, fed with reusable op batches through a
+// single-producer single-consumer handoff. The dispatcher owns cur and
+// spare; the worker owns whatever batch is in flight. Batches are reset on
+// the dispatcher side only, after the worker's completion signal — the
+// worker never mutates a batch, so no write ever races with the
+// dispatcher's re-append.
+type chanWorker struct {
+	ch       *channel.Channel
+	work     chan []runOp
+	done     chan int64
+	cur      []runOp // batch being filled by the dispatcher
+	spare    []runOp // batch the worker last finished, ready for reuse
+	inflight bool
+}
+
+// engine drives the channels from persistent per-channel workers. One
+// engine is created per parallel Run and stopped when the Run returns; the
+// per-flush goroutine spawns, WaitGroup and ends-slice allocations of the
+// old scheme are gone — steady state allocates nothing.
+type engine struct {
+	workers []chanWorker
+	last    int64 // max completion cycle seen across all channels
+	stopped bool
+}
+
+// startEngine launches one worker per channel. Each channel is driven by
+// exactly one goroutine for the engine's lifetime, so per-channel state
+// (controller, probe sink, fault stream) needs no locking and the op order
+// per channel is the dispatch order — the bit-identical guarantee.
+func startEngine(chans []*channel.Channel) *engine {
+	e := &engine{workers: make([]chanWorker, len(chans))}
+	for i := range chans {
+		w := &e.workers[i]
+		w.ch = chans[i]
+		w.work = make(chan []runOp, 1)
+		w.done = make(chan int64, 1)
+		// cur and spare start empty and grow on demand: coalesced runs
+		// need a handful of ops per flush, so preallocating batchOps
+		// entries would cost megabytes per Run for nothing. Per-burst
+		// dispatch (probes/faults) grows them geometrically once and
+		// then recycles.
+		go func(w *chanWorker) {
+			for batch := range w.work {
+				var end int64
+				for _, op := range batch {
+					if e := w.ch.AccessRun(op.write, op.local, int(op.bursts), op.arrival); e > end {
+						end = e
+					}
+				}
+				w.done <- end
+			}
+		}(w)
+	}
+	return e
+}
+
+// dispatch queues one op for the channel, handing the batch to the worker
+// when it fills.
+func (e *engine) dispatch(ch int, op runOp) {
+	w := &e.workers[ch]
+	w.cur = append(w.cur, op)
+	if len(w.cur) >= batchOps {
+		e.submit(w)
+	}
+}
+
+// submit hands the worker its next batch, first collecting (and recycling)
+// the batch it is still chewing on. Receiving from done is the
+// happens-before edge that makes the finished batch safe to reset and
+// refill on the dispatcher side.
+func (e *engine) submit(w *chanWorker) {
+	if len(w.cur) == 0 {
+		return
+	}
+	if w.inflight {
+		e.collect(w)
+	}
+	w.work <- w.cur
+	w.inflight = true
+	w.cur, w.spare = w.spare[:0], w.cur
+}
+
+// collect waits for the worker's in-flight batch and folds its completion
+// cycle into the engine makespan.
+func (e *engine) collect(w *chanWorker) {
+	if end := <-w.done; end > e.last {
+		e.last = end
+	}
+	w.inflight = false
+}
+
+// barrier drains every channel: all queued ops execute and all workers go
+// idle. After it returns the dispatcher may touch channel state directly
+// (stats, flush, fault re-routing).
+func (e *engine) barrier() {
+	for i := range e.workers {
+		e.submit(&e.workers[i])
+	}
+	for i := range e.workers {
+		w := &e.workers[i]
+		if w.inflight {
+			e.collect(w)
+		}
+	}
+}
+
+// stop drains outstanding work and terminates the workers. Idempotent, so
+// Run can both defer it (error paths) and call it before reading stats.
+func (e *engine) stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	e.barrier()
+	for i := range e.workers {
+		close(e.workers[i].work)
+	}
+}

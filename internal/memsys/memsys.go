@@ -8,7 +8,6 @@ package memsys
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/controller"
@@ -58,10 +57,17 @@ type Config struct {
 	// bytes (paper Table II: 16, the minimum burst). Zero uses the burst
 	// size; larger values must be multiples of it.
 	InterleaveGranularity int64
-	// Parallel executes the channels on separate goroutines. Channels
-	// are fully independent, so results are bit-identical to the serial
-	// run; this only changes wall-clock simulation speed.
+	// Parallel executes the channels on separate goroutines: one
+	// persistent worker per channel for the duration of each Run, fed
+	// with batched ops. Channels are fully independent, so results are
+	// bit-identical to the serial run; this only changes wall-clock
+	// simulation speed.
 	Parallel bool
+	// NoCoalesce forces per-burst dispatch even where the burst-run fast
+	// path applies (see Run). Results are bit-identical either way — this
+	// is a debugging/CI knob, like core.MemoryConfig.Serial: the
+	// equivalence property test diffs coalesced against per-burst runs.
+	NoCoalesce bool
 	// NewProbe, when non-nil, is called once per channel index at
 	// construction and attaches the returned event sink to that channel's
 	// controller (see internal/probe). A nil return leaves that channel
@@ -307,50 +313,30 @@ func (r Result) BusUtilization() float64 {
 }
 
 // Run executes all transactions from src and returns the aggregate result.
-// Transactions are split into burst-sized chunks; each chunk is dispatched
-// to its channel in program order (concurrently across channels when
+// Transactions are split into burst-sized chunks and dispatched to their
+// channels in program order (from persistent per-channel workers when
 // Parallel is set — same results, faster simulation).
+//
+// Because the channel interleave is a fixed stride, each transaction's
+// bursts form one contiguous local run per channel; on an unobserved,
+// fault-free system those runs are computed arithmetically and handed to
+// channel.AccessRun in one call instead of once per 16-byte burst. With
+// probes or faults attached (or NoCoalesce set) dispatch stays per-burst,
+// so event streams and fault decision draws are untouched. Either way the
+// per-channel op order — and therefore every reported number — is
+// bit-identical.
 func (s *System) Run(src Source) (Result, error) {
 	res := Result{PerChannel: make([]stats.Channel, len(s.chans)), FailedChannel: -1}
 	burst := s.cfg.Geometry.BurstBytes()
 	var last int64
 
 	parallel := s.cfg.Parallel && len(s.chans) > 1
-	const batchOps = 1 << 15
-	var batches [][]chanOp
+	var eng *engine
 	if parallel {
-		batches = make([][]chanOp, len(s.chans))
-		for i := range batches {
-			batches[i] = make([]chanOp, 0, batchOps)
-		}
+		eng = startEngine(s.chans)
+		defer eng.stop() // idempotent; drains workers on early error returns
 	}
-	flush := func() {
-		var wg sync.WaitGroup
-		ends := make([]int64, len(s.chans))
-		for i := range s.chans {
-			if len(batches[i]) == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				var end int64
-				for _, op := range batches[i] {
-					if e := s.chans[i].Access(op.write, op.local, op.arrival); e > end {
-						end = e
-					}
-				}
-				ends[i] = end
-				batches[i] = batches[i][:0]
-			}(i)
-		}
-		wg.Wait()
-		for _, e := range ends {
-			if e > last {
-				last = e
-			}
-		}
-	}
+	coalesce := !s.cfg.NoCoalesce && s.inj == nil && !s.observed()
 
 	// Pending dropout from the fault plan (fires at most once per System).
 	dropPending := s.inj != nil && !s.dropped && s.inj.Plan().DropAtCycle > 0
@@ -378,7 +364,7 @@ func (s *System) Run(src Source) (Result, error) {
 		if dropPending && s.dispatchClock() >= s.inj.Plan().DropAtCycle {
 			dropPending = false
 			if parallel {
-				flush() // drain in-flight work so events sit at the failure point
+				eng.barrier() // drain in-flight work so events sit at the failure point
 			}
 			s.failChannel(s.inj.Plan().DropChannel)
 		}
@@ -386,26 +372,31 @@ func (s *System) Run(src Source) (Result, error) {
 		// Split into whole bursts covering [Addr, Addr+Bytes).
 		start := req.Addr - req.Addr%burst
 		end := req.Addr + req.Bytes
-		for a := start; a < end; a += burst {
-			ch, local := s.route(a)
-			if parallel {
-				batches[ch] = append(batches[ch], chanOp{write: req.Write, local: local, arrival: arrival})
-				if len(batches[ch]) >= batchOps {
-					flush()
-				}
-			} else {
-				done := s.chans[ch].Access(req.Write, local, arrival)
-				if done > last {
-					last = done
+		bursts := (end - start + burst - 1) / burst
+		if coalesce {
+			s.dispatchRuns(req.Write, start, bursts, arrival, eng, &last)
+		} else {
+			for a := start; a < end; a += burst {
+				ch, local := s.route(a)
+				if parallel {
+					eng.dispatch(ch, runOp{write: req.Write, local: local, bursts: 1, arrival: arrival})
+				} else {
+					done := s.chans[ch].Access(req.Write, local, arrival)
+					if done > last {
+						last = done
+					}
 				}
 			}
-			s.dispBus += s.speed.BurstCycles
-			res.Bursts++
-			res.BusBytes += burst
 		}
+		s.dispBus += bursts * s.speed.BurstCycles
+		res.Bursts += bursts
+		res.BusBytes += bursts * burst
 	}
 	if parallel {
-		flush()
+		eng.stop()
+		if eng.last > last {
+			last = eng.last
+		}
 	}
 	for i, ch := range s.chans {
 		// Drain any posted writes so the makespan covers all traffic.
@@ -424,6 +415,68 @@ func (s *System) Run(src Source) (Result, error) {
 		res.DropClock = s.dropClock
 	}
 	return res, nil
+}
+
+// observed reports whether any channel has a probe sink attached; coalesced
+// dispatch is bypassed then so per-burst event streams stay identical.
+func (s *System) observed() bool {
+	for _, ch := range s.chans {
+		if ch.Observed() {
+			return true
+		}
+	}
+	return false
+}
+
+// maxRunBursts caps one dispatch op's burst count (the batch op field is an
+// int32); longer runs split with no observable effect.
+const maxRunBursts = 1 << 30
+
+// dispatchRuns splits the burst-aligned global range [start, start+bursts*B)
+// into its per-channel contiguous local runs and dispatches each as one op.
+// The stride interleave sends global chunk k to channel k mod M, and a
+// channel's consecutive chunks are adjacent in its local address space, so
+// each channel's share of a transaction is exactly one run: arithmetic over
+// chunk indices replaces the per-burst route() loop.
+func (s *System) dispatchRuns(write bool, start, bursts, arrival int64, eng *engine, last *int64) {
+	burst := s.cfg.Geometry.BurstBytes()
+	ilv := s.interleave
+	g := ilv.Granularity() / burst // bursts per interleave chunk
+	m := int64(ilv.Channels())
+	s0 := start / burst // global burst index of the first burst
+	k0 := s0 / g        // first and last chunk index touched
+	k1 := (s0 + bursts - 1) / g
+	for c := int64(0); c < m; c++ {
+		kc := k0 + (c-k0%m+m)%m // channel c's first chunk in range
+		if kc > k1 {
+			continue
+		}
+		nc := (k1-kc)/m + 1 // its chunk count
+		cnt := nc * g
+		first := kc * g
+		if first < s0 { // head chunk entered mid-way (only possible at k0)
+			cnt -= s0 - first
+			first = s0
+		}
+		if kc+(nc-1)*m == k1 { // tail chunk may end mid-way
+			if chunkEnd := (k1 + 1) * g; chunkEnd > s0+bursts {
+				cnt -= chunkEnd - (s0 + bursts)
+			}
+		}
+		local := ilv.Local(first * burst)
+		if eng == nil {
+			if e := s.chans[c].AccessRun(write, local, int(cnt), arrival); e > *last {
+				*last = e
+			}
+			continue
+		}
+		for cnt > maxRunBursts {
+			eng.dispatch(int(c), runOp{write: write, local: local, bursts: maxRunBursts, arrival: arrival})
+			local += maxRunBursts * burst
+			cnt -= maxRunBursts
+		}
+		eng.dispatch(int(c), runOp{write: write, local: local, bursts: int32(cnt), arrival: arrival})
+	}
 }
 
 // dispatchClock returns the deterministic dispatch-time lower bound the
@@ -488,13 +541,6 @@ func (s *System) FailedChannel() (int, int64) {
 		return -1, 0
 	}
 	return s.deadChannel, s.dropClock
-}
-
-// chanOp is one burst bound for a specific channel in a parallel batch.
-type chanOp struct {
-	write   bool
-	local   int64
-	arrival int64
 }
 
 // Reset restores every channel to its initial state, revives a dropped

@@ -121,6 +121,28 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// ObserveN records n identical samples in one update — the coalesced
+// controller fast path observes whole same-row burst runs at once, and the
+// result must match n individual Observe(v) calls exactly.
+func (h *Histogram) ObserveN(v int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	if v > 1 {
+		i = bits.Len64(uint64(v - 1))
+	}
+	h.buckets[i] += n
+	h.count += n
+	h.sum += v * n
+	if v > h.max {
+		h.max = v
+	}
+}
+
 // Count returns the number of observed samples.
 func (h *Histogram) Count() int64 { return h.count }
 
