@@ -277,6 +277,33 @@ func probeBenchRun(b *testing.B, newProbe func(ch int) probe.Sink) {
 	}
 }
 
+// BenchmarkHostCalibration is a simulator-independent CPU baseline: a
+// fixed xorshift-and-sum pass over a 4 MiB buffer. ci.sh compares its
+// MB/s against the reference recorded in results/BENCH_FLOOR ("# calib"
+// line) to tell a slow host apart from a simulator regression — when the
+// host itself is detectably slower than the machine that recorded the
+// floor, the absolute BenchmarkRawChannel gate downgrades to a warning.
+func BenchmarkHostCalibration(b *testing.B) {
+	buf := make([]uint64, 512<<10) // 4 MiB
+	for i := range buf {
+		buf[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	b.SetBytes(int64(len(buf) * 8))
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sink
+		for _, v := range buf {
+			s ^= v
+			s = s*6364136223846793005 + 1442695040888963407
+		}
+		sink = s
+	}
+	if sink == 42 {
+		b.Log(sink) // keep the loop observable
+	}
+}
+
 // BenchmarkProbeDisabledOverhead measures the observability layer's cost
 // when no sink is attached — the nil-check fast path every simulation
 // pays. Compare its MB/s against BenchmarkRawChannel (identical workload,

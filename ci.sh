@@ -4,14 +4,19 @@
 # disabled observability path stays within PROBE_OVERHEAD_MAX_PCT
 # (default 2%) of the uninstrumented channel throughput, a fuzz smoke
 # pass over the parser/decoder fuzz targets, the fault determinism
-# gate diffing serial-vs-parallel QoS reports byte for byte, and the
-# throughput gate recording the simulator benchmarks to
+# gate diffing serial-vs-parallel QoS reports byte for byte, the
+# protocol-checker soak (randomized configs replayed under the timing
+# invariant checker and the three-way differential oracle, -race on,
+# seed counts bounded by CHECK_SOAK_CONFIGS / CHECK_ORACLE_CONFIGS),
+# and the throughput gate recording the simulator benchmarks to
 # results/BENCH_<date>.json and failing if BenchmarkRawChannel falls
-# below the floor checked in at results/BENCH_FLOOR.
+# below the floor checked in at results/BENCH_FLOOR. The floor gate
+# downgrades to a warning when BenchmarkHostCalibration shows the host
+# is detectably slower than the machine that recorded the floor.
 #
 # Usage: ./ci.sh [-quick]
-#   -quick skips the race detector, the benchmarks, the fuzz smoke and
-#   the determinism gate.
+#   -quick skips the race detector, the benchmarks, the fuzz smoke,
+#   the checker soak and the determinism gate.
 set -eu
 
 cd "$(dirname "$0")"
@@ -38,6 +43,23 @@ fi
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== protocol checker soak =="
+# Randomized workloads replayed with the timing-invariant checker
+# attached, plus the three-way differential oracle (per-burst reference
+# vs coalesced vs parallel engine command streams), both under -race.
+# -count=1 forces a fresh run even when the package test cache is warm;
+# the seed counts are bounded so CI time stays predictable.
+CHECK_SOAK_CONFIGS="${CHECK_SOAK_CONFIGS:-40}" \
+CHECK_ORACLE_CONFIGS="${CHECK_ORACLE_CONFIGS:-100}" \
+    go test -race -count=1 -run 'TestCheckerSoak$|TestDifferentialOracle$' ./internal/check/
+echo "ci: checker soak OK"
+
+echo "== checked end-to-end run =="
+# One flagship run per tool path with -check on: any DRAM command that
+# violates the device timing constraints fails the build.
+go run ./cmd/mcmsim -format 1080p30 -channels 4 -fraction 0.02 -check >/dev/null
+echo "ci: checked run OK"
 
 echo "== fuzz smoke =="
 # Each target runs for a short budget; any crasher fails the build.
@@ -130,11 +152,35 @@ echo "$raw_out" | awk -v date="$(date +%Y-%m-%d)" '
     }' > "$bench_json"
 echo "ci: wrote $bench_json"
 floor=$(grep -v '^#' results/BENCH_FLOOR | head -1)
-echo "$raw_out" | awk -v floor="$floor" '
+# Host-speed calibration: the floor is an absolute MB/s recorded on a
+# particular machine. Re-measure the simulator-independent calibration
+# benchmark and compare against the "# calib" reference in BENCH_FLOOR;
+# a host under 70% of the reference can undercut the floor without any
+# code regression, so the gate becomes warn-only there.
+calib_ref=$(sed -n 's/^# calib[ \t]*\([0-9.]*\).*/\1/p' results/BENCH_FLOOR | head -1)
+floor_mode=fail
+if [ -n "$calib_ref" ]; then
+    calib_out=$(go test -run '^$' -bench 'BenchmarkHostCalibration$' \
+        -benchtime "${CALIB_BENCHTIME:-0.3s}" -count "${CALIB_COUNT:-3}" .)
+    if ! echo "$calib_out" | awk -v ref="$calib_ref" '
+        /^BenchmarkHostCalibration/ { for (i = 2; i <= NF; i++) if ($i == "MB/s" && $(i-1) > best) best = $(i-1) }
+        END {
+            if (best == 0) { print "ci: calibration output missing MB/s — keeping hard floor" ; exit 0 }
+            printf "ci: host calibration %.0f MB/s (floor recorded at %s MB/s)\n", best, ref
+            if (best + 0 < 0.7 * ref) exit 1
+        }'; then
+        floor_mode=warn
+        echo "ci: host detectably slower than the floor reference — throughput gate is warn-only"
+    fi
+fi
+echo "$raw_out" | awk -v floor="$floor" -v mode="$floor_mode" '
     /^BenchmarkRawChannel/ { for (i = 2; i <= NF; i++) if ($i == "MB/s" && $(i-1) > best) best = $(i-1) }
     END {
         if (best == 0) { print "ci: BenchmarkRawChannel output missing MB/s"; exit 1 }
         printf "ci: BenchmarkRawChannel %.0f MB/s (floor %s MB/s)\n", best, floor
-        if (best + 0 < floor + 0) { print "ci: throughput below floor — simulator regression" ; exit 1 }
+        if (best + 0 < floor + 0) {
+            if (mode == "warn") { print "ci: WARNING: below floor on a slow host — not failing" }
+            else { print "ci: throughput below floor — simulator regression" ; exit 1 }
+        }
     }'
 echo "ci: OK"

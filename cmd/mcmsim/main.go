@@ -15,6 +15,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -43,6 +44,7 @@ func main() {
 		probeWindow = flag.Int64("probe-window", 100000, "time-series epoch length in DRAM cycles (for -metrics-out)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the run to this file")
 		metricsOut  = flag.String("metrics-out", "", "write windowed time-series metrics to this file (.json = JSON, else CSV)")
+		checkRun    = flag.Bool("check", false, "verify every DRAM command against the device timing constraints (slower; violations are fatal)")
 
 		faultSeed    = flag.Uint64("fault-seed", 1, "fault plan PRNG seed (same seed = byte-identical QoS report)")
 		faultDrop    = flag.Int("fault-drop-channel", -1, "channel to fail permanently (-1 = no dropout)")
@@ -59,6 +61,15 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *probeWindow <= 0 {
+		usageError("-probe-window must be positive, got %d", *probeWindow)
+	}
+	for _, out := range []string{*traceOut, *metricsOut, *qosOut} {
+		if err := probe.CheckWritable(out); err != nil {
+			fatal(fmt.Errorf("output not writable: %w", err))
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -124,6 +135,13 @@ func main() {
 		mc.NewProbe = obs.Channel
 	}
 
+	var checker *check.Set
+	if *checkRun {
+		if checker, err = core.AttachChecker(&mc); err != nil {
+			fatal(err)
+		}
+	}
+
 	plan := fault.Plan{
 		Seed:           *faultSeed,
 		DerateAtCycle:  *faultDerate,
@@ -143,6 +161,7 @@ func main() {
 	if plan.Enabled() {
 		mc.Faults = &plan
 		runDegraded(w, mc, obs, *faultFrames, *fraction, *probeWindow, *qosOut)
+		reportCheck(checker)
 		return
 	}
 
@@ -209,6 +228,34 @@ func main() {
 				s.Name, s.Bytes, s.Time.Milliseconds(), s.Energy.Millijoules(), s.Efficiency)
 		}
 	}
+	reportCheck(checker)
+}
+
+// reportCheck prints the invariant checker's outcome; any violation of the
+// device timing constraints is fatal with the full violation list on
+// stderr. A nil set (checking disabled) is a no-op.
+func reportCheck(set *check.Set) {
+	if set == nil {
+		return
+	}
+	if err := set.Err(); err != nil {
+		for _, v := range set.Violations() {
+			fmt.Fprintln(os.Stderr, "mcmsim: check:", v)
+		}
+		if n := set.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "mcmsim: check: %d further violations dropped\n", n)
+		}
+		fatal(err)
+	}
+	fmt.Println("check:      every DRAM command satisfied the device timing constraints")
+}
+
+// usageError reports a flag-validation failure and exits with the usage
+// status (2), matching the flag package's own error handling.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mcmsim: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }
 
 // runDegraded executes the fault-injected degraded-mode run and prints its

@@ -38,8 +38,23 @@ func main() {
 		probeWindow = flag.Int64("probe-window", 100000, "time-series epoch length in DRAM cycles (for -metrics-out)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of an instrumented flagship run (1080p30, 4 ch @ 400 MHz)")
 		metricsOut  = flag.String("metrics-out", "", "write the instrumented run's windowed time-series metrics (.json = JSON, else CSV)")
+		checkRun    = flag.Bool("check", false, "verify the flagship run's DRAM commands against the device timing constraints (violations are fatal)")
 	)
 	flag.Parse()
+	if *jobs < 0 {
+		usageError("-jobs must be >= 0 (0 = one per CPU), got %d", *jobs)
+	}
+	if *probeWindow <= 0 {
+		usageError("-probe-window must be positive, got %d", *probeWindow)
+	}
+	if !(*fraction > 0) || *fraction > 1 {
+		usageError("-fraction must be in (0,1], got %v", *fraction)
+	}
+	for _, out := range []string{*traceOut, *metricsOut} {
+		if err := probe.CheckWritable(out); err != nil {
+			fatal(fmt.Errorf("output not writable: %w", err))
+		}
+	}
 	opt := core.RunOptions{SampleFraction: *fraction, Jobs: *jobs}
 
 	artifacts := []struct {
@@ -93,6 +108,47 @@ func main() {
 		}
 		fmt.Printf("observability: wrote %v\n", outputs)
 	}
+	if *checkRun {
+		if err := runChecked(*fraction); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runChecked replays the flagship configuration (1080p30 on 4 channels at
+// 400 MHz, the same point the observability outputs instrument) with the
+// protocol invariant checker attached; any violation of the device's
+// timing constraints is fatal.
+func runChecked(fraction float64) error {
+	w, err := core.WorkloadFor("1080p30")
+	if err != nil {
+		return err
+	}
+	w.SampleFraction = fraction
+	mc := core.PaperMemory(4, 400*units.MHz)
+	set, err := core.AttachChecker(&mc)
+	if err != nil {
+		return err
+	}
+	if _, err := core.Simulate(w, mc); err != nil {
+		return err
+	}
+	if err := set.Err(); err != nil {
+		for _, v := range set.Violations() {
+			fmt.Fprintln(os.Stderr, "paper: check:", v)
+		}
+		return err
+	}
+	fmt.Println("check: flagship run verified against the device timing constraints")
+	return nil
+}
+
+// usageError reports a flag-validation failure and exits with the usage
+// status (2), matching the flag package's own error handling.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paper: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }
 
 // writeObservability runs the paper's flagship configuration (1080p30 on
@@ -322,15 +378,25 @@ func ablations(opt core.RunOptions) (*report.Table, error) {
 			t.AddRow(r.Name, r.Workload,
 				fmt.Sprintf("%.0f mW", r.Baseline.TotalPower.Milliwatts()),
 				fmt.Sprintf("%.0f mW", r.Variant.TotalPower.Milliwatts()),
-				fmt.Sprintf("%+.0f%%", (float64(r.Variant.TotalPower)/float64(r.Baseline.TotalPower)-1)*100))
+				pctDelta(float64(r.Variant.TotalPower), float64(r.Baseline.TotalPower)))
 		default:
 			t.AddRow(r.Name, r.Workload,
 				fmt.Sprintf("%.2f ms", r.Baseline.AccessTime.Milliseconds()),
 				fmt.Sprintf("%.2f ms", r.Variant.AccessTime.Milliseconds()),
-				fmt.Sprintf("%+.0f%%", (r.Variant.AccessTime.Seconds()/r.Baseline.AccessTime.Seconds()-1)*100))
+				pctDelta(r.Variant.AccessTime.Seconds(), r.Baseline.AccessTime.Seconds()))
 		}
 	}
 	return t, nil
+}
+
+// pctDelta formats the relative change of variant against baseline; a
+// zero-duration (or zero-power) baseline — a degenerate sampled run —
+// renders as "n/a" instead of dividing by zero into ±Inf/NaN.
+func pctDelta(variant, baseline float64) string {
+	if baseline == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", (variant/baseline-1)*100)
 }
 
 // geometry renders the device-organization sensitivity sweep.

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/units"
 )
@@ -32,10 +33,22 @@ func main() {
 		freqs      = flag.String("freqs", "200,266,333,400,533", "comma-separated clock frequencies in MHz")
 		fraction   = flag.Float64("fraction", 0.1, "frame fraction to simulate")
 		jobs       = flag.Int("jobs", 0, "concurrent sweep points (0 = one per CPU, 1 = serial)")
+		serial     = flag.Bool("serial", false, "run the sweep serially (same output; shorthand for -jobs 1)")
+		checkRun   = flag.Bool("check", false, "verify every point's DRAM commands against the device timing constraints (slower; violations are fatal)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *jobs < 0 {
+		usageError("-jobs must be >= 0 (0 = one per CPU), got %d", *jobs)
+	}
+	if *serial && *jobs > 1 {
+		usageError("-serial conflicts with -jobs %d: a serial sweep runs one point at a time", *jobs)
+	}
+	if !(*fraction > 0) || *fraction > 1 {
+		usageError("-fraction must be in (0,1], got %v", *fraction)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -85,12 +98,39 @@ func main() {
 	if njobs == 0 {
 		njobs = core.DefaultJobs()
 	}
+	if *serial {
+		njobs = 1
+	}
 	results, err := core.RunIndexed(njobs, len(grid), func(i int) (core.Result, error) {
 		p := grid[i]
-		return core.Simulate(p.w, core.PaperMemory(p.ch, units.Frequency(p.f)*units.MHz))
+		mc := core.PaperMemory(p.ch, units.Frequency(p.f)*units.MHz)
+		var set *check.Set
+		if *checkRun {
+			var err error
+			if set, err = core.AttachChecker(&mc); err != nil {
+				return core.Result{}, err
+			}
+		}
+		res, err := core.Simulate(p.w, mc)
+		if err != nil {
+			return core.Result{}, err
+		}
+		if set != nil {
+			if err := set.Err(); err != nil {
+				for _, v := range set.Violations() {
+					fmt.Fprintf(os.Stderr, "sweep: check: %s/%dch/%dMHz: %s\n",
+						res.Format.Name, p.ch, p.f, v)
+				}
+				return core.Result{}, fmt.Errorf("%s/%dch/%dMHz: %w", res.Format.Name, p.ch, p.f, err)
+			}
+		}
+		return res, nil
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *checkRun {
+		fmt.Fprintf(os.Stderr, "sweep: check: all %d points verified against the device timing constraints\n", len(grid))
 	}
 
 	fmt.Println("format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw")
@@ -134,4 +174,12 @@ func parseInts(s string) ([]int, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
+}
+
+// usageError reports a flag-validation failure and exits with the usage
+// status (2), matching the flag package's own error handling.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/dram"
 	"repro/internal/load"
 	"repro/internal/memsys"
@@ -40,8 +41,15 @@ func main() {
 		probeWindow = flag.Int64("probe-window", 100000, "time-series epoch length in DRAM cycles (for -metrics-out)")
 		traceOut    = flag.String("trace-out", "", "with -run: write a Chrome/Perfetto trace-event JSON of the replay")
 		metricsOut  = flag.String("metrics-out", "", "with -run: write windowed time-series metrics (.json = JSON, else CSV)")
+		checkRun    = flag.Bool("check", false, "with -run: verify every DRAM command against the device timing constraints (violations are fatal)")
 	)
 	flag.Parse()
+
+	if *probeWindow <= 0 {
+		fmt.Fprintf(os.Stderr, "trace: -probe-window must be positive, got %d\n", *probeWindow)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	switch {
 	case *dump:
@@ -53,7 +61,7 @@ func main() {
 			fatal(err)
 		}
 	case *run != "":
-		if err := replay(*run, *channels, *freqMHz, *probeWindow, *traceOut, *metricsOut); err != nil {
+		if err := replay(*run, *channels, *freqMHz, *probeWindow, *traceOut, *metricsOut, *checkRun); err != nil {
 			fatal(err)
 		}
 	default:
@@ -105,7 +113,7 @@ func summarize(path string) error {
 	return nil
 }
 
-func replay(path string, channels int, freqMHz float64, probeWindow int64, traceOut, metricsOut string) error {
+func replay(path string, channels int, freqMHz float64, probeWindow int64, traceOut, metricsOut string, checkRun bool) error {
 	reqs, err := loadTrace(path)
 	if err != nil {
 		return err
@@ -118,6 +126,25 @@ func replay(path string, channels int, freqMHz float64, probeWindow int64, trace
 	if obs.Enabled() {
 		cfg.NewProbe = obs.Channel
 	}
+	var set *check.Set
+	if checkRun {
+		speed, err := dram.Resolve(cfg.Geometry, cfg.Timing, cfg.Freq)
+		if err != nil {
+			return err
+		}
+		set = check.New(check.Options{
+			Speed:           speed,
+			Policy:          cfg.Policy,
+			RefreshPostpone: cfg.RefreshPostpone,
+		})
+		prev := cfg.NewProbe
+		cfg.NewProbe = func(ch int) probe.Sink {
+			if prev == nil {
+				return set.Channel(ch)
+			}
+			return probe.Multi(prev(ch), set.Channel(ch))
+		}
+	}
 	sys, err := memsys.New(cfg)
 	if err != nil {
 		return err
@@ -126,6 +153,15 @@ func replay(path string, channels int, freqMHz float64, probeWindow int64, trace
 	res, err := sys.Run(memsys.NewSliceSource(reqs))
 	if err != nil {
 		return err
+	}
+	if set != nil {
+		if err := set.Err(); err != nil {
+			for _, v := range set.Violations() {
+				fmt.Fprintln(os.Stderr, "trace: check:", v)
+			}
+			return err
+		}
+		fmt.Println("check:       every DRAM command satisfied the device timing constraints")
 	}
 	fmt.Printf("replayed %d transactions (%d bursts) on %d ch @ %g MHz\n",
 		res.Transactions, res.Bursts, channels, freqMHz)

@@ -112,7 +112,7 @@ func (ch *Channel) AccessRun(write bool, local int64, bursts int, arrival int64)
 		}
 		return ch.Access(write, local, arrival)
 	}
-	if ch.inj != nil || ch.queue.Depth() > 0 || ch.ctl.HasProbe() {
+	if ch.inj != nil || ch.queue.Depth() > 0 || (ch.ctl.HasProbe() && !ch.ctl.SynthCoalesced()) {
 		burstBytes := ch.ctl.Config().Speed.Geometry.BurstBytes()
 		var end int64
 		for i := 0; i < bursts; i++ {
@@ -154,10 +154,15 @@ func (ch *Channel) Controller() *controller.Controller { return ch.ctl }
 // full request path: enqueue, DRAM commands, power states, completion.
 func (ch *Channel) Observed() bool { return ch.ctl.HasProbe() }
 
-// Reset restores the channel to its initial state.
+// Reset restores the channel to its initial state, rewinding the fault
+// decision stream (when one is attached) along with the controller and the
+// reorder window, so a reset channel replays the identical run.
 func (ch *Channel) Reset() {
 	ch.ctl.Reset()
 	ch.queue = controller.NewReorderQueue(ch.ctl, ch.queueDepth())
+	if ch.inj != nil {
+		ch.inj.Reset()
+	}
 }
 
 func (ch *Channel) queueDepth() int {

@@ -1,0 +1,313 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/controller"
+	"repro/internal/dram"
+	"repro/internal/probe"
+	"repro/internal/units"
+)
+
+func speed400(t *testing.T) dram.Speed {
+	t.Helper()
+	s, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), 400*units.MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// newSink builds a single-channel checker and returns the sink plus the set.
+func newSink(t *testing.T, opt check.Options) (probe.Sink, *check.Set) {
+	t.Helper()
+	set := check.New(opt)
+	return set.Channel(0), set
+}
+
+// rules collects the distinct violated rule names.
+func rules(set *check.Set) map[string]int {
+	m := map[string]int{}
+	for _, v := range set.Violations() {
+		m[v.Rule]++
+	}
+	return m
+}
+
+// act emits a well-formed ACT issued at t.
+func act(s dram.Speed, bank, row int32, t int64) probe.Event {
+	return probe.Event{Kind: probe.KindActivate, Bank: bank, Row: row, At: t, End: t + s.RCD}
+}
+
+// rd emits a well-formed RD issued at t.
+func rd(s dram.Speed, bank, row int32, t int64) probe.Event {
+	return probe.Event{Kind: probe.KindRead, Bank: bank, Row: row,
+		At: t, End: t + s.CL + s.BurstCycles, Aux: s.BurstCycles}
+}
+
+// wr emits a well-formed WR issued at t.
+func wr(s dram.Speed, bank, row int32, t int64) probe.Event {
+	return probe.Event{Kind: probe.KindWrite, Bank: bank, Row: row,
+		At: t, End: t + s.CWL + s.BurstCycles, Aux: s.BurstCycles}
+}
+
+func TestCleanStreamPasses(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	t0 := int64(0)
+	sink.Emit(act(s, 0, 3, t0))
+	sink.Emit(rd(s, 0, 3, t0+s.RCD))
+	sink.Emit(rd(s, 0, 3, t0+s.RCD+s.BurstCycles))
+	if err := set.Err(); err != nil {
+		t.Fatalf("clean stream flagged: %v", err)
+	}
+}
+
+func TestRuleTRCD(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	sink.Emit(act(s, 0, 1, 0))
+	sink.Emit(rd(s, 0, 1, s.RCD-1)) // one cycle early
+	if got := rules(set); got["tRCD"] == 0 {
+		t.Fatalf("tRCD not flagged: %v", set.Violations())
+	}
+}
+
+func TestRuleTRPAndTRASOnPrecharge(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	sink.Emit(act(s, 0, 1, 0))
+	// PRE before tRAS elapses.
+	pre := probe.Event{Kind: probe.KindPrecharge, Bank: 0, At: s.RAS - 2, End: s.RAS - 2 + s.RP}
+	sink.Emit(pre)
+	// ACT again inside the precharge window.
+	sink.Emit(act(s, 0, 2, s.RAS-1))
+	got := rules(set)
+	if got["tRAS"] == 0 || got["tRP"] == 0 {
+		t.Fatalf("want tRAS and tRP, got %v", set.Violations())
+	}
+}
+
+func TestRuleTRC(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	sink.Emit(act(s, 0, 1, 0))
+	sink.Emit(probe.Event{Kind: probe.KindPrecharge, Bank: 0, At: s.RAS, End: s.RAS + s.RP})
+	// tRP is satisfied but tRC is not when RAS+RP marches ahead of RC only
+	// on some devices; force it by activating right at preEnd-1... instead
+	// issue the second ACT at RAS+RP when RC > RAS+RP is impossible on the
+	// default device, so synthesize with a violating issue directly:
+	early := s.RC - 1
+	if early <= s.RAS+s.RP {
+		// Default device has RC == RAS+RP; fabricate a bank that skipped
+		// its precharge bookkeeping by issuing ACT out of thin air after
+		// an ACT only — no PRE — which trips act-open-bank and tRC both.
+		sink2, set2 := newSink(t, check.Options{Speed: s})
+		sink2.Emit(act(s, 1, 1, 0))
+		sink2.Emit(act(s, 1, 2, early))
+		if got := rules(set2); got["tRC"] == 0 {
+			t.Fatalf("tRC not flagged: %v", set2.Violations())
+		}
+		return
+	}
+	sink.Emit(act(s, 0, 2, s.RAS+s.RP))
+	if got := rules(set); got["tRC"] == 0 {
+		t.Fatalf("tRC not flagged: %v", set.Violations())
+	}
+}
+
+func TestRuleTRRDAndTFAW(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	sink.Emit(act(s, 0, 1, 0))
+	sink.Emit(act(s, 1, 1, s.RRD-1)) // tRRD violation
+	if got := rules(set); got["tRRD"] == 0 {
+		t.Fatalf("tRRD not flagged: %v", set.Violations())
+	}
+
+	// Widen FAW past every per-bank window so the fifth ACT below is legal
+	// on all counts except the four-activate window.
+	s2 := s
+	s2.FAW = 2 * (s.RAS + s.RP)
+	sink2, set2 := newSink(t, check.Options{Speed: s2})
+	// Four ACTs at the tRRD pace, then a fifth inside the tFAW window.
+	at := int64(0)
+	for i := int32(0); i < 4; i++ {
+		sink2.Emit(act(s2, i%4, 1, at))
+		at += s2.RRD
+	}
+	sink2.Emit(probe.Event{Kind: probe.KindPrecharge, Bank: 0, At: s2.RAS, End: s2.RAS + s2.RP})
+	fifth := s2.FAW - 2
+	if fifth < s2.RAS+s2.RP {
+		t.Fatalf("scenario broken: fifth ACT at %d inside per-bank windows ending %d", fifth, s2.RAS+s2.RP)
+	}
+	sink2.Emit(act(s2, 0, 2, fifth))
+	if got := rules(set2); got["tFAW"] == 0 {
+		t.Fatalf("tFAW not flagged: %v", set2.Violations())
+	}
+}
+
+func TestRuleBusCollisionAndTurnaround(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	sink.Emit(act(s, 0, 1, 0))
+	sink.Emit(rd(s, 0, 1, s.RCD))
+	sink.Emit(rd(s, 0, 1, s.RCD+1)) // data overlaps the previous burst
+	if got := rules(set); got["bus-collision"] == 0 {
+		t.Fatalf("bus-collision not flagged: %v", set.Violations())
+	}
+
+	sink2, set2 := newSink(t, check.Options{Speed: s})
+	sink2.Emit(act(s, 0, 1, 0))
+	t0 := s.RCD
+	sink2.Emit(wr(s, 0, 1, t0))
+	wrEnd := t0 + s.CWL + s.BurstCycles
+	// A read whose data starts exactly at the write's last beat boundary:
+	// same-cycle handoff needs the turnaround bubble. Issue late enough
+	// that tWTR is satisfied, isolating the turnaround rule… on the
+	// default device WTR pushes the command past the bubble window, so
+	// check whichever of the two bus rules fires.
+	issue := wrEnd - s.CL // data starts exactly at wrEnd: no bubble
+	sink2.Emit(rd(s, 0, 1, issue))
+	got := rules(set2)
+	if got["bus-turnaround"] == 0 && got["tWTR"] == 0 {
+		t.Fatalf("turnaround/tWTR not flagged: %v", set2.Violations())
+	}
+}
+
+func TestRuleRefreshLateAndTRFC(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	ref := func(t0 int64) probe.Event {
+		return probe.Event{Kind: probe.KindRefresh, Bank: -1, At: t0, End: t0 + s.RFC}
+	}
+	sink.Emit(ref(0))
+	sink.Emit(ref(s.RFC - 1)) // inside tRFC
+	sink.Emit(ref(s.RFC - 1 + 10*s.REFI))
+	got := rules(set)
+	if got["tRFC"] == 0 {
+		t.Fatalf("tRFC not flagged: %v", set.Violations())
+	}
+	if got["refresh-late"] == 0 {
+		t.Fatalf("refresh-late not flagged: %v", set.Violations())
+	}
+}
+
+func TestRuleRefreshLateUnderDerate(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	ref := func(t0 int64) probe.Event {
+		return probe.Event{Kind: probe.KindRefresh, Bank: -1, At: t0, End: t0 + s.RFC}
+	}
+	derated := s.REFI / 4
+	sink.Emit(ref(0))
+	sink.Emit(probe.Event{Kind: probe.KindThermalDerate, Bank: -1, At: s.REFI, End: s.REFI, Aux: derated})
+	// 9 derated intervals from the derate point is the new bound; exceed it.
+	sink.Emit(ref(s.REFI + 10*derated))
+	if got := rules(set); got["refresh-late"] == 0 {
+		t.Fatalf("derated refresh-late not flagged: %v", set.Violations())
+	}
+}
+
+func TestRuleWakePenalties(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	sink.Emit(act(s, 0, 1, 0))
+	sink.Emit(rd(s, 0, 1, s.RCD))
+	end := s.RCD + s.CL + s.BurstCycles
+	sink.Emit(probe.Event{Kind: probe.KindPrecharge, Bank: 0, At: end + s.WR, End: end + s.WR + s.RP})
+	pdEnd := end + 100
+	sink.Emit(probe.Event{Kind: probe.KindPowerDown, Bank: -1, At: pdEnd - 50, End: pdEnd, Aux: 50})
+	if s.XP > 1 {
+		sink.Emit(act(s, 0, 2, pdEnd+s.XP-1)) // inside the tXP exit window
+		if got := rules(set); got["tXP"] == 0 {
+			t.Fatalf("tXP not flagged: %v", set.Violations())
+		}
+	}
+
+	sink2, set2 := newSink(t, check.Options{Speed: s})
+	srEnd := int64(100_000)
+	sink2.Emit(probe.Event{Kind: probe.KindSelfRefresh, Bank: -1, At: srEnd - 50_000, End: srEnd, Aux: 50_000})
+	sink2.Emit(act(s, 0, 1, srEnd+s.XSR-1))
+	if got := rules(set2); got["tXSR"] == 0 {
+		t.Fatalf("tXSR not flagged: %v", set2.Violations())
+	}
+}
+
+func TestRuleSelfRefreshOpenBank(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	sink.Emit(act(s, 0, 1, 0))
+	sink.Emit(rd(s, 0, 1, s.RCD))
+	end := s.RCD + s.CL + s.BurstCycles
+	// Self-refresh entered without a precharge: the tracked bank is open.
+	sink.Emit(probe.Event{Kind: probe.KindSelfRefresh, Bank: -1, At: end + 1, End: end + 100_000, Aux: 100_000 - end - 1})
+	if got := rules(set); got["sr-open-bank"] == 0 {
+		t.Fatalf("sr-open-bank not flagged: %v", set.Violations())
+	}
+}
+
+func TestRuleCmdBusSerialization(t *testing.T) {
+	s := speed400(t)
+	sink, set := newSink(t, check.Options{Speed: s})
+	sink.Emit(act(s, 0, 1, 10))
+	sink.Emit(act(s, 1, 1, 10)) // same command-bus cycle
+	if got := rules(set); got["cmd-bus"] == 0 {
+		t.Fatalf("cmd-bus not flagged: %v", set.Violations())
+	}
+}
+
+func TestViolationCapAndErr(t *testing.T) {
+	s := speed400(t)
+	set := check.New(check.Options{Speed: s, MaxViolations: 2})
+	sink := set.Channel(0)
+	for i := 0; i < 5; i++ {
+		sink.Emit(rd(s, 0, 1, int64(100*i))) // bank never opened: rw-closed-bank each time
+	}
+	if got := len(set.Violations()); got != 2 {
+		t.Fatalf("violations recorded = %d, want capped 2", got)
+	}
+	if set.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", set.Dropped())
+	}
+	err := set.Err()
+	if err == nil || !strings.Contains(err.Error(), "rw-closed-bank") {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+// The checker must pass a real controller driven over a representative mix:
+// row hits, conflicts, both directions, refresh catch-up, power-down.
+func TestCheckerAgainstLiveController(t *testing.T) {
+	s := speed400(t)
+	for _, policy := range []controller.PagePolicy{controller.OpenPage, controller.ClosedPage} {
+		set := check.New(check.Options{Speed: s, Policy: policy})
+		c, err := controller.New(controller.Config{
+			Speed: s, Policy: policy, PowerDown: true, Probe: set.Channel(0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var arrival int64
+		for i := 0; i < 4000; i++ {
+			write := i%3 == 0
+			loc := c.Decode(int64(i) * 16 * 7)
+			end := c.Access(write, loc, arrival)
+			if i%97 == 0 {
+				arrival = end + int64(i%5)*400 // sprinkle idle gaps
+			}
+		}
+		c.Flush()
+		if err := set.Err(); err != nil {
+			t.Errorf("policy %v: %v (total %d)", policy, err, len(set.Violations()))
+			for i, v := range set.Violations() {
+				if i >= 5 {
+					break
+				}
+				t.Logf("  %s", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Randomized soaks: the invariant checker rides along on randomized
+// configurations and workloads (including fault plans) and must stay
+// silent, and the differential oracle proves the four dispatch strategies
+// emit identical command streams on randomized fault-free runs. Config
+// counts scale with CHECK_SOAK_CONFIGS / CHECK_ORACLE_CONFIGS for the CI
+// soak gate.
+package check_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/controller"
+	"repro/internal/dram"
+	"repro/internal/fault"
+	"repro/internal/memsys"
+	"repro/internal/units"
+)
+
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// randomConfig draws one subsystem configuration across the simulator's
+// feature matrix.
+func randomConfig(rng *rand.Rand) memsys.Config {
+	freqs := []units.Frequency{200 * units.MHz, 266 * units.MHz, 333 * units.MHz,
+		400 * units.MHz, 533 * units.MHz}
+	cfg := memsys.Config{
+		Channels:  []int{1, 2, 4}[rng.Intn(3)],
+		Freq:      freqs[rng.Intn(len(freqs))],
+		PowerDown: rng.Intn(4) != 0,
+		Parallel:  rng.Intn(2) == 0,
+	}
+	if rng.Intn(3) == 0 {
+		cfg.Policy = controller.ClosedPage
+	}
+	if rng.Intn(3) == 0 {
+		cfg.WriteBufferDepth = 1 << rng.Intn(5)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.QueueDepth = 1 + rng.Intn(8)
+	}
+	if rng.Intn(2) == 0 {
+		cfg.RefreshPostpone = rng.Intn(9)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.PrechargeOnIdle = true
+	}
+	if rng.Intn(3) == 0 {
+		cfg.InterleaveGranularity = 16 << rng.Intn(4)
+	}
+	return cfg
+}
+
+// randomReqs draws a workload with saturated stretches, short stalls and
+// long idle gaps (power-down, self-refresh, refresh catch-up).
+func randomReqs(rng *rand.Rand, n int, refi int64) []memsys.Request {
+	reqs := make([]memsys.Request, 0, n)
+	var arrival int64
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			arrival += refi * int64(1+rng.Intn(6)) // long idle
+		case 1, 2:
+			arrival += int64(rng.Intn(800)) // short gap
+		}
+		reqs = append(reqs, memsys.Request{
+			Write:   rng.Intn(3) == 0,
+			Addr:    int64(rng.Intn(1 << 22)),
+			Bytes:   int64(1 + rng.Intn(4096)),
+			Arrival: arrival,
+		})
+	}
+	return reqs
+}
+
+// randomPlan draws a fault plan (possibly disabled) legal for the config.
+func randomPlan(rng *rand.Rand, cfg memsys.Config, seed uint64) *fault.Plan {
+	plan := &fault.Plan{Seed: seed}
+	if cfg.Channels >= 2 && rng.Intn(3) == 0 {
+		plan.DropChannel = rng.Intn(cfg.Channels)
+		plan.DropAtCycle = int64(5000 + rng.Intn(100_000))
+	}
+	if rng.Intn(2) == 0 {
+		plan.DerateAtCycle = int64(3000 + rng.Intn(50_000))
+		plan.RefreshDivisor = 2
+	}
+	if rng.Intn(2) == 0 {
+		plan.ReadErrorRate = 0.002
+		plan.RetryLimit = 3
+		plan.RetryBackoff = 16
+	}
+	if rng.Intn(2) == 0 {
+		plan.StallRate = 0.002
+		plan.StallMaxCycles = 40
+	}
+	if !plan.Enabled() {
+		return nil
+	}
+	return plan
+}
+
+// TestCheckerSoak attaches the invariant checker to randomized runs —
+// fault plans included — and requires a silent checker on every one.
+func TestCheckerSoak(t *testing.T) {
+	configs := envInt("CHECK_SOAK_CONFIGS", 30)
+	if testing.Short() {
+		configs = 8
+	}
+	for i := 0; i < configs; i++ {
+		i := i
+		t.Run(fmt.Sprintf("cfg%03d", i), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(0xC0FFEE + i*7919)))
+			cfg := randomConfig(rng)
+			if rng.Intn(2) == 0 {
+				cfg.Faults = randomPlan(rng, cfg, uint64(i+1))
+			}
+			speed, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), cfg.Freq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := check.New(check.Options{
+				Speed:           speed,
+				Policy:          cfg.Policy,
+				RefreshPostpone: cfg.RefreshPostpone,
+				MaxViolations:   8,
+			})
+			cfg.NewProbe = set.Channel
+			sys, err := memsys.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs := randomReqs(rng, 250, speed.REFI)
+			if _, err := sys.Run(memsys.NewSliceSource(reqs)); err != nil {
+				t.Fatal(err)
+			}
+			if err := set.Err(); err != nil {
+				for _, v := range set.Violations() {
+					t.Logf("%s", v)
+				}
+				t.Fatalf("config %+v: %v", cfg, err)
+			}
+		})
+	}
+}
+
+// TestDifferentialOracle replays randomized fault-free runs through all
+// four dispatch strategies and requires bit-identical command streams and
+// results (see Differential).
+func TestDifferentialOracle(t *testing.T) {
+	configs := envInt("CHECK_ORACLE_CONFIGS", 100)
+	if testing.Short() {
+		configs = 15
+	}
+	for i := 0; i < configs; i++ {
+		i := i
+		t.Run(fmt.Sprintf("cfg%03d", i), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(0xD1FF + i*104_729)))
+			cfg := randomConfig(rng)
+			speed, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), cfg.Freq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs := randomReqs(rng, 60+rng.Intn(180), speed.REFI)
+			if err := check.Differential(cfg, reqs); err != nil {
+				t.Fatalf("config %+v: %v", cfg, err)
+			}
+		})
+	}
+}
+
+// TestDifferentialRejectsFaultPlans pins the oracle's fault-plan guard: a
+// dropout's dispatch-clock trigger is only burst-exact within one strategy,
+// so faulted runs must be refused rather than mis-compared.
+func TestDifferentialRejectsFaultPlans(t *testing.T) {
+	cfg := memsys.PaperConfig(2, 400*units.MHz)
+	cfg.Faults = &fault.Plan{Seed: 1, StallRate: 0.1, StallMaxCycles: 10}
+	if err := check.Differential(cfg, []memsys.Request{{Bytes: 64}}); err == nil {
+		t.Fatal("expected the fault-plan rejection")
+	}
+}

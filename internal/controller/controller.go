@@ -86,6 +86,13 @@ type Config struct {
 	// controller processes (see internal/probe). Nil — the default —
 	// keeps the hot path event-free.
 	Probe probe.Sink
+	// SynthCoalescedEvents keeps the coalesced fast path (AccessRun) active
+	// with a probe attached: same-row jumps synthesize the per-burst event
+	// groups arithmetically, producing a stream identical event for event
+	// to the per-burst reference path (the internal/check differential
+	// oracle asserts this). Testing/oracle knob; ordinary observation uses
+	// the per-burst fallback and pays nothing for this field.
+	SynthCoalescedEvents bool
 	// Channel tags emitted events with this channel index.
 	Channel int
 	// Faults, when non-nil, is this channel's fault decision stream (see
@@ -189,6 +196,12 @@ func (c *Controller) Config() Config { return c.cfg }
 // of event construction.
 func (c *Controller) HasProbe() bool { return c.probe != nil }
 
+// SynthCoalesced reports whether the controller synthesizes per-burst
+// events on the coalesced path (see Config.SynthCoalescedEvents); the
+// channel keeps handing runs to AccessRun then even though a probe is
+// attached.
+func (c *Controller) SynthCoalesced() bool { return c.cfg.SynthCoalescedEvents }
+
 // EmitEvent forwards a channel-level event (enqueue/complete) into the
 // controller's probe stream. No-op without a sink.
 func (c *Controller) EmitEvent(ev probe.Event) {
@@ -201,14 +214,15 @@ func (c *Controller) EmitEvent(ev probe.Event) {
 // emitEv tags and forwards one event, clamping At so the per-channel
 // stream stays monotonically non-decreasing (the probe contract) even for
 // events stamped with request arrival times that lag the command clock.
+// End is never clamped: it carries the exact schedule (envelope events
+// like enqueue/complete are stamped with arrival and completion times that
+// can outrun a command issued just after them, so a clamped At may exceed
+// End), and the invariant checker reconstructs true issue cycles from it.
 func (c *Controller) emitEv(ev probe.Event) {
 	if ev.At < c.evClock {
 		ev.At = c.evClock
 	} else {
 		c.evClock = ev.At
-	}
-	if ev.End < ev.At {
-		ev.End = ev.At
 	}
 	ev.Channel = c.chID
 	c.probe.Emit(ev)
@@ -234,25 +248,29 @@ func max64(a, b int64) int64 {
 	return b
 }
 
-// refresh closes all banks and performs one auto-refresh.
-func (c *Controller) refresh(earliest int64) {
-	// Precharge-all: wait for every open bank's precharge window.
-	pre := max64(earliest, c.nextRefreshAt)
+// refreshNow performs one auto-refresh no earlier than t, first issuing a
+// precharge-all when a row is open, and returns the refresh completion
+// cycle. The refresh command also waits out every bank's pending activate
+// window — a closed bank may still be inside a precharge (tRP) or a prior
+// refresh (tRFC), and REF to an idle bank obeys the same spacing as ACT.
+func (c *Controller) refreshNow(t int64) int64 {
+	pre := t
 	anyOpen := false
+	refReady := t
 	for i := range c.banks {
+		refReady = max64(refReady, c.banks[i].actReady)
 		if c.banks[i].open {
 			anyOpen = true
 			pre = max64(pre, c.banks[i].preReady)
 		}
 	}
-	refReady := pre
 	if anyOpen {
-		t := c.cmdAt(pre)
+		pt := c.cmdAt(pre)
 		c.st.Precharges++
 		if c.probe != nil {
-			c.emitEv(probe.Event{Kind: probe.KindPrecharge, Bank: -1, At: t, End: t + c.cfg.Speed.RP})
+			c.emitEv(probe.Event{Kind: probe.KindPrecharge, Bank: -1, At: pt, End: pt + c.cfg.Speed.RP})
 		}
-		refReady = t + c.cfg.Speed.RP
+		refReady = max64(refReady, pt+c.cfg.Speed.RP)
 		for i := range c.banks {
 			c.banks[i].open = false
 		}
@@ -266,6 +284,13 @@ func (c *Controller) refresh(earliest int64) {
 	for i := range c.banks {
 		c.banks[i].actReady = max64(c.banks[i].actReady, done)
 	}
+	return done
+}
+
+// refresh performs the next scheduled auto-refresh no earlier than earliest
+// and advances the schedule.
+func (c *Controller) refresh(earliest int64) {
+	c.refreshNow(max64(earliest, c.nextRefreshAt))
 	c.nextRefreshAt += c.refi
 }
 
@@ -274,77 +299,129 @@ func (c *Controller) refresh(earliest int64) {
 // applies.
 func (c *Controller) wake(arrival int64) int64 {
 	earliest := arrival
-	if c.haveXfer || c.haveCmd {
-		idleFrom := max64(c.cmdClock, c.busFreeAt)
-		gap := arrival - idleFrom
-		switch {
-		case gap > 1 && c.cfg.PowerDown && c.srThreshold > 0 && gap-1 >= c.srThreshold:
-			// Long idle: self-refresh maintains the cells at the
-			// lowest current; exit costs tXSR and the periodic
-			// refresh timer restarts.
-			c.st.SelfRefreshCycles += gap - 1
-			c.st.SelfRefreshEntries++
+	if !c.haveXfer && !c.haveCmd {
+		return earliest
+	}
+	s := c.cfg.Speed
+	idleFrom := max64(c.cmdClock, c.busFreeAt)
+	gap := arrival - idleFrom
+	if gap <= 1 {
+		return earliest
+	}
+	switch {
+	case c.cfg.PowerDown && c.srThreshold > 0 && gap-1 >= c.srThreshold:
+		// Long idle: self-refresh maintains the cells at the lowest
+		// current; exit costs tXSR and the periodic refresh timer
+		// restarts. Entry requires every bank precharged, so an open
+		// row costs an explicit precharge-all (tRP) before the cluster
+		// drops in.
+		entry := idleFrom + 1
+		if !c.allBanksClosed() {
+			pre := entry
 			for i := range c.banks {
-				c.banks[i].open = false // SR entry precharges all
-			}
-			if c.probe != nil {
-				c.emitEv(probe.Event{Kind: probe.KindSelfRefresh,
-					Bank: -1, At: arrival - (gap - 1), End: arrival, Aux: gap - 1})
-			}
-			earliest = arrival + c.cfg.Speed.XSR
-			c.nextRefreshAt = arrival + c.refi
-		case gap > 1 && c.cfg.PowerDown:
-			// The cluster powers down after the first idle cycle
-			// and needs tXP before the next command. With all
-			// banks closed it rests in the cheaper precharge
-			// power-down state.
-			idle := gap - 1
-			spent := idleFrom + 1 // cursor for refresh/precharge event times
-			// Postponed refreshes catch up inside the gap when it
-			// is long enough; each costs tRP+tRFC of the idle time.
-			if c.refreshDebt > 0 {
-				cost := c.cfg.Speed.RP + c.cfg.Speed.RFC
-				for c.refreshDebt > 0 && idle >= cost {
-					c.refreshDebt--
-					c.st.Refreshes++
-					idle -= cost
-					if c.probe != nil {
-						c.emitEv(probe.Event{Kind: probe.KindRefresh, Bank: -1, At: spent, End: spent + cost})
-					}
-					spent += cost
-					for i := range c.banks {
-						c.banks[i].open = false
-					}
+				if c.banks[i].open {
+					pre = max64(pre, c.banks[i].preReady)
 				}
 			}
-			if c.cfg.PrechargeOnIdle && !c.allBanksClosed() && idle > c.cfg.Speed.RP {
-				// Precharge-all before dropping into power-down.
+			t := c.cmdAt(pre)
+			c.st.Precharges++
+			if c.probe != nil {
+				c.emitEv(probe.Event{Kind: probe.KindPrecharge, Bank: -1, At: t, End: t + s.RP})
+			}
+			for i := range c.banks {
+				c.banks[i].open = false
+				c.banks[i].actReady = max64(c.banks[i].actReady, t+s.RP)
+			}
+			entry = t + s.RP
+		}
+		resid := arrival - entry
+		if resid < 0 {
+			resid = 0
+		}
+		c.st.SelfRefreshCycles += resid
+		c.st.SelfRefreshEntries++
+		if c.probe != nil {
+			c.emitEv(probe.Event{Kind: probe.KindSelfRefresh,
+				Bank: -1, At: arrival - resid, End: arrival, Aux: resid})
+		}
+		earliest = arrival + s.XSR
+		c.nextRefreshAt = arrival + c.refi
+	case c.cfg.PowerDown:
+		// The cluster powers down after the first idle cycle and needs
+		// tXP before the next command. With all banks closed it rests
+		// in the cheaper precharge power-down state.
+		spent := idleFrom + 1 // cursor for refresh/precharge event times
+		// Postponed refreshes catch up inside the gap while they fit;
+		// each one honors the banks' recovery windows (write recovery,
+		// tRAS before the implicit precharge-all, the previous
+		// refresh's tRFC) exactly like a foreground refresh.
+		if c.refreshDebt > 0 && !c.cfg.RefreshDisabled {
+			for c.refreshDebt > 0 {
+				cost := s.RFC
+				if !c.allBanksClosed() {
+					cost += s.RP
+				}
+				if spent+cost > arrival {
+					break
+				}
+				c.refreshDebt--
+				spent = c.refreshNow(spent)
+			}
+		}
+		if c.cfg.PrechargeOnIdle && !c.allBanksClosed() {
+			// Precharge-all before dropping into power-down, once the
+			// open rows' restore and recovery windows allow it.
+			pre := spent
+			for i := range c.banks {
+				if c.banks[i].open {
+					pre = max64(pre, c.banks[i].preReady)
+				}
+			}
+			if pre+s.RP <= arrival {
+				t := c.cmdAt(pre)
 				c.st.Precharges++
-				idle -= c.cfg.Speed.RP
 				if c.probe != nil {
-					c.emitEv(probe.Event{Kind: probe.KindPrecharge, Bank: -1, At: spent, End: spent + c.cfg.Speed.RP})
+					c.emitEv(probe.Event{Kind: probe.KindPrecharge, Bank: -1, At: t, End: t + s.RP})
 				}
 				for i := range c.banks {
 					c.banks[i].open = false
+					c.banks[i].actReady = max64(c.banks[i].actReady, t+s.RP)
 				}
+				spent = t + s.RP
 			}
-			if idle < 0 {
-				idle = 0
-			}
-			c.st.PowerDownCycles += idle
-			precharged := c.allBanksClosed()
+		}
+		idle := arrival - spent
+		if idle < 0 {
+			idle = 0
+		}
+		c.st.PowerDownCycles += idle
+		precharged := c.allBanksClosed()
+		if precharged {
+			c.st.PrechargePDCycles += idle
+		}
+		c.st.PowerDownExits++
+		if c.probe != nil {
+			ev := probe.Event{Kind: probe.KindPowerDown, Bank: -1, At: arrival - idle, End: arrival, Aux: idle}
 			if precharged {
-				c.st.PrechargePDCycles += idle
+				ev.Flags |= probe.FlagPrechargedPD
 			}
-			c.st.PowerDownExits++
-			if c.probe != nil {
-				ev := probe.Event{Kind: probe.KindPowerDown, Bank: -1, At: arrival - idle, End: arrival, Aux: idle}
-				if precharged {
-					ev.Flags |= probe.FlagPrechargedPD
-				}
-				c.emitEv(ev)
+			c.emitEv(ev)
+		}
+		earliest = arrival + s.XP
+	default:
+		// No power-down: the controller stays awake through the gap and
+		// serves refresh on schedule — first any postponed debt, then
+		// each due interval at its due time — so retention never rides
+		// on the next request's arrival.
+		if !c.cfg.RefreshDisabled {
+			t := idleFrom + 1
+			for c.refreshDebt > 0 && t+s.RFC <= arrival {
+				c.refreshDebt--
+				t = c.refreshNow(t)
 			}
-			earliest = arrival + c.cfg.Speed.XP
+			for c.nextRefreshAt < arrival {
+				c.refresh(idleFrom + 1)
+			}
 		}
 	}
 	return earliest
@@ -599,18 +676,24 @@ func (c *Controller) AccessAddr(write bool, local int64, arrival int64) int64 {
 // still fires on the identical cycle. Any other configuration falls back to
 // the per-burst path, so results are bit-identical either way.
 func (c *Controller) AccessRun(write bool, local int64, bursts int, arrival int64) int64 {
+	synth := c.probe != nil && c.cfg.SynthCoalescedEvents
 	if bursts <= 1 {
 		if bursts < 1 {
 			return 0
 		}
-		return c.Access(write, c.mapper.Decode(local), arrival)
+		return c.accessOne(write, c.mapper.Decode(local), arrival, synth)
 	}
 	burstBytes := c.cfg.Speed.Geometry.BurstBytes()
-	if c.probe != nil || c.cfg.Faults != nil || c.cfg.Policy != OpenPage ||
-		(write && c.cfg.WriteBufferDepth > 0) {
+	if (c.probe != nil && !synth) || c.cfg.Faults != nil || c.cfg.Policy != OpenPage ||
+		(write && c.cfg.WriteBufferDepth > 0) || local%burstBytes != 0 {
+		// Per-burst reference path. An unaligned start address (reachable
+		// only through the public API — memsys dispatches burst-aligned
+		// runs) must land here too: the row walk below counts whole
+		// bursts per row and would make no progress on a row tail
+		// shorter than one burst.
 		var end int64
 		for i := 0; i < bursts; i++ {
-			if e := c.Access(write, c.mapper.Decode(local), arrival); e > end {
+			if e := c.accessOne(write, c.mapper.Decode(local), arrival, synth); e > end {
 				end = e
 			}
 			local += burstBytes
@@ -625,7 +708,7 @@ func (c *Controller) AccessRun(write bool, local int64, bursts int, arrival int6
 		if n > bursts {
 			n = bursts
 		}
-		if e := c.accessRow(write, loc, n, arrival); e > end {
+		if e := c.accessRow(write, loc, n, arrival, synth); e > end {
 			end = e
 		}
 		local += int64(n) * burstBytes
@@ -634,14 +717,32 @@ func (c *Controller) AccessRun(write bool, local int64, bursts int, arrival int6
 	return end
 }
 
+// accessOne performs one burst, bracketing it with the enqueue/complete
+// events the channel's depth-0 queue wrapper would emit when synth is set —
+// the coalesced path bypasses the queue, so the synthesized stream supplies
+// them to stay comparable with the per-burst reference stream.
+func (c *Controller) accessOne(write bool, loc mapping.Location, arrival int64, synth bool) int64 {
+	if !synth {
+		return c.Access(write, loc, arrival)
+	}
+	c.emitEv(probe.Event{Kind: probe.KindEnqueue, Bank: int32(loc.Bank), At: arrival, End: arrival, Depth: 1})
+	end := c.Access(write, loc, arrival)
+	lat := end - arrival
+	if lat < 0 {
+		lat = 0
+	}
+	c.emitEv(probe.Event{Kind: probe.KindComplete, Bank: int32(loc.Bank), At: end, End: end, Aux: lat})
+	return end
+}
+
 // accessRow serves n sequential bursts inside one row. The first burst runs
 // through the full Access path (wake, refresh, row transition, turnaround);
 // the rest are row hits whose issue times advance by exactly BurstCycles, so
 // they are applied as bulk state updates, falling back to per-burst Access
 // whenever a refresh would become due mid-streak.
-func (c *Controller) accessRow(write bool, loc mapping.Location, n int, arrival int64) int64 {
+func (c *Controller) accessRow(write bool, loc mapping.Location, n int, arrival int64, synth bool) int64 {
 	s := c.cfg.Speed
-	end := c.Access(write, loc, arrival)
+	end := c.accessOne(write, loc, arrival, synth)
 	remaining := int64(n - 1)
 	b := &c.banks[loc.Bank]
 	for remaining > 0 {
@@ -663,11 +764,12 @@ func (c *Controller) accessRow(write bool, loc mapping.Location, n int, arrival 
 			}
 		}
 		if m <= 0 {
-			end = c.Access(write, loc, arrival)
+			end = c.accessOne(write, loc, arrival, synth)
 			remaining--
 			continue
 		}
-		t := c.cmdClock - 1 + m*s.BurstCycles
+		t0 := c.cmdClock - 1
+		t := t0 + m*s.BurstCycles
 		var dataEnd int64
 		if write {
 			dataEnd = t + s.CWL + s.BurstCycles
@@ -681,6 +783,32 @@ func (c *Controller) accessRow(write bool, loc mapping.Location, n int, arrival 
 			b.preReady = max64(b.preReady, t+s.RTP)
 			c.st.Reads += m
 			c.st.ReadBusCycles += m * s.BurstCycles
+		}
+		if synth {
+			// Reconstruct the per-burst event groups the reference path
+			// would emit for the jumped bursts: the j-th burst issues at
+			// t0 + j*BurstCycles, is a row hit, and completes one data
+			// burst later. Raw timestamps are identical to the reference
+			// path's, and emitEv applies the same monotonic clamp, so the
+			// streams match event for event.
+			kind := probe.KindRead
+			lead := s.CL
+			if write {
+				kind = probe.KindWrite
+				lead = s.CWL
+			}
+			for j := int64(1); j <= m; j++ {
+				tj := t0 + j*s.BurstCycles
+				de := tj + lead + s.BurstCycles
+				c.emitEv(probe.Event{Kind: probe.KindEnqueue, Bank: int32(loc.Bank), At: arrival, End: arrival, Depth: 1})
+				c.emitEv(probe.Event{Kind: probe.KindRowHit, Bank: int32(loc.Bank), Row: int32(loc.Row), At: tj, End: tj})
+				c.emitEv(probe.Event{Kind: kind, Bank: int32(loc.Bank), Row: int32(loc.Row), At: tj, End: de, Aux: s.BurstCycles})
+				lat := de - arrival
+				if lat < 0 {
+					lat = 0
+				}
+				c.emitEv(probe.Event{Kind: probe.KindComplete, Bank: int32(loc.Bank), At: de, End: de, Aux: lat})
+			}
 		}
 		c.cmdClock = t + 1
 		c.busFreeAt = dataEnd
@@ -734,19 +862,16 @@ func (c *Controller) BusyCycles() int64 { return c.st.BusyCycles }
 
 // Reset returns the controller to its initial state, keeping configuration.
 // The probe sink (when configured) is retained; its event stream restarts
-// from cycle zero.
+// from cycle zero. Reset rebuilds through New rather than zeroing fields by
+// hand, so a field added to Controller can never be forgotten here — a
+// reset controller is a fresh one by construction (the equivalence test
+// pins this with reflection).
 func (c *Controller) Reset() {
-	mapper := c.mapper
-	cfg := c.cfg
-	srThreshold := c.srThreshold
-	*c = Controller{
-		cfg:    cfg,
-		mapper: mapper,
-		banks:  make([]bankState, cfg.Speed.Geometry.Banks),
-		probe:  cfg.Probe,
-		chID:   int32(cfg.Channel),
+	fresh, err := New(c.cfg)
+	if err != nil {
+		// New accepted this exact configuration when c was built; it
+		// cannot reject it now.
+		panic(fmt.Sprintf("controller: Reset re-validation failed: %v", err))
 	}
-	c.srThreshold = srThreshold
-	c.refi = cfg.Speed.REFI
-	c.nextRefreshAt = cfg.Speed.REFI
+	*c = *fresh
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"unsafe"
 
 	"repro/internal/fault"
 	"repro/internal/probe"
@@ -154,5 +155,69 @@ func TestResetEquivalence(t *testing.T) {
 			t.Errorf("trial %d: probe event streams diverged after Reset (%d vs %d events)",
 				trial, len(resetRec.Events), len(freshRec.Events))
 		}
+	}
+}
+
+// fieldValue reads field i of a struct value, reaching through the
+// unexported barrier so the test can compare and print internal state.
+func fieldValue(v reflect.Value, i int) interface{} {
+	f := v.Field(i)
+	if f.CanInterface() {
+		return f.Interface()
+	}
+	return reflect.NewAt(f.Type(), unsafe.Pointer(f.UnsafeAddr())).Elem().Interface()
+}
+
+// TestResetFieldEquivalence walks every Controller field by reflection and
+// requires a Reset controller to be structurally identical to a freshly
+// constructed one. Unlike the behavioral replay above — which only notices
+// a stale field if some workload happens to read it — this fails by field
+// name the moment a field is added to Controller but left out of Reset.
+func TestResetFieldEquivalence(t *testing.T) {
+	speed := speed400(t)
+	base := Config{Speed: speed, PowerDown: true}
+
+	closed := base
+	closed.Policy = ClosedPage
+	closed.WriteBufferDepth = 4
+
+	tuned := base
+	tuned.RefreshPostpone = 6
+	tuned.PrechargeOnIdle = true
+	tuned.RecordLatency = true
+	tuned.SelfRefreshThreshold = 2048
+	tuned.Channel = 3
+	tuned.Probe = &probe.Recorder{}
+
+	for name, cfg := range map[string]Config{
+		"baseline": base, "closed-page+wbuf": closed, "tuned+probe": tuned,
+	} {
+		t.Run(name, func(t *testing.T) {
+			ctl := newCtl(t, cfg)
+			// Dirty every subsystem: row state, transfer history, the ACT
+			// window, refresh debt, the write buffer, power-state residency,
+			// stats, the latency histogram and the event clock.
+			var end int64
+			for i := int64(0); i < 300; i++ {
+				arrival := end
+				if i%23 == 0 {
+					arrival += speed.REFI * 3 // power-down / self-refresh / debt
+				}
+				end = ctl.AccessAddr(i%3 == 0, (i*176)&^15, arrival)
+			}
+			ctl.Flush()
+			ctl.Reset()
+
+			fresh := newCtl(t, cfg)
+			got := reflect.ValueOf(ctl).Elem()
+			want := reflect.ValueOf(fresh).Elem()
+			for i := 0; i < got.NumField(); i++ {
+				g, w := fieldValue(got, i), fieldValue(want, i)
+				if !reflect.DeepEqual(g, w) {
+					t.Errorf("field %s survived Reset: %+v, fresh controller has %+v",
+						got.Type().Field(i).Name, g, w)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"repro/internal/check"
+	"repro/internal/dram"
+	"repro/internal/probe"
+)
+
+// AttachChecker wires a protocol invariant checker (see internal/check)
+// into the configuration as an additional per-channel probe sink, chained
+// after any sink already installed. The checker verifies every DRAM
+// command the simulated controllers emit against the device's timing
+// constraints; inspect the returned Set after the run (Err is non-nil on
+// any violation). The -check flag of the CLI tools goes through here.
+//
+// Attaching a checker makes the run observed, which disables the coalesced
+// dispatch fast path — results are bit-identical, simulation is slower.
+func AttachChecker(mc *MemoryConfig) (*check.Set, error) {
+	geom := mc.Geometry
+	if geom == (dram.Geometry{}) {
+		geom = dram.DefaultGeometry()
+	}
+	timing := mc.Timing
+	if timing == (dram.Timing{}) {
+		timing = dram.DefaultTiming()
+	}
+	speed, err := dram.Resolve(geom, timing, mc.Freq)
+	if err != nil {
+		return nil, err
+	}
+	set := check.New(check.Options{
+		Speed:           speed,
+		Policy:          mc.Policy,
+		RefreshPostpone: mc.RefreshPostpone,
+	})
+	prev := mc.NewProbe
+	mc.NewProbe = func(ch int) probe.Sink {
+		if prev == nil {
+			return set.Channel(ch)
+		}
+		return probe.Multi(prev(ch), set.Channel(ch))
+	}
+	return set, nil
+}

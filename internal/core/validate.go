@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dram"
 	"repro/internal/usecase"
@@ -62,7 +63,7 @@ func (w Workload) Validate() error {
 	if f.FPS <= 0 {
 		return fmt.Errorf("core: workload frame rate %d fps: want a positive rate", f.FPS)
 	}
-	if w.SampleFraction < 0 || w.SampleFraction > 1 {
+	if math.IsNaN(w.SampleFraction) || w.SampleFraction < 0 || w.SampleFraction > 1 {
 		return fmt.Errorf("core: sample fraction %v outside (0,1] (zero means the full frame)", w.SampleFraction)
 	}
 	if w.Params != (usecase.Params{}) {

@@ -290,7 +290,7 @@ func (g *Generator) FrameBytes() int64 {
 // (0,1] truncates every stream proportionally — a sampled frame whose
 // makespan extrapolates linearly, used to bound simulation cost.
 func (g *Generator) Frame(fraction float64) (memsys.Source, error) {
-	if fraction <= 0 || fraction > 1 {
+	if !(fraction > 0) || fraction > 1 { // rejects NaN too
 		return nil, fmt.Errorf("load: fraction %v outside (0,1]", fraction)
 	}
 	fs := &frameSource{capacity: g.capacity}
@@ -310,6 +310,12 @@ func (g *Generator) Frame(fraction float64) (memsys.Source, error) {
 		if len(cs.streams) > 0 {
 			fs.stages = append(fs.stages, cs)
 		}
+	}
+	if len(fs.stages) == 0 {
+		// A fraction small enough to truncate every stream to zero bytes
+		// would yield a zero-transaction, zero-duration run — downstream
+		// ratios (bandwidth, power deltas) all divide by the makespan.
+		return nil, fmt.Errorf("load: fraction %v truncates the whole frame to zero transactions", fraction)
 	}
 	return fs, nil
 }
@@ -408,7 +414,7 @@ func (g *Generator) StageFrame(stage int, fraction float64) (memsys.Source, erro
 	if stage < 0 || stage >= len(g.stages) {
 		return nil, fmt.Errorf("load: stage %d of %d", stage, len(g.stages))
 	}
-	if fraction <= 0 || fraction > 1 {
+	if !(fraction > 0) || fraction > 1 { // rejects NaN too
 		return nil, fmt.Errorf("load: fraction %v outside (0,1]", fraction)
 	}
 	fs := &frameSource{capacity: g.capacity}

@@ -68,6 +68,13 @@ type Config struct {
 	// is a debugging/CI knob, like core.MemoryConfig.Serial: the
 	// equivalence property test diffs coalesced against per-burst runs.
 	NoCoalesce bool
+	// SynthCoalescedEvents keeps coalesced dispatch active even with
+	// probes attached (see controller.Config.SynthCoalescedEvents): the
+	// per-burst event stream is synthesized arithmetically and is
+	// identical, event for event, to per-burst dispatch — the
+	// internal/check differential oracle asserts exactly that. Leave unset
+	// for ordinary observation.
+	SynthCoalescedEvents bool
 	// NewProbe, when non-nil, is called once per channel index at
 	// construction and attaches the returned event sink to that channel's
 	// controller (see internal/probe). A nil return leaves that channel
@@ -215,17 +222,18 @@ func New(cfg Config) (*System, error) {
 		}
 		ch, err := channel.New(channel.Config{
 			Controller: controller.Config{
-				Speed:            speed,
-				Mux:              cfg.Mux,
-				Policy:           cfg.Policy,
-				PowerDown:        cfg.PowerDown,
-				RecordLatency:    cfg.RecordLatency,
-				WriteBufferDepth: cfg.WriteBufferDepth,
-				RefreshPostpone:  cfg.RefreshPostpone,
-				PrechargeOnIdle:  cfg.PrechargeOnIdle,
-				Probe:            sink,
-				Channel:          i,
-				Faults:           chInj,
+				Speed:                speed,
+				Mux:                  cfg.Mux,
+				Policy:               cfg.Policy,
+				PowerDown:            cfg.PowerDown,
+				RecordLatency:        cfg.RecordLatency,
+				WriteBufferDepth:     cfg.WriteBufferDepth,
+				RefreshPostpone:      cfg.RefreshPostpone,
+				PrechargeOnIdle:      cfg.PrechargeOnIdle,
+				Probe:                sink,
+				SynthCoalescedEvents: cfg.SynthCoalescedEvents,
+				Channel:              i,
+				Faults:               chInj,
 			},
 			DRAMLink:   dramLink,
 			QueueDepth: cfg.QueueDepth,
@@ -336,7 +344,8 @@ func (s *System) Run(src Source) (Result, error) {
 		eng = startEngine(s.chans)
 		defer eng.stop() // idempotent; drains workers on early error returns
 	}
-	coalesce := !s.cfg.NoCoalesce && s.inj == nil && !s.observed()
+	coalesce := !s.cfg.NoCoalesce && s.inj == nil &&
+		(!s.observed() || s.cfg.SynthCoalescedEvents)
 
 	// Pending dropout from the fault plan (fires at most once per System).
 	dropPending := s.inj != nil && !s.dropped && s.inj.Plan().DropAtCycle > 0

@@ -28,6 +28,11 @@ func NewObserver(channels int, window int64, traceOut, metricsOut string) (*Obse
 		return nil, nil
 	}
 	o := &Observer{traceOut: traceOut, metricsOut: metricsOut}
+	for _, path := range []string{traceOut, metricsOut} {
+		if err := CheckWritable(path); err != nil {
+			return nil, fmt.Errorf("probe: output not writable: %w", err)
+		}
+	}
 	if metricsOut != "" {
 		ts, err := NewTimeSeries(channels, window)
 		if err != nil {
@@ -118,6 +123,29 @@ func (o *Observer) WriteOutputs(m *Manifest) error {
 	m.AddOutput("manifest", path)
 	if err := m.Write(path); err != nil {
 		return fmt.Errorf("probe: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// CheckWritable verifies that path can be created for writing, so a CLI
+// run fails before the simulation instead of after it when an output flag
+// points somewhere unwritable (missing directory, permission, path is a
+// directory). An empty path is fine (output disabled). A file created
+// purely by the probe is removed again; an existing file is left intact.
+func CheckWritable(path string) error {
+	if path == "" {
+		return nil
+	}
+	_, statErr := os.Stat(path)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if cerr := f.Close(); cerr != nil {
+		return cerr
+	}
+	if os.IsNotExist(statErr) {
+		os.Remove(path) // leave no empty artifact behind on later failure
 	}
 	return nil
 }

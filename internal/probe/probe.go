@@ -9,8 +9,14 @@
 // (see BenchmarkProbeDisabledOverhead at the repository root).
 //
 // Contract: within one channel, event At timestamps are monotonically
-// non-decreasing in emission order, and End >= At for every event. Sinks
-// may rely on both. Channels are independent: with parallel simulation
+// non-decreasing in emission order — the emitter clamps At forward when an
+// event's true start lags an already-emitted timestamp. End is never
+// clamped: it always carries the event's exact schedule, so End < At marks
+// an event whose At was clamped (e.g. a refresh served inside an idle gap,
+// emitted after the enqueue of the request that ended the gap). Sinks that
+// need a display duration must guard against the negative span; sinks that
+// need exact command timing should derive it from End (see internal/check).
+// Channels are independent: with parallel simulation
 // each channel emits from its own goroutine into its own sink, so a sink
 // returned by a per-channel factory must not share mutable state with its
 // siblings unless it synchronizes internally.
@@ -142,7 +148,9 @@ type Event struct {
 	Row  int32
 	// Depth is the pending-queue depth for enqueue/complete events.
 	Depth int32
-	// At is the cycle the event begins; End (>= At) the cycle it ends.
+	// At is the cycle the event begins (clamped forward to keep the
+	// per-channel stream monotonic); End the cycle it ends. End is exact
+	// and may be below a clamped At — see the package contract.
 	At  int64
 	End int64
 	// Aux is a kind-specific payload: data-bus cycles (read/write), idle

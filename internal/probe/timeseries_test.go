@@ -92,6 +92,108 @@ func TestTimeSeriesSpreadAcrossEpochBoundary(t *testing.T) {
 	}
 }
 
+// TestTimeSeriesWindowEdge pins the binning convention at exact window
+// boundaries: windows are half-open [Start, Start+window), so a command
+// issued exactly on an edge belongs to the later window, and a bus span
+// ending exactly on an edge contributes nothing to the later window. An
+// off-by-one here skews every -metrics-out CSV.
+func TestTimeSeriesWindowEdge(t *testing.T) {
+	ts, _ := NewTimeSeries(1, 100)
+	s := ts.Channel(0)
+	s.Emit(Event{Kind: KindActivate, At: 99, End: 105})  // last cycle of epoch 0
+	s.Emit(Event{Kind: KindActivate, At: 100, End: 106}) // first cycle of epoch 1
+	eps := ts.Epochs(0)
+	if len(eps) != 2 {
+		t.Fatalf("got %d epochs, want 2", len(eps))
+	}
+	if eps[0].Activates != 1 || eps[1].Activates != 1 {
+		t.Errorf("activates split %d/%d, want 1/1", eps[0].Activates, eps[1].Activates)
+	}
+
+	// Bus span [190, 200) ends exactly on the epoch-2 edge: all 10 cycles
+	// land in epoch 1 and epoch 2 is not even materialized.
+	s.Emit(Event{Kind: KindRead, At: 190, End: 200, Aux: 10})
+	eps = ts.Epochs(0)
+	if len(eps) != 2 {
+		t.Fatalf("span ending on the edge materialized epoch 2: %d epochs", len(eps))
+	}
+	if eps[1].ReadBusCycles != 10 {
+		t.Errorf("epoch 1 read bus cycles = %d, want 10", eps[1].ReadBusCycles)
+	}
+
+	// Bus span [200, 210) starts exactly on the edge: all of it in epoch 2.
+	s.Emit(Event{Kind: KindWrite, At: 200, End: 210, Aux: 10})
+	eps = ts.Epochs(0)
+	if len(eps) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(eps))
+	}
+	if eps[1].WriteBusCycles != 0 || eps[2].WriteBusCycles != 10 {
+		t.Errorf("write bus cycles split %d/%d, want 0/10", eps[1].WriteBusCycles, eps[2].WriteBusCycles)
+	}
+}
+
+// TestTimeSeriesFinalPartialWindow checks a run ending mid-window: the
+// final epoch carries only the cycles that actually happened, and the
+// reconstructed makespan is the true busy end, not the window edge.
+func TestTimeSeriesFinalPartialWindow(t *testing.T) {
+	ts, _ := NewTimeSeries(1, 100)
+	s := ts.Channel(0)
+	s.Emit(Event{Kind: KindRead, At: 40, End: 44, Aux: 4})
+	s.Emit(Event{Kind: KindRead, At: 246, End: 250, Aux: 4}) // run ends at 250
+	eps := ts.Epochs(0)
+	if len(eps) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(eps))
+	}
+	if eps[2].Start != 200 || eps[2].ReadBusCycles != 4 {
+		t.Errorf("final partial epoch start=%d bus=%d, want 200, 4", eps[2].Start, eps[2].ReadBusCycles)
+	}
+	if got := ts.ChannelTotal(0).BusyCycles; got != 250 {
+		t.Errorf("reconstructed makespan = %d, want 250 (mid-window), not the 300 window edge", got)
+	}
+	// A middle epoch the run skipped entirely stays all-zero but present,
+	// so epoch indices keep matching Start/window.
+	if eps[1].Reads != 0 || eps[1].ReadBusCycles != 0 {
+		t.Errorf("skipped epoch 1 not empty: %+v", eps[1])
+	}
+}
+
+// TestTimeSeriesOutOfOrderCompletion feeds events whose At regresses (a
+// completion recorded after a later command, the shape queue wrappers can
+// emit around idle gaps) and events with End < At (the probe contract's
+// clamped-At marker): each must bin by its own cycle without panicking or
+// polluting neighboring windows.
+func TestTimeSeriesOutOfOrderCompletion(t *testing.T) {
+	ts, _ := NewTimeSeries(1, 100)
+	s := ts.Channel(0)
+	s.Emit(Event{Kind: KindComplete, At: 250, Depth: 1, Aux: 30})
+	s.Emit(Event{Kind: KindComplete, At: 150, Depth: 0, Aux: 70}) // out of order
+	eps := ts.Epochs(0)
+	if len(eps) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(eps))
+	}
+	if eps[1].DepthSamples != 1 || eps[2].DepthSamples != 1 {
+		t.Errorf("depth samples split %d/%d, want 1/1", eps[1].DepthSamples, eps[2].DepthSamples)
+	}
+	if eps[1].Latency().Max() != 70 || eps[2].Latency().Max() != 30 {
+		t.Errorf("latency binned wrong: epoch1 max=%d epoch2 max=%d, want 70/30",
+			eps[1].Latency().Max(), eps[2].Latency().Max())
+	}
+
+	// End < At: a refresh served inside an idle gap, emitted late with its
+	// At clamped forward but End exact. The command counts at its clamped
+	// cycle; the residency span derives from End and lands where the gap was.
+	s.Emit(Event{Kind: KindRefresh, At: 260, End: 235})
+	s.Emit(Event{Kind: KindPowerDown, At: 260, End: 210, Aux: 30}) // residency [180, 210)
+	eps = ts.Epochs(0)
+	if eps[2].Refreshes != 1 {
+		t.Errorf("clamped refresh not counted at its At epoch: %+v", eps[2])
+	}
+	if eps[1].PowerDownCycles != 20 || eps[2].PowerDownCycles != 10 {
+		t.Errorf("powerdown residency split %d/%d, want 20/10 across the [180,210) span",
+			eps[1].PowerDownCycles, eps[2].PowerDownCycles)
+	}
+}
+
 func TestTimeSeriesQueueAndLatency(t *testing.T) {
 	ts, _ := NewTimeSeries(1, 100)
 	s := ts.Channel(0)
