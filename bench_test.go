@@ -15,6 +15,8 @@
 //	BenchmarkPagePolicy      -> ablation A3
 //	BenchmarkChannelScaling  -> the "close to 2x" scaling claim
 //	BenchmarkRawChannel      -> simulator throughput (engineering metric)
+//	BenchmarkSimulate        -> end-to-end point cost, uncached vs cached
+//	BenchmarkFullFormatMatrix-> whole-artifact cost, uncached vs cached
 //	BenchmarkGeometrySweep   -> extension G1 (device organization)
 //	BenchmarkSustained       -> extension S1 (paced multi-frame recording)
 //	BenchmarkWriteBuffer     -> extension A4 (posted-write buffer)
@@ -200,6 +202,94 @@ func BenchmarkChannelScaling(b *testing.B) {
 		t8 = simulate(b, "720p30", 8, 400*units.MHz, nil).AccessTime.Milliseconds()
 	}
 	b.ReportMetric(t1/t8, "1ch_vs_8ch_speedup")
+}
+
+// BenchmarkSimulate measures one end-to-end core.Simulate call — workload
+// synthesis through the memory subsystem to the assembled Result — with
+// the result cache off. In steady state the subsystem and generator come
+// from the per-configuration pools (revived via Reset), so allocs/op is
+// dominated by result assembly; ci.sh gates it against the "# allocs"
+// entry in results/BENCH_FLOOR.
+func BenchmarkSimulate(b *testing.B) {
+	core.DisableCache()
+	w, err := core.WorkloadFor("720p30")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.SampleFraction = benchFraction
+	mc := core.PaperMemory(2, 400*units.MHz)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(w, mc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateCached serves the same point from a warm in-process
+// result cache: every iteration is a content-addressed key computation
+// plus a memoization-table hit. The ratio to BenchmarkSimulate is the
+// cache's speedup on a repeated point (the PR targets >= 10x).
+func BenchmarkSimulateCached(b *testing.B) {
+	cache := core.NewSimCache()
+	core.EnableCache(cache)
+	defer core.DisableCache()
+	w, err := core.WorkloadFor("720p30")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.SampleFraction = benchFraction
+	mc := core.PaperMemory(2, 400*units.MHz)
+	if _, err := core.Simulate(w, mc); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(w, mc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := cache.Stats(); st.MemHits == 0 || st.Simulated != 1 {
+		b.Fatalf("cache stats %+v: the timed loop must be all hits", st)
+	}
+}
+
+// BenchmarkFullFormatMatrix times the complete Fig. 4/5 experiment (every
+// format at every channel count) with the cache off — the uncached
+// end-to-end baseline for a whole paper artifact.
+func BenchmarkFullFormatMatrix(b *testing.B) {
+	core.DisableCache()
+	opt := core.RunOptions{SampleFraction: benchFraction}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFormatMatrix(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullFormatMatrixCached is the same experiment against a warm
+// cache — the steady-state cost of regenerating an artifact once its
+// points are resident (what `paper -all` pays for each artifact that
+// shares the format matrix).
+func BenchmarkFullFormatMatrixCached(b *testing.B) {
+	core.EnableCache(core.NewSimCache())
+	defer core.DisableCache()
+	opt := core.RunOptions{SampleFraction: benchFraction}
+	if _, err := core.RunFormatMatrix(opt); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFormatMatrix(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // rawRun drives the saturated 4 MiB sequential read stream through a

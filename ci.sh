@@ -8,11 +8,17 @@
 # protocol-checker soak (randomized configs replayed under the timing
 # invariant checker and the three-way differential oracle, -race on,
 # seed counts bounded by CHECK_SOAK_CONFIGS / CHECK_ORACLE_CONFIGS),
-# and the throughput gate recording the simulator benchmarks to
-# results/BENCH_<date>.json and failing if BenchmarkRawChannel falls
-# below the floor checked in at results/BENCH_FLOOR. The floor gate
-# downgrades to a warning when BenchmarkHostCalibration shows the host
-# is detectably slower than the machine that recorded the floor.
+# the cache differential gate (cached, uncached, serial-cached and
+# disk-cached runs must produce byte-identical output), and the
+# throughput gate recording the simulator benchmarks to
+# results/BENCH_<date>.json (suffixed -2, -3, ... instead of
+# clobbering a same-day export) and failing if BenchmarkRawChannel
+# falls below the floor checked in at results/BENCH_FLOOR. The floor
+# gate downgrades to a warning when BenchmarkHostCalibration shows the
+# host is detectably slower than the machine that recorded the floor;
+# the allocation gate ("# allocs" lines in BENCH_FLOOR) never
+# downgrades — allocs/op is host-independent, so exceeding a limit is
+# always a code regression.
 #
 # Usage: ./ci.sh [-quick]
 #   -quick skips the race detector, the benchmarks, the fuzz smoke,
@@ -84,6 +90,45 @@ if ! cmp "$qos_dir/serial.txt" "$qos_dir/parallel.txt"; then
 fi
 echo "ci: fault determinism OK"
 
+echo "== cache differential gate =="
+# The content-addressed result cache must never change what the tools
+# print: the full paper CSV run is compared byte for byte across
+# uncached, cached-parallel and cached-serial executions, and a sweep
+# with an on-disk cache must reproduce the uncached CSV both cold
+# (populating the store) and warm (served from it).
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$qos_dir" "$cache_dir"' EXIT
+go run ./cmd/paper -csv -fraction 0.02 -no-cache >"$cache_dir/paper-uncached.csv" 2>/dev/null
+go run ./cmd/paper -csv -fraction 0.02 >"$cache_dir/paper-cached.csv" 2>/dev/null
+go run ./cmd/paper -csv -fraction 0.02 -jobs 1 >"$cache_dir/paper-serial.csv" 2>/dev/null
+if ! cmp "$cache_dir/paper-uncached.csv" "$cache_dir/paper-cached.csv"; then
+    echo "ci: cached paper output differs from -no-cache" >&2
+    exit 1
+fi
+if ! cmp "$cache_dir/paper-uncached.csv" "$cache_dir/paper-serial.csv"; then
+    echo "ci: cached -jobs 1 paper output differs from -no-cache" >&2
+    exit 1
+fi
+sweep_flags="-formats 1080p30 -channels 2,4 -freqs 400 -fraction 0.02"
+# shellcheck disable=SC2086
+go run ./cmd/sweep $sweep_flags -no-cache >"$cache_dir/sweep-uncached.csv"
+# shellcheck disable=SC2086
+go run ./cmd/sweep $sweep_flags -cache-dir "$cache_dir/store" >"$cache_dir/sweep-cold.csv" 2>"$cache_dir/sweep-cold.log"
+# shellcheck disable=SC2086
+go run ./cmd/sweep $sweep_flags -cache-dir "$cache_dir/store" >"$cache_dir/sweep-warm.csv" 2>"$cache_dir/sweep-warm.log"
+if ! cmp "$cache_dir/sweep-uncached.csv" "$cache_dir/sweep-cold.csv" ||
+    ! cmp "$cache_dir/sweep-uncached.csv" "$cache_dir/sweep-warm.csv"; then
+    echo "ci: disk-cached sweep output differs from -no-cache" >&2
+    exit 1
+fi
+if ! grep -q 'disk hits' "$cache_dir/sweep-warm.log" ||
+    grep -q ' 0 disk hits' "$cache_dir/sweep-warm.log"; then
+    echo "ci: warm sweep did not report disk hits:" >&2
+    cat "$cache_dir/sweep-warm.log" >&2
+    exit 1
+fi
+echo "ci: cache differential OK"
+
 echo "== probe overhead benchmark =="
 # Repeated -count runs, best-of-N per arm: scheduling noise only ever
 # slows an iteration down, so the max MB/s is the robust estimate. The
@@ -122,9 +167,16 @@ echo "== benchmark throughput gate =="
 # tuned-hardware numbers so only a real regression (e.g. losing the
 # burst-coalesced fast path) trips it.
 mkdir -p results
-bench_json="results/BENCH_$(date +%Y%m%d).json"
+bench_stem="results/BENCH_$(date +%Y%m%d)"
+bench_json="$bench_stem.json"
+# Never clobber a same-day export: suffix reruns with -2, -3, ...
+n=1
+while [ -e "$bench_json" ]; do
+    n=$((n + 1))
+    bench_json="$bench_stem-$n.json"
+done
 raw_out=$(go test -run '^$' \
-    -bench 'BenchmarkRawChannel$|BenchmarkPerBurstRun$|BenchmarkCoalescedRun$|BenchmarkParallelRun$' \
+    -bench 'BenchmarkRawChannel$|BenchmarkPerBurstRun$|BenchmarkCoalescedRun$|BenchmarkParallelRun$|BenchmarkSimulate$|BenchmarkSimulateCached$|BenchmarkFullFormatMatrix$|BenchmarkFullFormatMatrixCached$' \
     -benchmem -benchtime "${BENCH_BENCHTIME:-0.5s}" -count "${BENCH_COUNT:-3}" .)
 echo "$raw_out"
 echo "$raw_out" | awk -v date="$(date +%Y-%m-%d)" '
@@ -151,6 +203,39 @@ echo "$raw_out" | awk -v date="$(date +%Y-%m-%d)" '
         printf "  }\n}\n"
     }' > "$bench_json"
 echo "ci: wrote $bench_json"
+
+echo "== allocation gate =="
+# allocs/op is deterministic for a given code path — no host-speed
+# calibration applies, so exceeding a "# allocs <name> <max>" entry in
+# results/BENCH_FLOOR is always a hard failure. Best (minimum) of the
+# BENCH_COUNT runs is compared, mirroring the throughput gate.
+echo "$raw_out" | awk '
+    NR == FNR {
+        if ($1 == "#" && $2 == "allocs") limit[$3] = $4
+        next
+    }
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        for (i = 2; i <= NF; i++)
+            if ($i == "allocs/op" && (!(name in best) || $(i-1) + 0 < best[name])) best[name] = $(i-1)
+    }
+    END {
+        fail = 0
+        for (name in limit) {
+            if (!(name in best)) {
+                printf "ci: allocation gate: %s has a limit but was not measured\n", name
+                fail = 1
+                continue
+            }
+            printf "ci: %s %d allocs/op (limit %d)\n", name, best[name], limit[name]
+            if (best[name] + 0 > limit[name] + 0) {
+                printf "ci: %s exceeds its allocation limit — regression\n", name
+                fail = 1
+            }
+        }
+        exit fail
+    }' results/BENCH_FLOOR -
+echo "ci: allocation gate OK"
 floor=$(grep -v '^#' results/BENCH_FLOOR | head -1)
 # Host-speed calibration: the floor is an absolute MB/s recorded on a
 # particular machine. Re-measure the simulator-independent calibration

@@ -59,11 +59,28 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		cacheDir = flag.String("cache-dir", "", "serve the point from a content-addressed on-disk cache under this directory when present, storing it otherwise")
+		noCache  = flag.Bool("no-cache", false, "simulate even when a cache would hit (output is byte-identical either way)")
 	)
 	flag.Parse()
 
 	if *probeWindow <= 0 {
 		usageError("-probe-window must be positive, got %d", *probeWindow)
+	}
+	if *noCache && *cacheDir != "" {
+		usageError("-no-cache conflicts with -cache-dir %q: the on-disk cache cannot be both used and disabled", *cacheDir)
+	}
+	if *cacheDir != "" {
+		// Observed runs (-latency, -trace-out, -metrics-out, -check,
+		// -fault-*) bypass the cache on their own; only the plain
+		// access-time/power run is served content-addressed.
+		cache, err := core.NewDiskSimCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		core.EnableCache(cache)
+		defer func() { fmt.Fprintln(os.Stderr, "mcmsim: cache:", cache.Stats()) }()
 	}
 	for _, out := range []string{*traceOut, *metricsOut, *qosOut} {
 		if err := probe.CheckWritable(out); err != nil {

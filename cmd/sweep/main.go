@@ -37,6 +37,8 @@ func main() {
 		checkRun   = flag.Bool("check", false, "verify every point's DRAM commands against the device timing constraints (slower; violations are fatal)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cacheDir   = flag.String("cache-dir", "", "persist simulated points to a content-addressed on-disk cache under this directory (versioned; later sweeps reuse them)")
+		noCache    = flag.Bool("no-cache", false, "simulate every point (disables the result cache; output is byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,27 @@ func main() {
 	}
 	if !(*fraction > 0) || *fraction > 1 {
 		usageError("-fraction must be in (0,1], got %v", *fraction)
+	}
+	if *noCache && *cacheDir != "" {
+		usageError("-no-cache conflicts with -cache-dir %q: the on-disk cache cannot be both used and disabled", *cacheDir)
+	}
+
+	// Content-addressed result cache: in-process dedup always (duplicate
+	// grid points simulate once), plus the optional on-disk store that
+	// persists points across invocations. Checked points bypass it
+	// automatically, and the stderr summary keeps stdout byte-identical.
+	var cache *core.SimCache
+	if !*noCache {
+		var err error
+		if *cacheDir != "" {
+			if cache, err = core.NewDiskSimCache(*cacheDir); err != nil {
+				fatal(err)
+			}
+		} else {
+			cache = core.NewSimCache()
+		}
+		core.EnableCache(cache)
+		defer core.DisableCache()
 	}
 
 	if *cpuprofile != "" {
@@ -156,6 +179,9 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+	if cache != nil {
+		fmt.Fprintln(os.Stderr, "sweep: cache:", cache.Stats())
 	}
 }
 

@@ -873,5 +873,12 @@ func (c *Controller) Reset() {
 		// cannot reject it now.
 		panic(fmt.Sprintf("controller: Reset re-validation failed: %v", err))
 	}
+	// Recycle the existing banks backing array instead of keeping the one
+	// New just allocated: the fresh zero-valued bank states are copied in
+	// first, so the adopted slice is indistinguishable from fresh.
+	if len(c.banks) == len(fresh.banks) {
+		copy(c.banks, fresh.banks)
+		fresh.banks = c.banks
+	}
 	*c = *fresh
 }

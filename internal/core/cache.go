@@ -1,0 +1,254 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+
+	"repro/internal/dram"
+	"repro/internal/power"
+	"repro/internal/simcache"
+	"repro/internal/usecase"
+)
+
+// CacheSchemaVersion names the simulation-result schema the cache stores.
+// Bump it whenever a change alters what Simulate computes for an unchanged
+// (Workload, MemoryConfig) — e.g. a controller timing fix or a new Result
+// field: in-process keys separate immediately (the version is folded into
+// every key) and the on-disk store moves to a fresh <root>/<version>/
+// directory, orphaning every stale entry without touching it.
+const CacheSchemaVersion = "v1"
+
+// CacheStats is a snapshot of a SimCache's lookup counters.
+type CacheStats struct {
+	// MemHits counts lookups answered by the in-process memo (including
+	// joins on an in-flight computation of the same point).
+	MemHits int64
+	// DiskHits counts lookups answered by the on-disk store.
+	DiskHits int64
+	// Simulated counts lookups that ran the simulator.
+	Simulated int64
+	// Bypassed counts Simulate calls that skipped the cache because the
+	// run was observed (probes, faults, latency recording).
+	Bypassed int64
+}
+
+// Lookups returns the number of cacheable Simulate calls.
+func (s CacheStats) Lookups() int64 { return s.MemHits + s.DiskHits + s.Simulated }
+
+// HitRate returns the fraction of cacheable lookups served without
+// simulating (0 when there were none).
+func (s CacheStats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.MemHits+s.DiskHits) / float64(n)
+	}
+	return 0
+}
+
+// String formats the counters for the CLI stderr summaries.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d points: %d simulated, %d memory hits, %d disk hits, %d bypassed (hit rate %.0f%%)",
+		s.Lookups()+s.Bypassed, s.Simulated, s.MemHits, s.DiskHits, s.Bypassed, 100*s.HitRate())
+}
+
+// SimCache is a content-addressed cache of Simulate results: an in-process
+// concurrent memo with single-flight semantics (overlapping experiments
+// asking for the same point simulate it exactly once, even from concurrent
+// RunIndexed workers), optionally backed by a versioned on-disk store that
+// persists points across process invocations.
+//
+// Correctness rests on two properties. First, the key is the SHA-256 of a
+// canonical encoding of every Simulate-relevant field of the normalized
+// (Workload, MemoryConfig) — see cacheKey — so two calls share a key only
+// when Simulate is guaranteed to return the identical Result for both.
+// Second, observed runs (probes, faults, latency recording — anything whose
+// value is the side effects, not the Result) bypass the cache entirely.
+type SimCache struct {
+	memo *simcache.Memo[Result]
+	disk *simcache.Disk
+
+	memHits   atomic.Int64
+	diskHits  atomic.Int64
+	simulated atomic.Int64
+	bypassed  atomic.Int64
+}
+
+// NewSimCache returns an in-process-only cache.
+func NewSimCache() *SimCache {
+	return &SimCache{memo: simcache.NewMemo[Result]()}
+}
+
+// NewDiskSimCache returns a cache additionally backed by the on-disk store
+// rooted at dir (created if needed) under the current CacheSchemaVersion.
+func NewDiskSimCache(dir string) (*SimCache, error) {
+	disk, err := simcache.NewDisk(dir, CacheSchemaVersion)
+	if err != nil {
+		return nil, err
+	}
+	c := NewSimCache()
+	c.disk = disk
+	return c, nil
+}
+
+// Stats snapshots the lookup counters.
+func (c *SimCache) Stats() CacheStats {
+	return CacheStats{
+		MemHits:   c.memHits.Load(),
+		DiskHits:  c.diskHits.Load(),
+		Simulated: c.simulated.Load(),
+		Bypassed:  c.bypassed.Load(),
+	}
+}
+
+// Simulate is Simulate through this cache.
+func (c *SimCache) Simulate(w Workload, mc MemoryConfig) (Result, error) {
+	key, cacheable := cacheKey(w, mc)
+	if !cacheable {
+		c.bypassed.Add(1)
+		return simulateUncached(w, mc)
+	}
+	res, err, hit := c.memo.Do(key, func() (Result, error) {
+		if c.disk != nil {
+			if data, ok := c.disk.Get(key); ok {
+				var r Result
+				if err := json.Unmarshal(data, &r); err == nil {
+					c.diskHits.Add(1)
+					return r, nil
+				}
+				// A corrupt or truncated entry reads as a miss; the Put
+				// below overwrites it with a fresh result.
+			}
+		}
+		r, err := simulateUncached(w, mc)
+		if err != nil {
+			return Result{}, err
+		}
+		c.simulated.Add(1)
+		if c.disk != nil {
+			if data, err := json.Marshal(r); err == nil {
+				// Best effort: an unwritable store degrades to in-process
+				// caching rather than failing the sweep.
+				_ = c.disk.Put(key, data)
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if hit {
+		c.memHits.Add(1)
+	}
+	// Hand every caller its own PerChannel slice so nobody can mutate the
+	// cached entry through the shared backing array.
+	if res.PerChannel != nil {
+		res.PerChannel = append([]power.Breakdown(nil), res.PerChannel...)
+	}
+	return res, nil
+}
+
+// activeCache is the process-wide cache consulted by Simulate; nil means
+// every call simulates (the seed behavior, and the -no-cache spelling).
+var activeCache atomic.Pointer[SimCache]
+
+// EnableCache installs c as the process-wide cache used by Simulate (and
+// therefore by every experiment runner). Passing nil disables caching.
+func EnableCache(c *SimCache) { activeCache.Store(c) }
+
+// DisableCache removes the process-wide cache.
+func DisableCache() { activeCache.Store(nil) }
+
+// EnabledCache returns the process-wide cache, or nil when disabled.
+func EnabledCache() *SimCache { return activeCache.Load() }
+
+// cacheKey folds the normalized (Workload, MemoryConfig) into a
+// content-addressed key, or reports cacheable=false for observed runs —
+// probes, faults and latency recording exist for their side effects or
+// non-deterministic-cost payloads, so they always simulate. (-check rides
+// on NewProbe via AttachChecker, so checked runs bypass too.)
+//
+// Both structs are walked by reflection over their declared fields, so a
+// field added to either is folded into the key automatically; only fields
+// that cannot be canonically encoded (funcs, pointers with bypass
+// semantics) are special-cased by name. TestCacheKeyFieldCoverage pins the
+// special-case list and fails when a new field lands in it unhandled.
+func cacheKey(w Workload, mc MemoryConfig) (simcache.Key, bool) {
+	if w.RecordLatency || mc.NewProbe != nil || mc.Faults != nil {
+		return simcache.Key{}, false
+	}
+	e := simcache.NewEncoder()
+	e.String("core.Simulate/" + CacheSchemaVersion)
+	if err := encodeFields(e, normalizeWorkload(w)); err != nil {
+		return simcache.Key{}, false
+	}
+	if err := encodeFields(e, normalizeMemoryConfig(mc)); err != nil {
+		return simcache.Key{}, false
+	}
+	return e.Sum(), true
+}
+
+// normalizeWorkload folds the zero-value spellings onto the defaults
+// Simulate substitutes, so "zero means default" configurations share a key
+// with their explicit spelling. Purely a hit-rate optimization: an
+// unnormalized field would only split one logical point across two keys,
+// never alias two different points onto one.
+func normalizeWorkload(w Workload) Workload {
+	if w.Params == (usecase.Params{}) {
+		w.Params = usecase.DefaultParams()
+	}
+	if w.SampleFraction == 0 {
+		w.SampleFraction = 1
+	}
+	w.Load = w.Load.WithDefaults()
+	return w
+}
+
+// normalizeMemoryConfig mirrors the default substitution memsys.New and
+// Simulate perform (see normalizeWorkload).
+func normalizeMemoryConfig(mc MemoryConfig) MemoryConfig {
+	if mc.Geometry == (dram.Geometry{}) {
+		mc.Geometry = dram.DefaultGeometry()
+	}
+	if mc.Timing == (dram.Timing{}) {
+		mc.Timing = dram.DefaultTiming()
+	}
+	if mc.InterleaveGranularity == 0 {
+		mc.InterleaveGranularity = mc.Geometry.BurstBytes()
+	}
+	if mc.Datasheet == nil {
+		ds := power.DefaultDatasheet()
+		mc.Datasheet = &ds
+	}
+	if mc.Interface == nil {
+		iface := power.DefaultInterface()
+		mc.Interface = &iface
+	}
+	return mc
+}
+
+// encodeFields canonically encodes every field of a struct value,
+// dereferencing the pointer fields cacheKey normalized to non-nil and
+// encoding the bypass-only fields (already checked nil) as absent.
+func encodeFields(e *simcache.Encoder, v any) error {
+	rv := reflect.ValueOf(v)
+	t := rv.Type()
+	e.String(t.Name())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		e.String(f.Name)
+		switch {
+		case f.Type.Kind() == reflect.Func:
+			// NewProbe: non-nil was rejected above; nil encodes as a tag.
+			e.Bool(false)
+			continue
+		case f.Name == "Faults":
+			e.Bool(false)
+			continue
+		}
+		if err := e.Value(rv.Field(i).Interface()); err != nil {
+			return fmt.Errorf("core: cache key: %s.%s: %w", t.Name(), f.Name, err)
+		}
+	}
+	return nil
+}

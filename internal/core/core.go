@@ -260,7 +260,21 @@ func scaleStats(st stats.Channel, k float64) stats.Channel {
 }
 
 // Simulate runs one frame of the workload on the memory configuration.
+// When a process-wide cache is enabled (EnableCache) and the run is
+// unobserved, the result is served content-addressed: overlapping
+// experiments simulate each distinct point exactly once. Observed runs —
+// probes, faults, latency recording, -check — always simulate.
 func Simulate(w Workload, mc MemoryConfig) (Result, error) {
+	if c := EnabledCache(); c != nil {
+		return c.Simulate(w, mc)
+	}
+	return simulateUncached(w, mc)
+}
+
+// simulate is the uncached Simulate: it runs the simulator unconditionally,
+// reviving a pooled memory subsystem and sharing the immutable load
+// generator where the configuration allows (see pool.go).
+func simulateUncached(w Workload, mc MemoryConfig) (Result, error) {
 	if err := mc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -275,17 +289,13 @@ func Simulate(w Workload, mc MemoryConfig) (Result, error) {
 		fraction = 1
 	}
 
-	ucLoad, err := usecase.New(w.Profile, w.Params)
-	if err != nil {
-		return Result{}, err
-	}
 	msc := mc.memsysConfig()
 	msc.RecordLatency = w.RecordLatency
-	sys, err := memsys.New(msc)
+	sys, release, err := acquireSystem(msc)
 	if err != nil {
 		return Result{}, err
 	}
-	gen, err := load.New(ucLoad, mc.Channels, sys.Speed().Geometry, w.Load)
+	gen, err := generatorFor(w.Profile, w.Params, mc.Channels, sys.Speed().Geometry, w.Load)
 	if err != nil {
 		return Result{}, err
 	}
@@ -374,5 +384,8 @@ func Simulate(w Workload, mc MemoryConfig) (Result, error) {
 		}
 		res.QoS = &q
 	}
+	// The run completed cleanly, so the subsystem may serve the next
+	// simulate after a Reset; error paths above abandon it instead.
+	release()
 	return res, nil
 }

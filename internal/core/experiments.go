@@ -326,10 +326,11 @@ func RunInterleaveSweep(opt RunOptions) ([]InterleavePoint, error) {
 	})
 }
 
-// isolatedTransactionLatency serves one transaction of the given size on a
-// fresh, idle memory and returns its completion time.
+// isolatedTransactionLatency serves one transaction of the given size on an
+// idle memory (fresh or revived from the subsystem pool — identical by the
+// Reset-equivalence property) and returns its completion time.
 func isolatedTransactionLatency(mc MemoryConfig, bytes int64) (units.Duration, error) {
-	sys, err := memsys.New(mc.memsysConfig())
+	sys, release, err := acquireSystem(mc.memsysConfig())
 	if err != nil {
 		return 0, err
 	}
@@ -337,5 +338,6 @@ func isolatedTransactionLatency(mc MemoryConfig, bytes int64) (units.Duration, e
 	if err != nil {
 		return 0, err
 	}
+	release()
 	return run.Time, nil
 }

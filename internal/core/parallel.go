@@ -9,8 +9,10 @@ import (
 // RunIndexed evaluates fn(0..n-1) on up to jobs concurrent workers and
 // returns the results in index order, so a parallel sweep emits byte-for-byte
 // the output of its serial counterpart. Each index is claimed by exactly one
-// worker; every simulated point is independent (Simulate builds a fresh
-// memory subsystem per call), so no further coordination is needed.
+// worker; every simulated point is independent (Simulate runs each point on
+// its own memory subsystem — pooled and revived via Reset in steady state,
+// never shared between in-flight points), so no further coordination is
+// needed.
 //
 // Errors are deterministic too: every index runs to completion and the error
 // with the LOWEST index is returned, regardless of which worker hit it first

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+
+	"repro/internal/dram"
+	"repro/internal/load"
+	"repro/internal/memsys"
+	"repro/internal/simcache"
+	"repro/internal/usecase"
+	"repro/internal/video"
+)
+
+// Sweeps simulate the same handful of configurations thousands of times, so
+// the steady-state cost of Simulate should be simulating, not rebuilding the
+// subsystem. Two reuse layers below:
+//
+//   - sysPools keys a sync.Pool of *memsys.System by the canonical encoding
+//     of the construction-relevant memsys.Config fields; acquire revives a
+//     pooled system through System.Reset (which rebuilds the controllers
+//     through controller.New, so a revived system is fresh by construction —
+//     the Reset-equivalence property test pins that).
+//   - generators caches *load.Generator by workload: a generator is
+//     immutable after load.New (Frame copies the cursor state it mutates
+//     into a per-call frameSource), so concurrent Simulate calls share one.
+//
+// Observed configurations (probes, faults, latency recording) are never
+// pooled: their sinks and decision streams are per-run state.
+
+// sysPools maps simcache.Key -> *sync.Pool of *memsys.System.
+var sysPools sync.Map
+
+// generators maps simcache.Key -> *load.Generator.
+var generators sync.Map
+
+// sysPoolKey canonically encodes the memsys.Config fields that determine
+// construction, or ok=false when the configuration must not be pooled.
+// Like cacheKey, the struct is walked by reflection so new fields fold in
+// automatically; only non-canonical kinds are special-cased.
+func sysPoolKey(msc memsys.Config) (simcache.Key, bool) {
+	if msc.NewProbe != nil || msc.Faults != nil || msc.RecordLatency {
+		return simcache.Key{}, false
+	}
+	e := simcache.NewEncoder()
+	e.String("memsys.Config")
+	rv := reflect.ValueOf(msc)
+	t := rv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		e.String(f.Name)
+		switch {
+		case f.Type.Kind() == reflect.Func:
+			e.Bool(false)
+			continue
+		case f.Name == "Faults":
+			e.Bool(false)
+			continue
+		}
+		if err := e.Value(rv.Field(i).Interface()); err != nil {
+			return simcache.Key{}, false
+		}
+	}
+	return e.Sum(), true
+}
+
+// acquireSystem returns a subsystem for msc — revived from the pool via
+// Reset when one is available — plus the release function that returns it.
+// release must only be called after a successful Run: a system abandoned
+// mid-error never re-enters the pool.
+func acquireSystem(msc memsys.Config) (*memsys.System, func(), error) {
+	key, poolable := sysPoolKey(msc)
+	if !poolable {
+		sys, err := memsys.New(msc)
+		return sys, func() {}, err
+	}
+	p, ok := sysPools.Load(key)
+	if !ok {
+		p, _ = sysPools.LoadOrStore(key, &sync.Pool{})
+	}
+	pool := p.(*sync.Pool)
+	if v := pool.Get(); v != nil {
+		sys := v.(*memsys.System)
+		sys.Reset()
+		return sys, func() { pool.Put(sys) }, nil
+	}
+	sys, err := memsys.New(msc)
+	if err != nil {
+		return nil, func() {}, err
+	}
+	return sys, func() { pool.Put(sys) }, nil
+}
+
+// generatorFor returns the shared load generator for the workload (Params
+// already defaulted by the caller), building and caching it on first use.
+func generatorFor(prof video.Profile, params usecase.Params, channels int, g dram.Geometry, cfg load.Config) (*load.Generator, error) {
+	e := simcache.NewEncoder()
+	e.String("load.Generator")
+	var encErr error
+	for _, v := range []any{prof, params, channels, g, cfg} {
+		if err := e.Value(v); err != nil {
+			encErr = err
+			break
+		}
+	}
+	if encErr != nil {
+		// Unkeyable (cannot happen for the current field sets): build
+		// uncached rather than fail.
+		ucLoad, err := usecase.New(prof, params)
+		if err != nil {
+			return nil, err
+		}
+		return load.New(ucLoad, channels, g, cfg)
+	}
+	key := e.Sum()
+	if gen, ok := generators.Load(key); ok {
+		return gen.(*load.Generator), nil
+	}
+	ucLoad, err := usecase.New(prof, params)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := load.New(ucLoad, channels, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// A racing builder of the same key produced an identical generator;
+	// keep whichever landed first so all callers share one instance.
+	actual, _ := generators.LoadOrStore(key, gen)
+	return actual.(*load.Generator), nil
+}
+
+// poolDiagnostics counts the live pools (tests).
+func poolDiagnostics() (systems, gens int) {
+	sysPools.Range(func(_, _ any) bool { systems++; return true })
+	generators.Range(func(_, _ any) bool { gens++; return true })
+	return
+}

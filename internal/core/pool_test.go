@@ -1,0 +1,134 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestPooledSimulateIsDeterministic pins the load-bearing property of the
+// subsystem pool: a Simulate served by a revived (Reset) system returns
+// exactly the Result of the fresh-built first call, across repeats and with
+// other configurations churning the pools in between.
+func TestPooledSimulateIsDeterministic(t *testing.T) {
+	w, err := WorkloadFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = 0.02
+	configs := []MemoryConfig{
+		PaperMemory(1, 400*units.MHz),
+		PaperMemory(2, 400*units.MHz),
+		PaperMemory(2, 266*units.MHz),
+	}
+	var first []Result
+	for _, mc := range configs {
+		r, err := simulateUncached(w, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, r)
+	}
+	// Interleave the configs so every repeat revives a pooled system.
+	for round := 0; round < 3; round++ {
+		for i, mc := range configs {
+			r, err := simulateUncached(w, mc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r, first[i]) {
+				t.Fatalf("round %d config %d: revived system diverged from fresh build", round, i)
+			}
+		}
+	}
+}
+
+// TestPooledSimulateParallel churns one configuration's pool from concurrent
+// workers (run under -race in CI): every point must equal the serial result.
+func TestPooledSimulateParallel(t *testing.T) {
+	w, err := WorkloadFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = 0.02
+	mc := PaperMemory(2, 400*units.MHz)
+	want, err := simulateUncached(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunIndexed(8, 24, func(i int) (Result, error) {
+		return simulateUncached(w, mc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !reflect.DeepEqual(r, want) {
+			t.Fatalf("parallel point %d diverged", i)
+		}
+	}
+}
+
+// TestLatencyRunsAreNotPooled guards the pool-bypass for observed runs:
+// latency histograms accumulate inside the controllers, so a pooled reuse
+// would double-count. Two back-to-back recorded runs must agree exactly.
+func TestLatencyRunsAreNotPooled(t *testing.T) {
+	w, err := WorkloadFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = 0.02
+	w.RecordLatency = true
+	mc := PaperMemory(2, 400*units.MHz)
+	r1, err := simulateUncached(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := simulateUncached(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Latency == nil || r2.Latency == nil {
+		t.Fatal("latency histogram missing")
+	}
+	if !reflect.DeepEqual(r1.Latency, r2.Latency) {
+		t.Error("repeated latency-recorded runs diverged — pooled state leaked between them")
+	}
+	if !reflect.DeepEqual(r1.Totals, r2.Totals) {
+		t.Error("repeated latency-recorded runs diverged in counters")
+	}
+}
+
+// TestGeneratorSharing pins that the generator cache hands the same
+// immutable instance to every Simulate of a workload, and distinct
+// workloads get distinct instances.
+func TestGeneratorSharing(t *testing.T) {
+	w, err := WorkloadFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = normalizeWorkload(w)
+	mc := normalizeMemoryConfig(PaperMemory(2, 400*units.MHz))
+	g1, err := generatorFor(w.Profile, w.Params, mc.Channels, mc.Geometry, w.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := generatorFor(w.Profile, w.Params, mc.Channels, mc.Geometry, w.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("identical workloads got distinct generator instances")
+	}
+	g3, err := generatorFor(w.Profile, w.Params, 4, mc.Geometry, w.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 == g3 {
+		t.Error("different channel counts shared a generator")
+	}
+	if sys, gens := poolDiagnostics(); sys == 0 && gens == 0 {
+		t.Error("pool diagnostics report no pools after use")
+	}
+}

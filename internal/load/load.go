@@ -53,6 +53,15 @@ func DefaultConfig() Config {
 	return Config{ImageRun: 96, RefRun: 48, CodingRun: 96, BitstreamRun: 64}
 }
 
+// WithDefaults returns the config with zero granularities replaced by the
+// calibrated defaults — the spelling New actually simulates. Callers that
+// key on a Config (the simulation cache) normalize through this so the zero
+// value and the explicit defaults share a key.
+func (c Config) WithDefaults() Config {
+	c.fillDefaults()
+	return c
+}
+
 func (c *Config) fillDefaults() {
 	d := DefaultConfig()
 	if c.ImageRun == 0 {

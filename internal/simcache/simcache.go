@@ -1,0 +1,303 @@
+// Package simcache provides the building blocks of the content-addressed
+// simulation cache: a deterministic canonical encoder that folds a
+// configuration into a 256-bit key, an in-process concurrent memo with
+// single-flight semantics (concurrent requests for one key run the
+// computation exactly once), and a versioned on-disk store that persists
+// computed payloads across process invocations.
+//
+// The package is payload-agnostic: core encodes (Workload, MemoryConfig)
+// pairs into keys and stores serialized Results, but nothing here knows
+// about simulation. Determinism is the load-bearing property — the same
+// logical configuration must always produce the same key, on any host, in
+// any process, so canonical encoding never includes pointers, map
+// iteration order or other process-dependent state.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+)
+
+// Key is a content-addressed cache key: the SHA-256 of the canonical
+// encoding of a configuration.
+type Key [sha256.Size]byte
+
+// String returns the key in hex, as used for on-disk file names.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Kind tags prefix every encoded value so that adjacent fields of
+// different types can never alias (e.g. the bool pair (true, false) and
+// the int 1 encode differently).
+const (
+	tagBool byte = iota + 1
+	tagInt
+	tagUint
+	tagFloat
+	tagString
+	tagStruct
+	tagSlice
+	tagArray
+	tagPtrNil
+	tagPtr
+)
+
+// Encoder accumulates a canonical byte encoding and hashes it into a Key.
+// The zero value is ready to use; Reset recycles the buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Reset clears the encoder for reuse without releasing the buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Len returns the number of encoded bytes (diagnostics and tests).
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) tag(t byte) { e.buf = append(e.buf, t) }
+
+func (e *Encoder) u64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Bool encodes a boolean.
+func (e *Encoder) Bool(b bool) {
+	e.tag(tagBool)
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Int encodes a signed integer.
+func (e *Encoder) Int(v int64) {
+	e.tag(tagInt)
+	e.u64(uint64(v))
+}
+
+// Uint encodes an unsigned integer.
+func (e *Encoder) Uint(v uint64) {
+	e.tag(tagUint)
+	e.u64(v)
+}
+
+// Float encodes a float by its IEEE-754 bit pattern, so every distinct
+// value (including -0 vs +0) gets a distinct encoding.
+func (e *Encoder) Float(v float64) {
+	e.tag(tagFloat)
+	e.u64(math.Float64bits(v))
+}
+
+// String encodes a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.tag(tagString)
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Value canonically encodes an arbitrary configuration value by
+// reflection: bools, integers, floats, strings, and any nesting of
+// structs, slices, arrays and pointers over them. Struct fields are
+// folded in declaration order with their names, so renaming or retyping
+// a field changes every key that includes it (a deliberate schema
+// invalidation). Funcs, maps, channels and interfaces are not canonical
+// and return an error — callers must handle such fields explicitly
+// (typically by declaring the configuration uncacheable).
+func (e *Encoder) Value(v any) error { return e.value(reflect.ValueOf(v)) }
+
+func (e *Encoder) value(rv reflect.Value) error {
+	switch rv.Kind() {
+	case reflect.Bool:
+		e.Bool(rv.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.Int(rv.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		e.Uint(rv.Uint())
+	case reflect.Float32, reflect.Float64:
+		e.Float(rv.Float())
+	case reflect.String:
+		e.String(rv.String())
+	case reflect.Struct:
+		t := rv.Type()
+		e.tag(tagStruct)
+		e.u64(uint64(t.NumField()))
+		for i := 0; i < t.NumField(); i++ {
+			e.String(t.Field(i).Name)
+			if err := e.value(rv.Field(i)); err != nil {
+				return fmt.Errorf("%s.%s: %w", t.Name(), t.Field(i).Name, err)
+			}
+		}
+	case reflect.Slice:
+		e.tag(tagSlice)
+		e.u64(uint64(rv.Len()))
+		for i := 0; i < rv.Len(); i++ {
+			if err := e.value(rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Array:
+		e.tag(tagArray)
+		e.u64(uint64(rv.Len()))
+		for i := 0; i < rv.Len(); i++ {
+			if err := e.value(rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Pointer:
+		if rv.IsNil() {
+			e.tag(tagPtrNil)
+			return nil
+		}
+		e.tag(tagPtr)
+		return e.value(rv.Elem())
+	default:
+		return fmt.Errorf("simcache: cannot canonically encode kind %v", rv.Kind())
+	}
+	return nil
+}
+
+// Sum hashes the accumulated encoding into a Key.
+func (e *Encoder) Sum() Key { return sha256.Sum256(e.buf) }
+
+// Memo is a concurrent in-process cache with single-flight semantics:
+// the first Do for a key runs the computation, concurrent Dos for the
+// same key block until it finishes and share the value, and later Dos
+// return the cached value immediately. Failed computations are not
+// cached — the entry is removed so a later Do retries.
+type Memo[V any] struct {
+	mu sync.Mutex
+	m  map[Key]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewMemo returns an empty memo.
+func NewMemo[V any]() *Memo[V] { return &Memo[V]{m: make(map[Key]*memoEntry[V])} }
+
+// Do returns the cached value for key, computing it with fn on the first
+// call. hit reports whether this call avoided running fn (either the
+// value was already cached or another goroutine's in-flight computation
+// was joined).
+func (c *Memo[V]) Do(key Key, fn func() (V, error)) (val V, err error, hit bool) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err, true
+	}
+	e := &memoEntry[V]{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+
+	e.val, e.err = fn()
+	if e.err != nil {
+		// Don't cache failures: remove the entry (waiters already joined
+		// on e see the error; later callers retry).
+		c.mu.Lock()
+		delete(c.m, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err, false
+}
+
+// Len returns the number of cached entries (including in-flight ones).
+func (c *Memo[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Disk is a versioned on-disk payload store: one file per key under
+// <root>/<version>/, written atomically (temp file + rename) so a
+// crashed writer never leaves a truncated entry behind. Bumping the
+// version string points the store at a fresh directory, invalidating
+// every entry written under the old schema without touching it.
+type Disk struct {
+	dir string
+}
+
+// NewDisk opens (creating if needed) the store rooted at root for the
+// given schema version.
+func NewDisk(root, version string) (*Disk, error) {
+	if root == "" {
+		return nil, fmt.Errorf("simcache: empty cache directory")
+	}
+	if version == "" {
+		return nil, fmt.Errorf("simcache: empty schema version")
+	}
+	dir := filepath.Join(root, version)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the versioned directory entries live in.
+func (d *Disk) Dir() string { return d.dir }
+
+func (d *Disk) path(key Key) string {
+	return filepath.Join(d.dir, key.String()+".json")
+}
+
+// Get returns the payload stored for key, or ok=false when absent (or
+// unreadable — a corrupt entry reads as a miss and is overwritten by the
+// next Put).
+func (d *Disk) Get(key Key) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores the payload for key atomically.
+func (d *Disk) Put(key Key, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: %w", err)
+	}
+	return nil
+}
+
+// Len counts the stored entries (diagnostics and tests).
+func (d *Disk) Len() (int, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

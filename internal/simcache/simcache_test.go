@@ -1,0 +1,229 @@
+package simcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEncoderDeterminism(t *testing.T) {
+	type inner struct {
+		A int
+		B string
+	}
+	type cfg struct {
+		N     int
+		F     float64
+		S     string
+		On    bool
+		Sub   inner
+		List  []int64
+		Arr   [2]float64
+		Inner *inner
+	}
+	v := cfg{N: 4, F: 0.2, S: "1080p30", On: true, Sub: inner{A: 1, B: "x"},
+		List: []int64{16, 32}, Arr: [2]float64{1.5, -0}, Inner: &inner{A: 7}}
+
+	key := func(v cfg) Key {
+		e := NewEncoder()
+		if err := e.Value(v); err != nil {
+			t.Fatal(err)
+		}
+		return e.Sum()
+	}
+	if key(v) != key(v) {
+		t.Fatal("same value produced different keys")
+	}
+
+	// Every field perturbation must change the key.
+	perturbed := []cfg{}
+	for i := 0; i < 9; i++ {
+		p := v
+		switch i {
+		case 0:
+			p.N = 5
+		case 1:
+			p.F = 0.25
+		case 2:
+			p.S = "1080p60"
+		case 3:
+			p.On = false
+		case 4:
+			p.Sub.A = 2
+		case 5:
+			p.List = []int64{16, 48}
+		case 6:
+			p.Arr[1] = 3
+		case 7:
+			p.Inner = nil
+		case 8:
+			p.Inner = &inner{A: 8}
+		}
+		perturbed = append(perturbed, p)
+	}
+	seen := map[Key]int{key(v): -1}
+	for i, p := range perturbed {
+		k := key(p)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("perturbation %d collides with %d", i, prev)
+		}
+		seen[k] = i
+	}
+}
+
+func TestEncoderTypeTagsPreventAliasing(t *testing.T) {
+	a, b := NewEncoder(), NewEncoder()
+	a.Bool(true)
+	a.Bool(false)
+	b.Int(1)
+	if a.Sum() == b.Sum() {
+		t.Error("(true,false) aliases int 1")
+	}
+	a.Reset()
+	b.Reset()
+	a.String("ab")
+	a.String("")
+	b.String("a")
+	b.String("b")
+	if a.Sum() == b.Sum() {
+		t.Error(`("ab","") aliases ("a","b")`)
+	}
+	a.Reset()
+	b.Reset()
+	a.Int(1)
+	b.Uint(1)
+	if a.Sum() == b.Sum() {
+		t.Error("int 1 aliases uint 1")
+	}
+}
+
+func TestEncoderRejectsNonCanonicalKinds(t *testing.T) {
+	e := NewEncoder()
+	if err := e.Value(func() {}); err == nil {
+		t.Error("func encoded without error")
+	}
+	if err := e.Value(map[string]int{"a": 1}); err == nil {
+		t.Error("map encoded without error")
+	}
+	type hasFunc struct{ F func() }
+	if err := e.Value(hasFunc{}); err == nil {
+		t.Error("struct with func field encoded without error")
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	m := NewMemo[int]()
+	var computed atomic.Int64
+	key := Key{1}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, _ := m.Do(key, func() (int, error) {
+				computed.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Errorf("computed %d times, want 1", n)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+	_, _, hit := m.Do(key, func() (int, error) { t.Error("recomputed"); return 0, nil })
+	if !hit {
+		t.Error("second Do was not a hit")
+	}
+}
+
+func TestMemoDoesNotCacheErrors(t *testing.T) {
+	m := NewMemo[int]()
+	key := Key{2}
+	boom := errors.New("boom")
+	if _, err, _ := m.Do(key, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("failed computation left %d entries", m.Len())
+	}
+	v, err, hit := m.Do(key, func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || hit {
+		t.Errorf("retry = %d, %v, hit=%v", v, err, hit)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{3}
+	if _, ok := d.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	payload := []byte(`{"x": 1}`)
+	if err := d.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(key)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if n, err := d.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v", n, err)
+	}
+}
+
+func TestDiskVersionInvalidation(t *testing.T) {
+	root := t.TempDir()
+	v1, err := NewDisk(root, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{4}
+	if err := v1.Put(key, []byte("old-schema")); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := NewDisk(root, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v2.Get(key); ok {
+		t.Error("v2 store served a v1 entry")
+	}
+	// The old entries are left untouched for a rollback.
+	if got, ok := v1.Get(key); !ok || string(got) != "old-schema" {
+		t.Error("v1 entry disturbed by v2 store")
+	}
+}
+
+func TestDiskPutLeavesNoTempFiles(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := d.Put(Key{byte(i)}, []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(d.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Errorf("stray file %s", e.Name())
+		}
+	}
+}
