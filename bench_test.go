@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 	"repro/internal/probe"
 	"repro/internal/units"
 	"repro/internal/usecase"
@@ -419,6 +420,26 @@ func BenchmarkProbeCountingSink(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(total)/float64(b.N), "events/op")
+}
+
+// BenchmarkMetricsDisabledOverhead measures the run-level metrics layer's
+// cost when no registry is enabled — the nil-check fast path on the same
+// saturated stream as BenchmarkRawChannel (identical workload; the meter
+// pointer is loaded once per Run and once per coalesced batch). ci.sh
+// compares the two MB/s numbers at the same 2% limit as the probe layer.
+func BenchmarkMetricsDisabledOverhead(b *testing.B) {
+	core.EnableMetrics(nil)
+	rawRun(b, nil)
+}
+
+// BenchmarkMetricsEnabledRaw is the enabled counterpart: a live registry
+// attached while the same stream runs, so the delta to
+// BenchmarkMetricsDisabledOverhead is the whole cost of counting (two
+// atomic ops per coalesced batch plus one counter per Run).
+func BenchmarkMetricsEnabledRaw(b *testing.B) {
+	core.EnableMetrics(metrics.NewRegistry())
+	defer core.EnableMetrics(nil)
+	rawRun(b, nil)
 }
 
 // BenchmarkGeometrySweep runs the device-organization sensitivity sweep and

@@ -9,7 +9,11 @@
 # invariant checker and the three-way differential oracle, -race on,
 # seed counts bounded by CHECK_SOAK_CONFIGS / CHECK_ORACLE_CONFIGS),
 # the cache differential gate (cached, uncached, serial-cached and
-# disk-cached runs must produce byte-identical output), and the
+# disk-cached runs must produce byte-identical output), the
+# observability gates (the disabled metrics registry stays within the
+# same overhead limit as the probe layer, a metrics-enabled paper run
+# prints byte-identical stdout, and a live sweep's -debug-addr server
+# answers /metrics and /debug/pprof/ mid-run), and the
 # throughput gate recording the simulator benchmarks to
 # results/BENCH_<date>.json (suffixed -2, -3, ... instead of
 # clobbering a same-day export) and failing if BenchmarkRawChannel
@@ -129,25 +133,110 @@ if ! grep -q 'disk hits' "$cache_dir/sweep-warm.log" ||
 fi
 echo "ci: cache differential OK"
 
-echo "== probe overhead benchmark =="
+echo "== observability stdout gate =="
+# The run-level metrics surface must never change what the tools print:
+# the paper CSV with -progress, -debug-addr and -summary-out all on is
+# compared byte for byte against the plain cached run above, and the
+# summary must carry the versioned schema header.
+go run ./cmd/paper -csv -fraction 0.02 -progress -debug-addr 127.0.0.1:0 \
+    -summary-out "$cache_dir/paper-summary.json" \
+    >"$cache_dir/paper-metrics.csv" 2>"$cache_dir/paper-metrics.log"
+if ! cmp "$cache_dir/paper-cached.csv" "$cache_dir/paper-metrics.csv"; then
+    echo "ci: metrics-enabled paper stdout differs from the plain run" >&2
+    exit 1
+fi
+if ! grep -q '"schema": "mcm-run-summary/v1"' "$cache_dir/paper-summary.json"; then
+    echo "ci: paper summary missing the mcm-run-summary/v1 schema header" >&2
+    exit 1
+fi
+if ! grep -q 'paper: debug: listening on' "$cache_dir/paper-metrics.log"; then
+    echo "ci: paper run did not announce the debug server" >&2
+    exit 1
+fi
+echo "ci: observability stdout OK"
+
+echo "== live debug-server smoke =="
+# A backgrounded sweep with -debug-addr must serve live Prometheus series
+# (cache hit/miss counters, worker-utilization gauges) and pprof while
+# the run is in flight, then exit cleanly.
+live_log="$cache_dir/sweep-live.log"
+go run ./cmd/sweep -formats 2160p30,2160p60 -channels 1,2,4,8 \
+    -freqs 200,266,333,400,533 -fraction 1 -jobs 2 \
+    -debug-addr 127.0.0.1:0 >"$cache_dir/sweep-live.csv" 2>"$live_log" &
+live_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^sweep: debug: listening on //p' "$live_log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ci: sweep never announced its debug server:" >&2
+    cat "$live_log" >&2
+    kill "$live_pid" 2>/dev/null || true
+    exit 1
+fi
+scraped=0
+for _ in $(seq 1 200); do
+    if curl -fsS "http://$addr/metrics" 2>/dev/null | tee "$cache_dir/metrics.prom" |
+        grep -q '^runindexed_workers_busy'; then
+        scraped=1
+        break
+    fi
+    sleep 0.05
+done
+if [ "$scraped" != 1 ]; then
+    echo "ci: /metrics never served live series during the sweep" >&2
+    kill "$live_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! grep -q '^simcache_misses_total' "$cache_dir/metrics.prom"; then
+    echo "ci: live /metrics missing simcache series:" >&2
+    cat "$cache_dir/metrics.prom" >&2
+    kill "$live_pid" 2>/dev/null || true
+    exit 1
+fi
+pprof_status=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/")
+if [ "$pprof_status" != 200 ]; then
+    echo "ci: /debug/pprof/ returned $pprof_status, want 200" >&2
+    kill "$live_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! wait "$live_pid"; then
+    echo "ci: instrumented sweep exited non-zero:" >&2
+    cat "$live_log" >&2
+    exit 1
+fi
+if [ "$(wc -l < "$cache_dir/sweep-live.csv")" -ne 41 ]; then
+    echo "ci: instrumented sweep CSV truncated" >&2
+    exit 1
+fi
+echo "ci: live debug-server smoke OK"
+
+echo "== disabled-overhead benchmarks (probe + metrics) =="
 # Repeated -count runs, best-of-N per arm: scheduling noise only ever
 # slows an iteration down, so the max MB/s is the robust estimate. The
 # gate retries because a loaded host can still skew one attempt; a real
-# regression fails every attempt.
+# regression fails every attempt. Both observability layers — the
+# per-event probe sinks and the run-level metrics registry — must stay
+# within the same limit of the uninstrumented throughput when disabled.
 attempts="${PROBE_BENCH_ATTEMPTS:-3}"
 i=1
 while :; do
-    bench_out=$(go test -run '^$' -bench 'BenchmarkRawChannel$|BenchmarkProbeDisabledOverhead$' \
+    bench_out=$(go test -run '^$' -bench 'BenchmarkRawChannel$|BenchmarkProbeDisabledOverhead$|BenchmarkMetricsDisabledOverhead$' \
         -benchtime "${PROBE_BENCHTIME:-1s}" -count "${PROBE_BENCHCOUNT:-5}" .)
     echo "$bench_out"
     if echo "$bench_out" | awk -v max="${PROBE_OVERHEAD_MAX_PCT:-2}" '
-        /^BenchmarkRawChannel/            { if ($(NF-1) > raw)   raw = $(NF-1) }
-        /^BenchmarkProbeDisabledOverhead/ { if ($(NF-1) > probe) probe = $(NF-1) }
+        /^BenchmarkRawChannel/              { if ($(NF-1) > raw)  raw = $(NF-1) }
+        /^BenchmarkProbeDisabledOverhead/   { if ($(NF-1) > probe) probe = $(NF-1) }
+        /^BenchmarkMetricsDisabledOverhead/ { if ($(NF-1) > met)  met = $(NF-1) }
         END {
-            if (raw == 0 || probe == 0) { print "ci: benchmark output missing MB/s"; exit 1 }
-            pct = (raw - probe) / raw * 100
-            printf "ci: disabled-probe overhead %.2f%% (limit %s%%)\n", pct, max
-            if (pct > max + 0) exit 1
+            if (raw == 0 || probe == 0 || met == 0) { print "ci: benchmark output missing MB/s"; exit 1 }
+            ppct = (raw - probe) / raw * 100
+            mpct = (raw - met) / raw * 100
+            printf "ci: disabled-probe overhead %.2f%% (limit %s%%)\n", ppct, max
+            printf "ci: disabled-metrics overhead %.2f%% (limit %s%%)\n", mpct, max
+            if (ppct > max + 0 || mpct > max + 0) exit 1
         }'; then
         break
     fi

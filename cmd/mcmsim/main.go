@@ -18,8 +18,10 @@ import (
 	"repro/internal/check"
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/debugserver"
 	"repro/internal/fault"
 	"repro/internal/mapping"
+	"repro/internal/metrics"
 	"repro/internal/probe"
 	"repro/internal/units"
 )
@@ -62,6 +64,9 @@ func main() {
 
 		cacheDir = flag.String("cache-dir", "", "serve the point from a content-addressed on-disk cache under this directory when present, storing it otherwise")
 		noCache  = flag.Bool("no-cache", false, "simulate even when a cache would hit (output is byte-identical either way)")
+
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /metrics.json, expvar and pprof on this host:port for the run's duration (e.g. 127.0.0.1:0)")
+		summaryOut = flag.String("summary-out", "", "write a schema-versioned end-of-run summary JSON (manifest + metrics snapshot) to this file")
 	)
 	flag.Parse()
 
@@ -71,6 +76,34 @@ func main() {
 	if *noCache && *cacheDir != "" {
 		usageError("-no-cache conflicts with -cache-dir %q: the on-disk cache cannot be both used and disabled", *cacheDir)
 	}
+	if *debugAddr != "" {
+		if err := debugserver.ValidateAddr(*debugAddr); err != nil {
+			usageError("-debug-addr %q: %v", *debugAddr, err)
+		}
+	}
+	if err := probe.CheckWritable(*summaryOut); err != nil {
+		usageError("-summary-out not writable: %v", err)
+	}
+
+	// The registry exists only when some surface consumes it; otherwise the
+	// instrumented layers keep their nil-check fast paths. Enabled before
+	// the cache is built so its counters register.
+	var reg *metrics.Registry
+	if *debugAddr != "" || *summaryOut != "" {
+		reg = metrics.NewRegistry()
+		core.EnableMetrics(reg)
+		defer core.EnableMetrics(nil)
+	}
+	if *debugAddr != "" {
+		srv, err := debugserver.Start(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mcmsim: debug: listening on %s\n", srv.Addr())
+	}
+	runStart := time.Now()
+
 	if *cacheDir != "" {
 		// Observed runs (-latency, -trace-out, -metrics-out, -check,
 		// -fault-*) bypass the cache on their own; only the plain
@@ -151,6 +184,14 @@ func main() {
 	if obs.Enabled() {
 		mc.NewProbe = obs.Channel
 	}
+	if *traceOut != "" {
+		// Run-level phase spans ride along in the Chrome trace on their own
+		// wall-clock track next to the DRAM-cycle channel tracks.
+		spans := probe.NewSpans()
+		core.EnableSpans(spans)
+		defer core.EnableSpans(nil)
+		obs.SetSpans(spans)
+	}
 
 	var checker *check.Set
 	if *checkRun {
@@ -177,8 +218,9 @@ func main() {
 	}
 	if plan.Enabled() {
 		mc.Faults = &plan
-		runDegraded(w, mc, obs, *faultFrames, *fraction, *probeWindow, *qosOut)
+		cycles := runDegraded(w, mc, obs, *faultFrames, *fraction, *probeWindow, *qosOut)
 		reportCheck(checker)
+		writeSummary(reg, *summaryOut, *fraction, *channels, *freqMHz, cycles, time.Since(runStart))
 		return
 	}
 
@@ -246,6 +288,26 @@ func main() {
 		}
 	}
 	reportCheck(checker)
+	writeSummary(reg, *summaryOut, *fraction, *channels, *freqMHz, res.SimulatedCycles, time.Since(runStart))
+}
+
+// writeSummary emits the schema-versioned end-of-run summary (manifest plus
+// the full metrics snapshot) when -summary-out is set. Confirmation goes to
+// stderr so stdout stays byte-identical.
+func writeSummary(reg *metrics.Registry, out string, fraction float64, channels int, freqMHz float64, cycles int64, wall time.Duration) {
+	if out == "" {
+		return
+	}
+	man := probe.NewManifest("mcmsim")
+	man.Channels = channels
+	man.FreqMHz = freqMHz
+	man.SampleFraction = fraction
+	man.Finish(cycles, wall)
+	man.AddOutput("summary", out)
+	if err := probe.NewSummary(man, reg.Snapshot()).Write(out); err != nil {
+		fatal(fmt.Errorf("writing summary: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "mcmsim: summary: wrote %s\n", out)
 }
 
 // reportCheck prints the invariant checker's outcome; any violation of the
@@ -276,8 +338,9 @@ func usageError(format string, args ...any) {
 }
 
 // runDegraded executes the fault-injected degraded-mode run and prints its
-// QoS report plus the per-frame timeline.
-func runDegraded(w core.Workload, mc core.MemoryConfig, obs *probe.Observer, frames int, fraction float64, probeWindow int64, qosOut string) {
+// QoS report plus the per-frame timeline. It returns the simulated cycle
+// count for the run summary.
+func runDegraded(w core.Workload, mc core.MemoryConfig, obs *probe.Observer, frames int, fraction float64, probeWindow int64, qosOut string) int64 {
 	start := time.Now()
 	res, err := core.SimulateDegraded(w, mc, frames)
 	if err != nil {
@@ -338,6 +401,7 @@ func runDegraded(w core.Workload, mc core.MemoryConfig, obs *probe.Observer, fra
 		}
 		fmt.Printf("qos report: wrote %s\n", qosOut)
 	}
+	return res.SimulatedCycles
 }
 
 func fatal(err error) {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/probe"
+)
+
+// TestMain doubles as a re-exec shim: with PAPER_RUN_MAIN=1 the test
+// binary becomes the paper command itself (see cmd/sweep/cmdio_test.go for
+// the pattern).
+func TestMain(m *testing.M) {
+	if os.Getenv("PAPER_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runPaper(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "PAPER_RUN_MAIN=1")
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestPaperStdoutByteIdentical: one artifact rendered with the full
+// observability surface on matches the plain rendering byte for byte.
+func TestPaperStdoutByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec simulation in -short mode")
+	}
+	base := []string{"-only", "fig3", "-fraction", "0.02"}
+	plain, plainErr, code := runPaper(t, base...)
+	if code != 0 {
+		t.Fatalf("plain run exited %d:\n%s", code, plainErr)
+	}
+
+	sum := filepath.Join(t.TempDir(), "summary.json")
+	instr, instrErr, code := runPaper(t, append(base,
+		"-progress", "-debug-addr", "127.0.0.1:0", "-summary-out", sum)...)
+	if code != 0 {
+		t.Fatalf("instrumented run exited %d:\n%s", code, instrErr)
+	}
+
+	if plain != instr {
+		t.Errorf("stdout differs with observability enabled:\nplain:\n%s\ninstrumented:\n%s", plain, instr)
+	}
+	for _, want := range []string{"paper: debug: listening on", "paper: summary: wrote"} {
+		if !strings.Contains(instrErr, want) {
+			t.Errorf("instrumented stderr missing %q:\n%s", want, instrErr)
+		}
+	}
+
+	s, err := probe.ReadSummary(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Run.Tool != "paper" {
+		t.Errorf("summary tool = %q, want paper", s.Run.Tool)
+	}
+	if e, ok := s.Metrics.Find("sim_points_completed_total"); !ok || e.Value <= 0 {
+		t.Errorf("summary has no completed points: %+v ok=%v", e, ok)
+	}
+}
+
+// TestPaperFlagValidationExits: malformed observability flags exit 2 with
+// the offending flag named on stderr.
+func TestPaperFlagValidationExits(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such-dir", "summary.json")
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"debug-addr no port", []string{"-debug-addr", "localhost"}, "-debug-addr"},
+		{"debug-addr bad port", []string{"-debug-addr", ":-1"}, "-debug-addr"},
+		{"summary-out unwritable", []string{"-summary-out", missing}, "-summary-out"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := runPaper(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+			if stdout != "" {
+				t.Errorf("usage error wrote to stdout: %q", stdout)
+			}
+		})
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/debugserver"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/units"
@@ -40,6 +42,9 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write the instrumented run's windowed time-series metrics (.json = JSON, else CSV)")
 		checkRun    = flag.Bool("check", false, "verify the flagship run's DRAM commands against the device timing constraints (violations are fatal)")
 		noCache     = flag.Bool("no-cache", false, "simulate every point even when artifacts overlap (disables the content-addressed result cache; output is byte-identical either way)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /metrics.json, expvar and pprof on this host:port for the run's duration (e.g. 127.0.0.1:0)")
+		summaryOut  = flag.String("summary-out", "", "write a schema-versioned end-of-run summary JSON (manifest + metrics snapshot) to this file")
+		progress    = flag.Bool("progress", false, "print periodic progress lines (points done, cache-hit rate, ETA) to stderr; stdout is unchanged")
 	)
 	flag.Parse()
 	if *jobs < 0 {
@@ -56,7 +61,41 @@ func main() {
 			fatal(fmt.Errorf("output not writable: %w", err))
 		}
 	}
+	if *debugAddr != "" {
+		if err := debugserver.ValidateAddr(*debugAddr); err != nil {
+			usageError("-debug-addr %q: %v", *debugAddr, err)
+		}
+	}
+	if err := probe.CheckWritable(*summaryOut); err != nil {
+		usageError("-summary-out not writable: %v", err)
+	}
 	opt := core.RunOptions{SampleFraction: *fraction, Jobs: *jobs}
+
+	// Run-level observability: the registry exists only when a flag
+	// consumes it (stdout stays byte-identical either way), and the phase
+	// span recorder rides along with -trace-out so the Perfetto document
+	// shows where the host time of the whole run went.
+	var reg *metrics.Registry
+	if *debugAddr != "" || *summaryOut != "" || *progress {
+		reg = metrics.NewRegistry()
+		core.EnableMetrics(reg)
+		defer core.EnableMetrics(nil)
+	}
+	if *debugAddr != "" {
+		srv, err := debugserver.Start(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "paper: debug: listening on %s\n", srv.Addr())
+	}
+	var spans *probe.Spans
+	if *traceOut != "" {
+		spans = probe.NewSpans()
+		core.EnableSpans(spans)
+		defer core.EnableSpans(nil)
+	}
+	start := time.Now()
 
 	// The artifacts overlap heavily (the format matrix alone backs both
 	// Fig. 4 and Fig. 5, and the XDR rows reuse its 8-channel points), so a
@@ -85,6 +124,10 @@ func main() {
 		{"interleave", interleave},
 		{"faults", faults},
 	}
+	var prog *core.Progress
+	if *progress {
+		prog = core.StartProgress(os.Stderr, time.Second)
+	}
 	ran := false
 	for _, a := range artifacts {
 		if *only != "" && *only != a.name {
@@ -111,11 +154,12 @@ func main() {
 			}
 		}
 	}
+	prog.Stop()
 	if !ran {
 		fatal(fmt.Errorf("unknown artifact %q", *only))
 	}
 	if *traceOut != "" || *metricsOut != "" {
-		outputs, err := writeObservability(*fraction, *probeWindow, *traceOut, *metricsOut)
+		outputs, err := writeObservability(*fraction, *probeWindow, *traceOut, *metricsOut, spans)
 		if err != nil {
 			fatal(err)
 		}
@@ -128,6 +172,17 @@ func main() {
 	}
 	if cache != nil {
 		fmt.Fprintln(os.Stderr, "paper: cache:", cache.Stats())
+	}
+	if *summaryOut != "" {
+		man := probe.NewManifest("paper")
+		man.SampleFraction = *fraction
+		man.Config = map[string]any{"only": *only, "csv": *csv, "jobs": *jobs}
+		man.Finish(0, time.Since(start))
+		man.AddOutput("summary", *summaryOut)
+		if err := probe.NewSummary(man, reg.Snapshot()).Write(*summaryOut); err != nil {
+			fatal(fmt.Errorf("writing summary: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "paper: summary: wrote %s\n", *summaryOut)
 	}
 }
 
@@ -170,8 +225,9 @@ func usageError(format string, args ...any) {
 // writeObservability runs the paper's flagship configuration (1080p30 on
 // 4 channels at 400 MHz — the abstract's headline data point) with event
 // probes attached and writes the requested trace/metrics files plus the
-// run manifest. Returns the map of written artifacts.
-func writeObservability(fraction float64, window int64, traceOut, metricsOut string) (map[string]string, error) {
+// run manifest. spans, when non-nil, carries the whole run's phase spans
+// and is merged into the trace document. Returns the written artifacts.
+func writeObservability(fraction float64, window int64, traceOut, metricsOut string, spans *probe.Spans) (map[string]string, error) {
 	const (
 		obsFormat   = "1080p30"
 		obsChannels = 4
@@ -186,6 +242,7 @@ func writeObservability(fraction float64, window int64, traceOut, metricsOut str
 	if err != nil {
 		return nil, err
 	}
+	obs.SetSpans(spans)
 	mc := core.PaperMemory(obsChannels, obsFreq)
 	mc.NewProbe = obs.Channel
 	start := time.Now()

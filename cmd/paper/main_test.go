@@ -164,7 +164,7 @@ func TestObservabilityArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	traceOut := filepath.Join(dir, "flagship.trace.json")
 	metricsOut := filepath.Join(dir, "flagship.metrics.csv")
-	outputs, err := writeObservability(0.002, 50_000, traceOut, metricsOut)
+	outputs, err := writeObservability(0.002, 50_000, traceOut, metricsOut, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestObservabilityArtifacts(t *testing.T) {
 }
 
 func TestObservabilityDisabled(t *testing.T) {
-	outputs, err := writeObservability(0.002, 50_000, "", "")
+	outputs, err := writeObservability(0.002, 50_000, "", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

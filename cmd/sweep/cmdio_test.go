@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/probe"
+)
+
+// TestMain doubles as a re-exec shim: with SWEEP_RUN_MAIN=1 the test
+// binary becomes the sweep command itself, so the tests below exercise the
+// real main() — flag parsing, validation exits, stdout/stderr split —
+// without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("SWEEP_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runSweep re-execs the test binary as the sweep command and returns its
+// separated streams and exit code.
+func runSweep(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SWEEP_RUN_MAIN=1")
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestStdoutByteIdentical pins the observability contract: a run with
+// -progress, -debug-addr and -summary-out produces byte-identical stdout
+// to a plain run, with every added surface on stderr or in files.
+func TestStdoutByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec simulation in -short mode")
+	}
+	grid := []string{"-formats", "720p30", "-channels", "1,2", "-freqs", "200,266", "-fraction", "0.02"}
+	plain, plainErr, code := runSweep(t, grid...)
+	if code != 0 {
+		t.Fatalf("plain run exited %d:\n%s", code, plainErr)
+	}
+
+	sum := filepath.Join(t.TempDir(), "summary.json")
+	instr, instrErr, code := runSweep(t, append(grid,
+		"-progress", "-debug-addr", "127.0.0.1:0", "-summary-out", sum)...)
+	if code != 0 {
+		t.Fatalf("instrumented run exited %d:\n%s", code, instrErr)
+	}
+
+	if plain != instr {
+		t.Errorf("stdout differs with observability enabled:\nplain:\n%s\ninstrumented:\n%s", plain, instr)
+	}
+	for _, want := range []string{"sweep: debug: listening on", "sweep: summary: wrote", "done in"} {
+		if !strings.Contains(instrErr, want) {
+			t.Errorf("instrumented stderr missing %q:\n%s", want, instrErr)
+		}
+	}
+
+	s, err := probe.ReadSummary(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Run.Tool != "sweep" {
+		t.Errorf("summary tool = %q, want sweep", s.Run.Tool)
+	}
+	e, ok := s.Metrics.Find("runindexed_points_completed_total")
+	if !ok || int64(e.Value) != 4 {
+		t.Errorf("summary completed points = %+v ok=%v, want 4", e, ok)
+	}
+}
+
+// TestFlagValidationExits pins the usage-error contract: malformed
+// observability flags exit 2 (the flag package's usage status) with the
+// offending flag named on stderr, before any simulation starts.
+func TestFlagValidationExits(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such-dir", "summary.json")
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"debug-addr no port", []string{"-debug-addr", "nonsense"}, "-debug-addr"},
+		{"debug-addr bad port", []string{"-debug-addr", ":70000"}, "-debug-addr"},
+		{"summary-out unwritable", []string{"-summary-out", missing}, "-summary-out"},
+		{"progress vs serial", []string{"-progress", "-serial"}, "-progress conflicts with -serial"},
+		{"negative jobs", []string{"-jobs", "-1"}, "-jobs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := runSweep(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+			if stdout != "" {
+				t.Errorf("usage error wrote to stdout: %q", stdout)
+			}
+		})
+	}
+}

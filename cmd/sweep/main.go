@@ -20,9 +20,13 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/debugserver"
+	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/units"
 )
 
@@ -39,6 +43,9 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		cacheDir   = flag.String("cache-dir", "", "persist simulated points to a content-addressed on-disk cache under this directory (versioned; later sweeps reuse them)")
 		noCache    = flag.Bool("no-cache", false, "simulate every point (disables the result cache; output is byte-identical either way)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /metrics.json, expvar and pprof on this host:port for the run's duration (e.g. 127.0.0.1:0)")
+		summaryOut = flag.String("summary-out", "", "write a schema-versioned end-of-run summary JSON (manifest + metrics snapshot) to this file")
+		progress   = flag.Bool("progress", false, "print periodic progress lines (points done, cache-hit rate, ETA) to stderr; stdout is unchanged")
 	)
 	flag.Parse()
 
@@ -54,6 +61,38 @@ func main() {
 	if *noCache && *cacheDir != "" {
 		usageError("-no-cache conflicts with -cache-dir %q: the on-disk cache cannot be both used and disabled", *cacheDir)
 	}
+	if *debugAddr != "" {
+		if err := debugserver.ValidateAddr(*debugAddr); err != nil {
+			usageError("-debug-addr %q: %v", *debugAddr, err)
+		}
+	}
+	if err := probe.CheckWritable(*summaryOut); err != nil {
+		usageError("-summary-out not writable: %v", err)
+	}
+	if *progress && *serial {
+		usageError("-progress conflicts with -serial: the serial path is the profiling/CI determinism mode and stays free of background reporting")
+	}
+
+	// The metrics registry exists only when some surface consumes it; with
+	// every flag off the instrumented layers keep their nil-check fast
+	// paths and the run is byte-identical to an uninstrumented one.
+	var reg *metrics.Registry
+	if *debugAddr != "" || *summaryOut != "" || *progress {
+		reg = metrics.NewRegistry()
+		core.EnableMetrics(reg)
+		defer core.EnableMetrics(nil)
+	}
+	if *debugAddr != "" {
+		srv, err := debugserver.Start(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		// The resolved address (":0" picks a port) goes to stderr so live
+		// tooling — and the CI smoke test — can find the endpoints.
+		fmt.Fprintf(os.Stderr, "sweep: debug: listening on %s\n", srv.Addr())
+	}
+	start := time.Now()
 
 	// Content-addressed result cache: in-process dedup always (duplicate
 	// grid points simulate once), plus the optional on-disk store that
@@ -124,6 +163,10 @@ func main() {
 	if *serial {
 		njobs = 1
 	}
+	var prog *core.Progress
+	if *progress {
+		prog = core.StartProgress(os.Stderr, time.Second)
+	}
 	results, err := core.RunIndexed(njobs, len(grid), func(i int) (core.Result, error) {
 		p := grid[i]
 		mc := core.PaperMemory(p.ch, units.Frequency(p.f)*units.MHz)
@@ -149,6 +192,7 @@ func main() {
 		}
 		return res, nil
 	})
+	prog.Stop()
 	if err != nil {
 		fatal(err)
 	}
@@ -182,6 +226,24 @@ func main() {
 	}
 	if cache != nil {
 		fmt.Fprintln(os.Stderr, "sweep: cache:", cache.Stats())
+	}
+	if *summaryOut != "" {
+		var totalCycles int64
+		for _, res := range results {
+			totalCycles += res.SimulatedCycles
+		}
+		man := probe.NewManifest("sweep")
+		man.SampleFraction = *fraction
+		man.Config = map[string]any{
+			"formats": *formats, "channels": *channels, "freqs": *freqs,
+			"points": len(grid), "jobs": njobs,
+		}
+		man.Finish(totalCycles, time.Since(start))
+		man.AddOutput("summary", *summaryOut)
+		if err := probe.NewSummary(man, reg.Snapshot()).Write(*summaryOut); err != nil {
+			fatal(fmt.Errorf("writing summary: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "sweep: summary: wrote %s\n", *summaryOut)
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dram"
+	"repro/internal/metrics"
 	"repro/internal/power"
+	"repro/internal/probe"
 	"repro/internal/simcache"
 	"repro/internal/usecase"
 )
@@ -32,6 +34,15 @@ type CacheStats struct {
 	// Bypassed counts Simulate calls that skipped the cache because the
 	// run was observed (probes, faults, latency recording).
 	Bypassed int64
+	// DedupJoins counts the MemHits that were single-flight joins on a
+	// computation still in flight (concurrent workers asking for the same
+	// point), as opposed to hits on a finished entry.
+	DedupJoins int64
+	// DiskStores counts results persisted to the on-disk store, and
+	// DiskRepairs corrupt or truncated entries detected on read (each is
+	// overwritten by the store of the fresh result).
+	DiskStores  int64
+	DiskRepairs int64
 }
 
 // Lookups returns the number of cacheable Simulate calls.
@@ -68,15 +79,41 @@ type SimCache struct {
 	memo *simcache.Memo[Result]
 	disk *simcache.Disk
 
-	memHits   atomic.Int64
-	diskHits  atomic.Int64
-	simulated atomic.Int64
-	bypassed  atomic.Int64
+	// Lookup counters. Registered in the run's metrics registry when one
+	// is enabled at construction time, standalone otherwise — either way
+	// the counters exist, so the CLI stderr summary (Stats/String) is a
+	// thin formatter over the same numbers /metrics serves.
+	memHits     *metrics.Counter
+	diskHits    *metrics.Counter
+	simulated   *metrics.Counter
+	bypassed    *metrics.Counter
+	dedupJoins  *metrics.Counter
+	diskStores  *metrics.Counter
+	diskRepairs *metrics.Counter
+}
+
+// cacheCounter registers the counter when metrics are enabled, else
+// returns a standalone one so counting works regardless.
+func cacheCounter(r *metrics.Registry, name string, labels ...metrics.Label) *metrics.Counter {
+	if r == nil {
+		return metrics.NewCounter()
+	}
+	return r.Counter(name, labels...)
 }
 
 // NewSimCache returns an in-process-only cache.
 func NewSimCache() *SimCache {
-	return &SimCache{memo: simcache.NewMemo[Result]()}
+	r := MetricsRegistry()
+	return &SimCache{
+		memo:        simcache.NewMemo[Result](),
+		memHits:     cacheCounter(r, "simcache_hits_total", metrics.Label{Key: "tier", Value: "memory"}),
+		diskHits:    cacheCounter(r, "simcache_hits_total", metrics.Label{Key: "tier", Value: "disk"}),
+		simulated:   cacheCounter(r, "simcache_misses_total"),
+		bypassed:    cacheCounter(r, "simcache_bypass_total"),
+		dedupJoins:  cacheCounter(r, "simcache_dedup_joins_total"),
+		diskStores:  cacheCounter(r, "simcache_disk_stores_total"),
+		diskRepairs: cacheCounter(r, "simcache_disk_repairs_total"),
+	}
 }
 
 // NewDiskSimCache returns a cache additionally backed by the on-disk store
@@ -94,51 +131,75 @@ func NewDiskSimCache(dir string) (*SimCache, error) {
 // Stats snapshots the lookup counters.
 func (c *SimCache) Stats() CacheStats {
 	return CacheStats{
-		MemHits:   c.memHits.Load(),
-		DiskHits:  c.diskHits.Load(),
-		Simulated: c.simulated.Load(),
-		Bypassed:  c.bypassed.Load(),
+		MemHits:     c.memHits.Value(),
+		DiskHits:    c.diskHits.Value(),
+		Simulated:   c.simulated.Value(),
+		Bypassed:    c.bypassed.Value(),
+		DedupJoins:  c.dedupJoins.Value(),
+		DiskStores:  c.diskStores.Value(),
+		DiskRepairs: c.diskRepairs.Value(),
 	}
 }
 
 // Simulate is Simulate through this cache.
 func (c *SimCache) Simulate(w Workload, mc MemoryConfig) (Result, error) {
+	return c.simulate(w, mc, nil)
+}
+
+// simulate is Simulate through this cache, recording phase spans on lane
+// when the run traces them (nil lane no-ops).
+func (c *SimCache) simulate(w Workload, mc MemoryConfig, lane *probe.Lane) (Result, error) {
 	key, cacheable := cacheKey(w, mc)
 	if !cacheable {
-		c.bypassed.Add(1)
-		return simulateUncached(w, mc)
+		c.bypassed.Inc()
+		return simulateUncached(w, mc, lane)
 	}
-	res, err, hit := c.memo.Do(key, func() (Result, error) {
+	// The lookup phase spans the memo+disk consultation; when this call
+	// ends up computing, it closes at the moment simulation starts.
+	endLookup := lane.Phase("cache-lookup")
+	looking := true
+	res, err, hit, joined := c.memo.Do(key, func() (Result, error) {
 		if c.disk != nil {
 			if data, ok := c.disk.Get(key); ok {
 				var r Result
 				if err := json.Unmarshal(data, &r); err == nil {
-					c.diskHits.Add(1)
+					c.diskHits.Inc()
 					return r, nil
 				}
 				// A corrupt or truncated entry reads as a miss; the Put
 				// below overwrites it with a fresh result.
+				c.diskRepairs.Inc()
 			}
 		}
-		r, err := simulateUncached(w, mc)
+		endLookup()
+		looking = false
+		r, err := simulateUncached(w, mc, lane)
 		if err != nil {
 			return Result{}, err
 		}
-		c.simulated.Add(1)
+		c.simulated.Inc()
 		if c.disk != nil {
 			if data, err := json.Marshal(r); err == nil {
 				// Best effort: an unwritable store degrades to in-process
 				// caching rather than failing the sweep.
-				_ = c.disk.Put(key, data)
+				if c.disk.Put(key, data) == nil {
+					c.diskStores.Inc()
+				}
 			}
 		}
 		return r, nil
 	})
+	if looking {
+		endLookup()
+	}
 	if err != nil {
 		return Result{}, err
 	}
 	if hit {
-		c.memHits.Add(1)
+		c.memHits.Inc()
+	}
+	if joined {
+		c.dedupJoins.Inc()
 	}
 	// Hand every caller its own PerChannel slice so nobody can mutate the
 	// cached entry through the shared backing array.

@@ -216,7 +216,7 @@ func TestCacheServesIdenticalResults(t *testing.T) {
 	if !reflect.DeepEqual(r1, r2) {
 		t.Error("cache hit returned a different Result")
 	}
-	uncached, err := simulateUncached(w, mc)
+	uncached, err := simulateUncached(w, mc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

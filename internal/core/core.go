@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/controller"
 	"repro/internal/dram"
@@ -265,16 +266,39 @@ func scaleStats(st stats.Channel, k float64) stats.Channel {
 // experiments simulate each distinct point exactly once. Observed runs —
 // probes, faults, latency recording, -check — always simulate.
 func Simulate(w Workload, mc MemoryConfig) (Result, error) {
-	if c := EnabledCache(); c != nil {
-		return c.Simulate(w, mc)
+	m := activeMeter.Load()
+	sp := activeSpans.Load()
+	if m == nil && sp == nil {
+		// Disabled observability: the seed's exact path.
+		if c := EnabledCache(); c != nil {
+			return c.Simulate(w, mc)
+		}
+		return simulateUncached(w, mc, nil)
 	}
-	return simulateUncached(w, mc)
+	// A lane is one worker track in the phase-span trace: with N pool
+	// workers at most N points are in flight, so lowest-free-lane
+	// acquisition renders as one track per worker.
+	lane := sp.Acquire()
+	defer lane.Release()
+	if m != nil {
+		m.pointsStarted.Inc()
+		start := time.Now()
+		defer func() {
+			m.pointSeconds.Observe(time.Since(start).Seconds())
+			m.pointsCompleted.Inc()
+		}()
+	}
+	if c := EnabledCache(); c != nil {
+		return c.simulate(w, mc, lane)
+	}
+	return simulateUncached(w, mc, lane)
 }
 
 // simulate is the uncached Simulate: it runs the simulator unconditionally,
 // reviving a pooled memory subsystem and sharing the immutable load
-// generator where the configuration allows (see pool.go).
-func simulateUncached(w Workload, mc MemoryConfig) (Result, error) {
+// generator where the configuration allows (see pool.go). lane, when
+// non-nil, records the run's phase spans (generate/simulate/report).
+func simulateUncached(w Workload, mc MemoryConfig, lane *probe.Lane) (Result, error) {
 	if err := mc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -289,6 +313,7 @@ func simulateUncached(w Workload, mc MemoryConfig) (Result, error) {
 		fraction = 1
 	}
 
+	endPhase := lane.Phase("generate")
 	msc := mc.memsysConfig()
 	msc.RecordLatency = w.RecordLatency
 	sys, release, err := acquireSystem(msc)
@@ -303,11 +328,17 @@ func simulateUncached(w Workload, mc MemoryConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	endPhase()
+
+	endPhase = lane.Phase("simulate")
 	run, err := sys.Run(src)
 	if err != nil {
 		return Result{}, err
 	}
+	endPhase()
 
+	endPhase = lane.Phase("report")
+	defer endPhase()
 	speed := sys.Speed()
 	scale := 1 / fraction
 	cycles := int64(float64(run.Cycles) * scale)

@@ -168,6 +168,12 @@ func SimulateDegraded(w Workload, mc MemoryConfig, frames int) (DegradedResult, 
 		return nil
 	}
 
+	// Live fault/QoS accounting: per-frame counter deltas rather than
+	// per-event hooks, so the injection hot path stays untouched and a
+	// -debug-addr scrape still sees the run advance frame by frame.
+	meter := activeMeter.Load()
+	var prevInj fault.Counters
+
 	var lastRun memsys.Result
 	var ran bool
 	for f := 0; f < frames; f++ {
@@ -178,6 +184,9 @@ func SimulateDegraded(w Workload, mc MemoryConfig, frames int) (DegradedResult, 
 		if level >= levelHalfRate && f%2 == 1 {
 			fr.Dropped = true
 			qos.DroppedFrames++
+			if meter != nil {
+				meter.framesDropped.Inc()
+			}
 			res.PerFrame = append(res.PerFrame, fr)
 			continue
 		}
@@ -196,21 +205,42 @@ func SimulateDegraded(w Workload, mc MemoryConfig, frames int) (DegradedResult, 
 		res.BytesRead += run.BytesRead
 		res.BytesWritten += run.BytesWritten
 
+		if meter != nil {
+			meter.framesSimulated.Inc()
+			if inj := sys.Injector(); inj != nil {
+				cur := inj.Counters()
+				meter.faultInjections.Add((cur.ReadErrors + cur.Stalls + cur.Derates) -
+					(prevInj.ReadErrors + prevInj.Stalls + prevInj.Derates))
+				meter.faultRetries.Add(cur.Retries - prevInj.Retries)
+				prevInj = cur
+			}
+		}
+
 		fr.Completed = run.Cycles
 		switch {
 		case run.Cycles > deadline:
 			fr.Missed = true
 			qos.DeadlineMisses++
+			if meter != nil {
+				meter.deadlineMisses.Inc()
+			}
 			if qos.FirstMissFrame < 0 {
 				qos.FirstMissFrame = f
 			}
 			qos.RecoveredFrame = -1 // a new miss re-opens recovery
+			levelBefore := level
 			if err := escalate(f, run.Cycles); err != nil {
 				return DegradedResult{}, err
+			}
+			if meter != nil && level != levelBefore {
+				meter.degradeSteps.Inc()
 			}
 		case run.Cycles > deadline-(period-pace)/2:
 			fr.Late = true
 			qos.LateFrames++
+			if meter != nil {
+				meter.framesLate.Inc()
+			}
 		}
 		if !fr.Missed && qos.FirstMissFrame >= 0 && qos.RecoveredFrame < 0 {
 			qos.RecoveredFrame = f

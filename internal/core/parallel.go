@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // RunIndexed evaluates fn(0..n-1) on up to jobs concurrent workers and
@@ -19,6 +20,25 @@ import (
 // in wall-clock order. jobs <= 1 runs inline with fail-fast semantics — the
 // same lowest-index error, since indices are visited in order.
 func RunIndexed[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	// Worker-pool accounting (planned/completed counters drive -progress;
+	// busy/queue gauges and busy time expose pool utilization). Wrapping fn
+	// happens once per RunIndexed call, so the disabled path costs a single
+	// atomic load.
+	if m := activeMeter.Load(); m != nil {
+		m.indexedPlanned.Add(int64(n))
+		m.queueDepth.Add(int64(n))
+		inner := fn
+		fn = func(i int) (T, error) {
+			m.workersBusy.Add(1)
+			start := time.Now()
+			v, err := inner(i)
+			m.busyNanos.Add(time.Since(start).Nanoseconds())
+			m.workersBusy.Add(-1)
+			m.queueDepth.Add(-1)
+			m.indexedCompleted.Inc()
+			return v, err
+		}
+	}
 	out := make([]T, n)
 	if jobs > n {
 		jobs = n

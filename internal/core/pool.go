@@ -80,6 +80,9 @@ func acquireSystem(msc memsys.Config) (*memsys.System, func(), error) {
 	}
 	pool := p.(*sync.Pool)
 	if v := pool.Get(); v != nil {
+		if m := activeMeter.Load(); m != nil {
+			m.poolRevivals.Inc()
+		}
 		sys := v.(*memsys.System)
 		sys.Reset()
 		return sys, func() { pool.Put(sys) }, nil
@@ -87,6 +90,9 @@ func acquireSystem(msc memsys.Config) (*memsys.System, func(), error) {
 	sys, err := memsys.New(msc)
 	if err != nil {
 		return nil, func() {}, err
+	}
+	if m := activeMeter.Load(); m != nil {
+		m.poolBuilds.Inc()
 	}
 	return sys, func() { pool.Put(sys) }, nil
 }

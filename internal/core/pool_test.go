@@ -24,7 +24,7 @@ func TestPooledSimulateIsDeterministic(t *testing.T) {
 	}
 	var first []Result
 	for _, mc := range configs {
-		r, err := simulateUncached(w, mc)
+		r, err := simulateUncached(w, mc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +33,7 @@ func TestPooledSimulateIsDeterministic(t *testing.T) {
 	// Interleave the configs so every repeat revives a pooled system.
 	for round := 0; round < 3; round++ {
 		for i, mc := range configs {
-			r, err := simulateUncached(w, mc)
+			r, err := simulateUncached(w, mc, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -53,12 +53,12 @@ func TestPooledSimulateParallel(t *testing.T) {
 	}
 	w.SampleFraction = 0.02
 	mc := PaperMemory(2, 400*units.MHz)
-	want, err := simulateUncached(w, mc)
+	want, err := simulateUncached(w, mc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	results, err := RunIndexed(8, 24, func(i int) (Result, error) {
-		return simulateUncached(w, mc)
+		return simulateUncached(w, mc, nil)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -81,11 +81,11 @@ func TestLatencyRunsAreNotPooled(t *testing.T) {
 	w.SampleFraction = 0.02
 	w.RecordLatency = true
 	mc := PaperMemory(2, 400*units.MHz)
-	r1, err := simulateUncached(w, mc)
+	r1, err := simulateUncached(w, mc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := simulateUncached(w, mc)
+	r2, err := simulateUncached(w, mc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

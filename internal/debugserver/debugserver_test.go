@@ -1,0 +1,91 @@
+package debugserver
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("simcache_hits_total", metrics.Label{Key: "tier", Value: "memory"}).Add(12)
+	reg.Gauge("workers_busy").Set(3)
+
+	s, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `simcache_hits_total{tier="memory"} 12`) ||
+		!strings.Contains(body, "workers_busy 3") {
+		t.Errorf("/metrics body missing series:\n%s", body)
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK || !strings.Contains(body, `"simcache_hits_total"`) {
+		t.Errorf("/metrics.json status %d body:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars status %d", code)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	code, _ = get(t, base+"/nonexistent")
+	if code != http.StatusNotFound {
+		t.Errorf("/nonexistent status %d, want 404", code)
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	s, err := Start("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Errorf("nil-registry /metrics: status %d body %q", code, body)
+	}
+}
+
+func TestValidateAddr(t *testing.T) {
+	for _, ok := range []string{":0", "127.0.0.1:8080", "localhost:9999", "[::1]:0"} {
+		if err := ValidateAddr(ok); err != nil {
+			t.Errorf("ValidateAddr(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "no-port", "127.0.0.1:http", ":70000", ":-1", "host:port:extra"} {
+		if err := ValidateAddr(bad); err == nil {
+			t.Errorf("ValidateAddr(%q) = nil, want error", bad)
+		}
+	}
+}

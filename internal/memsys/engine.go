@@ -92,6 +92,10 @@ func (e *engine) submit(w *chanWorker) {
 	if len(w.cur) == 0 {
 		return
 	}
+	if m := activeEngineMeter.Load(); m != nil {
+		m.batches.Inc()
+		m.batchOps.Observe(float64(len(w.cur)))
+	}
 	if w.inflight {
 		e.collect(w)
 	}

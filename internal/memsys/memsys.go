@@ -334,6 +334,9 @@ func (r Result) BusUtilization() float64 {
 // per-channel op order — and therefore every reported number — is
 // bit-identical.
 func (s *System) Run(src Source) (Result, error) {
+	if m := activeEngineMeter.Load(); m != nil {
+		m.runs.Inc()
+	}
 	res := Result{PerChannel: make([]stats.Channel, len(s.chans)), FailedChannel: -1}
 	burst := s.cfg.Geometry.BurstBytes()
 	var last int64

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeConcurrency hammers one counter, gauge and histogram
+// from many goroutines; under -race this doubles as the data-race gate,
+// and the final values pin that no increment is lost.
+func TestCounterGaugeConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat_seconds", []float64{0.001, 0.01, 0.1})
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.005)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got, want := h.Sum(), 0.005*workers*perWorker; math.Abs(got-want) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+// TestConcurrentRegistration races many goroutines registering the same
+// and different names; every same-identity registration must return the
+// one shared instance.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared_total").Inc()
+				r.Counter("labeled_total", Label{"ch", "0"}).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8000 {
+		t.Errorf("shared_total = %d, want 8000", got)
+	}
+	if got := r.Counter("labeled_total", Label{"ch", "0"}).Value(); got != 8000 {
+		t.Errorf("labeled_total = %d, want 8000", got)
+	}
+}
+
+// TestSnapshotDeterminism: two snapshots of the same registry state must
+// encode byte-identically in both formats, regardless of registration
+// order relative to name order.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	// Register deliberately out of sorted order.
+	r.Counter("zeta_total").Add(3)
+	r.Histogram("alpha_seconds", []float64{0.01, 0.1}).Observe(0.05)
+	r.Gauge("mid_depth", Label{"pool", "b"}, Label{"chan", "1"}).Set(7)
+	r.Counter("hits_total", Label{"tier", "memory"}).Add(41)
+	r.Counter("hits_total", Label{"tier", "disk"}).Add(5)
+
+	encode := func(s Snapshot) (string, string) {
+		var prom, js bytes.Buffer
+		if err := s.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return prom.String(), js.String()
+	}
+	p1, j1 := encode(r.Snapshot())
+	p2, j2 := encode(r.Snapshot())
+	if p1 != p2 {
+		t.Errorf("prometheus encodings differ:\n%s\n---\n%s", p1, p2)
+	}
+	if j1 != j2 {
+		t.Errorf("JSON encodings differ:\n%s\n---\n%s", j1, j2)
+	}
+
+	// Identity sorting: the two hits_total series are adjacent, disk first.
+	di := strings.Index(p1, `hits_total{tier="disk"} 5`)
+	mi := strings.Index(p1, `hits_total{tier="memory"} 41`)
+	if di < 0 || mi < 0 || di > mi {
+		t.Errorf("expected sorted hits_total series, got:\n%s", p1)
+	}
+	// Labels themselves sort by key: chan before pool.
+	if !strings.Contains(p1, `mid_depth{chan="1",pool="b"} 7`) {
+		t.Errorf("expected key-sorted labels, got:\n%s", p1)
+	}
+	// One TYPE line per family even with multiple series.
+	if got := strings.Count(p1, "# TYPE hits_total counter"); got != 1 {
+		t.Errorf("TYPE lines for hits_total = %d, want 1", got)
+	}
+}
+
+// TestHistogramBuckets pins cumulative bucket semantics and the +Inf
+// overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	e, ok := snap.Find("d_seconds")
+	if !ok {
+		t.Fatal("d_seconds not in snapshot")
+	}
+	want := []Bucket{{"1", 2}, {"2", 3}, {"4", 4}, {"+Inf", 5}}
+	if len(e.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", e.Buckets, want)
+	}
+	for i := range want {
+		if e.Buckets[i] != want[i] {
+			t.Errorf("bucket[%d] = %v, want %v", i, e.Buckets[i], want[i])
+		}
+	}
+	if e.Count != 5 || math.Abs(e.Sum-106) > 1e-9 {
+		t.Errorf("count=%d sum=%g, want 5, 106", e.Count, e.Sum)
+	}
+}
+
+// TestJSONRoundTrip: a snapshot decodes back into an equivalent snapshot.
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	r.Histogram("b_seconds", []float64{0.5}).Observe(0.25)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("decoded %d entries, want 2", len(back))
+	}
+	if e, ok := back.Find("a_total"); !ok || e.Value != 2 {
+		t.Errorf("a_total round-trip = %+v ok=%v", e, ok)
+	}
+	if e, ok := back.Find("b_seconds"); !ok || e.Count != 1 || e.Sum != 0.25 {
+		t.Errorf("b_seconds round-trip = %+v ok=%v", e, ok)
+	}
+}
+
+// TestNilSafety: nil registry and nil metrics are inert, not panics.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1})
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+}
+
+// TestKindConflictPanics: one identity at two kinds is a programming
+// error caught at registration.
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic registering dual as gauge")
+		}
+	}()
+	r.Gauge("dual")
+}

@@ -5,6 +5,7 @@
 package probe
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -16,6 +17,7 @@ import (
 type Observer struct {
 	ts         *TimeSeries
 	tr         *Trace
+	spans      *Spans
 	traceOut   string
 	metricsOut string
 }
@@ -69,6 +71,15 @@ func (o *Observer) Channel(ch int) Sink {
 	return Multi(sinks...)
 }
 
+// SetSpans attaches a run-level phase-span recorder; its spans are merged
+// into the trace document on WriteOutputs. Nil-safe no-op when the
+// observer (or its trace sink) is disabled.
+func (o *Observer) SetSpans(s *Spans) {
+	if o != nil {
+		o.spans = s
+	}
+}
+
 // TimeSeries returns the windowed collector (nil unless -metrics-out).
 func (o *Observer) TimeSeries() *TimeSeries {
 	if o == nil {
@@ -114,7 +125,11 @@ func (o *Observer) WriteOutputs(m *Manifest) error {
 		m.AddOutput("metrics", o.metricsOut)
 	}
 	if o.tr != nil {
-		if err := writeFile(o.traceOut, o.tr.WriteJSON); err != nil {
+		if err := writeFile(o.traceOut, func(w io.Writer) error {
+			doc := o.tr.Build()
+			o.spans.AppendTo(&doc)
+			return json.NewEncoder(w).Encode(doc)
+		}); err != nil {
 			return fmt.Errorf("probe: writing trace: %w", err)
 		}
 		m.AddOutput("trace", o.traceOut)

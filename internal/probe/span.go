@@ -1,0 +1,178 @@
+// Run-level phase spans: wall-clock slices of the simulation pipeline
+// (generate → cache lookup → simulate → report) rendered into the same
+// Chrome trace document as the cycle-level channel tracks, so a full
+// paper run opens in Perfetto and shows where the host time goes.
+//
+// Channel tracks keep their DRAM-cycle timebase on pids 0..channels-1;
+// phase spans live on a dedicated high pid in wall-clock microseconds.
+// Perfetto renders both; the OtherData block names the units.
+//
+// Worker identity: Go offers no goroutine id, and the simulation API
+// deliberately takes no context. Instead the recorder hands out *lanes*
+// from a lowest-free-id free list — a point acquires a lane for its
+// lifetime and releases it on completion, so with N pool workers at most
+// N lanes exist and each renders as one worker track.
+package probe
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanPid is the Chrome-trace process id carrying phase spans, far above
+// any real channel index so the track groups never collide.
+const SpanPid = 1000
+
+// PhaseSpan is one recorded phase slice on one lane.
+type PhaseSpan struct {
+	Lane  int
+	Name  string
+	Start time.Duration // offset from the recorder's epoch
+	End   time.Duration
+}
+
+// Spans records phase spans across concurrent simulation points. The zero
+// value is not usable; a nil *Spans is fully disabled (Acquire returns a
+// nil lane whose methods no-op).
+type Spans struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	free  []int // released lane ids, min-heap by simple sort on push
+	next  int   // next never-used lane id
+	spans []PhaseSpan
+}
+
+// NewSpans returns a recorder with its epoch at now.
+func NewSpans() *Spans {
+	return &Spans{epoch: time.Now()}
+}
+
+// Lane is one worker track. A nil lane is inert.
+type Lane struct {
+	s  *Spans
+	id int
+}
+
+// Acquire reserves the lowest free lane. Nil-safe: a nil recorder hands
+// out a nil (inert) lane.
+func (s *Spans) Acquire() *Lane {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	var id int
+	if n := len(s.free); n > 0 {
+		sort.Ints(s.free)
+		id = s.free[0]
+		s.free = s.free[1:]
+	} else {
+		id = s.next
+		s.next++
+	}
+	s.mu.Unlock()
+	return &Lane{s: s, id: id}
+}
+
+// Release returns the lane to the free list. Nil-safe.
+func (l *Lane) Release() {
+	if l == nil {
+		return
+	}
+	l.s.mu.Lock()
+	l.s.free = append(l.s.free, l.id)
+	l.s.mu.Unlock()
+}
+
+var noopEnd = func() {}
+
+// Phase starts a named phase on the lane and returns the function that
+// ends it. Nil-safe: a nil lane returns a shared no-op.
+func (l *Lane) Phase(name string) func() {
+	if l == nil {
+		return noopEnd
+	}
+	start := time.Since(l.s.epoch)
+	return func() {
+		end := time.Since(l.s.epoch)
+		l.s.mu.Lock()
+		l.s.spans = append(l.s.spans, PhaseSpan{Lane: l.id, Name: name, Start: start, End: end})
+		l.s.mu.Unlock()
+	}
+}
+
+// Len returns the number of recorded spans. Nil-safe.
+func (s *Spans) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.spans)
+}
+
+// Lanes returns how many distinct lanes were ever acquired. Nil-safe.
+func (s *Spans) Lanes() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// ChromeEvents lowers the recorded spans to Chrome trace records on
+// SpanPid: a named process, one named thread per lane ("worker N"), and
+// one complete ("X") slice per span in wall-clock microseconds.
+func (s *Spans) ChromeEvents() []ChromeEvent {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	spans := append([]PhaseSpan(nil), s.spans...)
+	lanes := s.next
+	s.mu.Unlock()
+	if len(spans) == 0 {
+		return nil
+	}
+	evs := []ChromeEvent{{
+		Name: "process_name", Ph: "M", Pid: SpanPid, Tid: 0,
+		Args: map[string]any{"name": "run phases (wall clock)"},
+	}}
+	for lane := 0; lane < lanes; lane++ {
+		evs = append(evs, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: SpanPid, Tid: lane,
+			Args: map[string]any{"name": "worker " + strconv.Itoa(lane)},
+		})
+	}
+	for _, sp := range spans {
+		d := (sp.End - sp.Start).Microseconds()
+		if d < 1 {
+			d = 1
+		}
+		evs = append(evs, ChromeEvent{
+			Name: sp.Name, Ph: "X",
+			Ts:  sp.Start.Microseconds(),
+			Dur: d,
+			Pid: SpanPid, Tid: sp.Lane,
+		})
+	}
+	return evs
+}
+
+// AppendTo merges the span records into a built trace document and notes
+// the wall-clock timebase alongside the cycle timebase.
+func (s *Spans) AppendTo(doc *ChromeTrace) {
+	evs := s.ChromeEvents()
+	if len(evs) == 0 {
+		return
+	}
+	doc.TraceEvents = append(doc.TraceEvents, evs...)
+	if doc.OtherData == nil {
+		doc.OtherData = map[string]any{}
+	}
+	doc.OtherData["phase_span_time_unit"] = "wall-clock microseconds"
+	doc.OtherData["phase_span_pid"] = SpanPid
+}

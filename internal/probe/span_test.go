@@ -1,0 +1,139 @@
+package probe
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpansLaneReuse: lanes hand out the lowest free id, so sequential
+// points share lane 0 and N concurrent points occupy lanes 0..N-1.
+func TestSpansLaneReuse(t *testing.T) {
+	s := NewSpans()
+	l0 := s.Acquire()
+	if l0.id != 0 {
+		t.Fatalf("first lane id = %d, want 0", l0.id)
+	}
+	l1 := s.Acquire()
+	if l1.id != 1 {
+		t.Fatalf("second concurrent lane id = %d, want 1", l1.id)
+	}
+	l0.Release()
+	l2 := s.Acquire()
+	if l2.id != 0 {
+		t.Errorf("reacquired lane id = %d, want reused 0", l2.id)
+	}
+	l1.Release()
+	l2.Release()
+	if got := s.Lanes(); got != 2 {
+		t.Errorf("Lanes() = %d, want 2", got)
+	}
+}
+
+// TestSpansPhasesRecord: Phase/end pairs append spans with ordered times.
+func TestSpansPhasesRecord(t *testing.T) {
+	s := NewSpans()
+	l := s.Acquire()
+	end := l.Phase("generate")
+	time.Sleep(time.Millisecond)
+	end()
+	end = l.Phase("simulate")
+	end()
+	l.Release()
+
+	if s.Len() != 2 {
+		t.Fatalf("recorded %d spans, want 2", s.Len())
+	}
+	sp := s.spans[0]
+	if sp.Name != "generate" || sp.Lane != 0 || sp.End < sp.Start {
+		t.Errorf("span[0] = %+v", sp)
+	}
+}
+
+// TestSpansNilSafe: a nil recorder and its nil lanes are inert.
+func TestSpansNilSafe(t *testing.T) {
+	var s *Spans
+	l := s.Acquire()
+	if l != nil {
+		t.Fatal("nil recorder must hand out nil lane")
+	}
+	l.Phase("x")() // must not panic
+	l.Release()
+	if s.Len() != 0 || s.Lanes() != 0 || s.ChromeEvents() != nil {
+		t.Error("nil recorder must read as empty")
+	}
+	doc := ChromeTrace{}
+	s.AppendTo(&doc)
+	if len(doc.TraceEvents) != 0 {
+		t.Error("nil recorder must not append events")
+	}
+}
+
+// TestSpansConcurrent exercises acquire/phase/release from many
+// goroutines (the -race gate) and checks lane count never exceeds the
+// concurrency.
+func TestSpansConcurrent(t *testing.T) {
+	s := NewSpans()
+	const workers = 4
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			l := s.Acquire()
+			end := l.Phase("simulate")
+			end()
+			l.Release()
+			<-sem
+		}()
+	}
+	wg.Wait()
+	if got := s.Lanes(); got > workers+1 {
+		// +1 slack: a goroutine can release just after another acquires.
+		t.Errorf("Lanes() = %d, want <= %d", got, workers+1)
+	}
+	if s.Len() != 64 {
+		t.Errorf("Len() = %d, want 64", s.Len())
+	}
+}
+
+// TestSpansChromeEvents pins the trace lowering: dedicated pid, one
+// thread_name per lane, X slices in microseconds.
+func TestSpansChromeEvents(t *testing.T) {
+	s := NewSpans()
+	l := s.Acquire()
+	end := l.Phase("cache-lookup")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	l.Release()
+
+	evs := s.ChromeEvents()
+	var names, threads, slices int
+	for _, ev := range evs {
+		if ev.Pid != SpanPid {
+			t.Errorf("event on pid %d, want %d", ev.Pid, SpanPid)
+		}
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			names++
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threads++
+		case ev.Ph == "X":
+			slices++
+			if ev.Name != "cache-lookup" || ev.Dur < 1000 {
+				t.Errorf("slice = %+v, want cache-lookup with >=1000us", ev)
+			}
+		}
+	}
+	if names != 1 || threads != 1 || slices != 1 {
+		t.Errorf("events = %d process / %d thread / %d slices, want 1/1/1", names, threads, slices)
+	}
+
+	doc := ChromeTrace{}
+	s.AppendTo(&doc)
+	if doc.OtherData["phase_span_pid"] != SpanPid {
+		t.Errorf("OtherData missing phase_span_pid: %v", doc.OtherData)
+	}
+}

@@ -1,0 +1,61 @@
+// End-of-run summary: a schema-versioned JSON document written by
+// -summary-out that extends the run manifest with the final metrics
+// snapshot, so one file answers both "what ran" and "what did the
+// instrumented layers count".
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// SummarySchemaVersion identifies the summary document layout. Readers
+// must reject other versions rather than guess.
+const SummarySchemaVersion = "mcm-run-summary/v1"
+
+// Summary is the -summary-out document.
+type Summary struct {
+	Schema  string           `json:"schema"`
+	Run     Manifest         `json:"run"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// NewSummary assembles a summary from a finished manifest and a metrics
+// snapshot.
+func NewSummary(run Manifest, snap metrics.Snapshot) Summary {
+	return Summary{Schema: SummarySchemaVersion, Run: run, Metrics: snap}
+}
+
+// Write stores the summary as indented JSON at path.
+func (s Summary) Write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSummary loads and schema-checks a summary document.
+func ReadSummary(path string) (Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Summary{}, fmt.Errorf("probe: parsing summary: %w", err)
+	}
+	if s.Schema != SummarySchemaVersion {
+		return Summary{}, fmt.Errorf("probe: summary schema %q, want %q", s.Schema, SummarySchemaVersion)
+	}
+	return s, nil
+}

@@ -1,0 +1,58 @@
+package probe
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestSummaryRoundTrip: write a summary, read it back, and check the
+// schema plus the manifest and metrics content survive.
+func TestSummaryRoundTrip(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("simcache_hits_total", metrics.Label{Key: "tier", Value: "memory"}).Add(9)
+	reg.Histogram("sim_point_seconds", []float64{0.1, 1}).Observe(0.5)
+
+	man := NewManifest("sweep")
+	man.Channels = 4
+	man.FreqMHz = 400
+	man.Finish(123456, 2*time.Second)
+
+	path := filepath.Join(t.TempDir(), "summary.json")
+	if err := NewSummary(man, reg.Snapshot()).Write(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SummarySchemaVersion {
+		t.Errorf("schema = %q, want %q", got.Schema, SummarySchemaVersion)
+	}
+	if got.Run.Tool != "sweep" || got.Run.Channels != 4 || got.Run.SimCycles != 123456 {
+		t.Errorf("manifest round-trip = %+v", got.Run)
+	}
+	if e, ok := got.Metrics.Find(`simcache_hits_total{tier="memory"}`); !ok || e.Value != 9 {
+		t.Errorf("metrics round-trip: %+v ok=%v", e, ok)
+	}
+	if e, ok := got.Metrics.Find("sim_point_seconds"); !ok || e.Count != 1 {
+		t.Errorf("histogram round-trip: %+v ok=%v", e, ok)
+	}
+}
+
+// TestSummarySchemaRejected: a summary with the wrong schema version must
+// not parse successfully.
+func TestSummarySchemaRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"mcm-run-summary/v999","run":{},"metrics":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSummary(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("ReadSummary = %v, want schema error", err)
+	}
+}

@@ -191,13 +191,21 @@ func NewMemo[V any]() *Memo[V] { return &Memo[V]{m: make(map[Key]*memoEntry[V])}
 // Do returns the cached value for key, computing it with fn on the first
 // call. hit reports whether this call avoided running fn (either the
 // value was already cached or another goroutine's in-flight computation
-// was joined).
-func (c *Memo[V]) Do(key Key, fn func() (V, error)) (val V, err error, hit bool) {
+// was joined); joined distinguishes the second case — this call blocked
+// on a computation that was still in flight (single-flight dedup), rather
+// than finding a finished entry.
+func (c *Memo[V]) Do(key Key, fn func() (V, error)) (val V, err error, hit, joined bool) {
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
 		c.mu.Unlock()
-		<-e.done
-		return e.val, e.err, true
+		select {
+		case <-e.done:
+			// Finished entry: a plain memory hit.
+		default:
+			joined = true
+			<-e.done
+		}
+		return e.val, e.err, true, joined
 	}
 	e := &memoEntry[V]{done: make(chan struct{})}
 	c.m[key] = e
@@ -212,7 +220,7 @@ func (c *Memo[V]) Do(key Key, fn func() (V, error)) (val V, err error, hit bool)
 		c.mu.Unlock()
 	}
 	close(e.done)
-	return e.val, e.err, false
+	return e.val, e.err, false, false
 }
 
 // Len returns the number of cached entries (including in-flight ones).

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestEncoderDeterminism(t *testing.T) {
@@ -124,7 +125,7 @@ func TestMemoSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err, _ := m.Do(key, func() (int, error) {
+			v, err, _, _ := m.Do(key, func() (int, error) {
 				computed.Add(1)
 				return 42, nil
 			})
@@ -140,9 +141,47 @@ func TestMemoSingleFlight(t *testing.T) {
 	if m.Len() != 1 {
 		t.Errorf("Len = %d, want 1", m.Len())
 	}
-	_, _, hit := m.Do(key, func() (int, error) { t.Error("recomputed"); return 0, nil })
+	_, _, hit, joined := m.Do(key, func() (int, error) { t.Error("recomputed"); return 0, nil })
 	if !hit {
 		t.Error("second Do was not a hit")
+	}
+	if joined {
+		t.Error("finished entry reported as joined in-flight")
+	}
+}
+
+// TestMemoJoinedReporting pins the joined flag: a Do that blocks on an
+// in-flight computation reports joined=true, a Do against a finished
+// entry reports joined=false.
+func TestMemoJoinedReporting(t *testing.T) {
+	m := NewMemo[int]()
+	key := Key{9}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, _, _, joined := m.Do(key, func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+		done <- joined
+	}()
+	<-started
+	joinedCh := make(chan bool, 1)
+	go func() {
+		_, _, hit, joined := m.Do(key, func() (int, error) { return 0, nil })
+		joinedCh <- hit && joined
+	}()
+	// The second Do is now parked on the in-flight entry (or about to be);
+	// give it a moment, then release the computation.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if computedJoined := <-done; computedJoined {
+		t.Error("computing caller reported joined")
+	}
+	if !<-joinedCh {
+		t.Error("waiting caller did not report hit+joined")
 	}
 }
 
@@ -150,13 +189,13 @@ func TestMemoDoesNotCacheErrors(t *testing.T) {
 	m := NewMemo[int]()
 	key := Key{2}
 	boom := errors.New("boom")
-	if _, err, _ := m.Do(key, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+	if _, err, _, _ := m.Do(key, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	if m.Len() != 0 {
 		t.Fatalf("failed computation left %d entries", m.Len())
 	}
-	v, err, hit := m.Do(key, func() (int, error) { return 7, nil })
+	v, err, hit, _ := m.Do(key, func() (int, error) { return 7, nil })
 	if err != nil || v != 7 || hit {
 		t.Errorf("retry = %d, %v, hit=%v", v, err, hit)
 	}
