@@ -13,7 +13,11 @@
 # observability gates (the disabled metrics registry stays within the
 # same overhead limit as the probe layer, a metrics-enabled paper run
 # prints byte-identical stdout, and a live sweep's -debug-addr server
-# answers /metrics and /debug/pprof/ mid-run), and the
+# answers /metrics and /debug/pprof/ mid-run), the simulation-service
+# soak gate (a race-built simd daemon must answer byte-identical
+# sweeps, shed honestly with 429 + Retry-After under saturation,
+# enforce deadlines with 504, and drain cleanly on SIGTERM under
+# load), and the
 # throughput gate recording the simulator benchmarks to
 # results/BENCH_<date>.json (suffixed -2, -3, ... instead of
 # clobbering a same-day export) and failing if BenchmarkRawChannel
@@ -75,6 +79,7 @@ echo "== fuzz smoke =="
 # Each target runs for a short budget; any crasher fails the build.
 go test -run '^$' -fuzz '^FuzzReadText$' -fuzztime "${FUZZ_SMOKE_TIME:-5s}" ./internal/trace/
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "${FUZZ_SMOKE_TIME:-5s}" ./internal/mapping/
+go test -run '^$' -fuzz '^FuzzDecodeSimulateRequest$' -fuzztime "${FUZZ_SMOKE_TIME:-5s}" ./internal/server/
 
 echo "== fault determinism gate =="
 # The flagship fault scenario must produce a byte-identical QoS report
@@ -212,6 +217,67 @@ if [ "$(wc -l < "$cache_dir/sweep-live.csv")" -ne 41 ]; then
     exit 1
 fi
 echo "ci: live debug-server smoke OK"
+
+echo "== simulation service soak gate =="
+# The simd daemon, built with the race detector, is driven end to end:
+# a service sweep must be byte-identical to the direct CLI sweep; a
+# saturation soak with 8x more clients than worker slots must finish
+# with zero failed requests — every request either completes or sheds
+# honestly with 429 + Retry-After, and above the admission limit the
+# 429s must actually occur; an undersized deadline must come back 504;
+# and a SIGTERM under load must drain cleanly with exit 0.
+svc_dir=$(mktemp -d)
+trap 'rm -rf "$qos_dir" "$cache_dir" "$svc_dir"' EXIT
+go build -race -o "$svc_dir/simd" ./cmd/simd
+go build -race -o "$svc_dir/simctl" ./cmd/simctl
+svc_fail() {
+    echo "ci: $1" >&2
+    [ -f "$svc_dir/simd.log" ] && cat "$svc_dir/simd.log" >&2
+    kill "$simd_pid" 2>/dev/null || true
+    exit 1
+}
+"$svc_dir/simd" -addr 127.0.0.1:0 -workers 2 -queue-limit 4 -drain 20s \
+    2>"$svc_dir/simd.log" &
+simd_pid=$!
+svc_addr=""
+for _ in $(seq 1 100); do
+    svc_addr=$(sed -n 's/^simd: listening on //p' "$svc_dir/simd.log")
+    [ -n "$svc_addr" ] && break
+    sleep 0.1
+done
+[ -n "$svc_addr" ] || svc_fail "simd never announced its address"
+"$svc_dir/simctl" sweep -server "http://$svc_addr" \
+    -formats 1080p30 -channels 2,4 -freqs 400 -fraction 0.02 \
+    >"$svc_dir/svc-sweep.csv" ||
+    svc_fail "service sweep failed"
+cmp "$cache_dir/sweep-uncached.csv" "$svc_dir/svc-sweep.csv" ||
+    svc_fail "service sweep differs from the direct cmd/sweep run"
+"$svc_dir/simctl" soak -server "http://$svc_addr" -clients 16 -requests 3 \
+    -fraction 0.3 >"$svc_dir/soak.txt" ||
+    svc_fail "saturation soak reported failed requests"
+cat "$svc_dir/soak.txt"
+grep -q ' failed=0$' "$svc_dir/soak.txt" ||
+    svc_fail "soak summary reports failures"
+grep -Eq ' shed=[1-9][0-9]* ' "$svc_dir/soak.txt" ||
+    svc_fail "16 clients against 2+4 admission slots never shed a 429"
+if "$svc_dir/simctl" simulate -server "http://$svc_addr" -format 2160p60 \
+    -channels 8 -freq 533 -fraction 1 -deadline 50ms \
+    >/dev/null 2>"$svc_dir/deadline.log"; then
+    svc_fail "50ms deadline on a full 2160p60 frame did not fail"
+fi
+grep -q '504' "$svc_dir/deadline.log" ||
+    svc_fail "undersized deadline did not surface a 504"
+( sleep 0.5; kill -TERM "$simd_pid" ) &
+"$svc_dir/simctl" soak -server "http://$svc_addr" -clients 16 -requests 6 \
+    -fraction 0.05 -allow-shutdown >"$svc_dir/soak-drain.txt" ||
+    svc_fail "mid-drain soak reported failed requests"
+cat "$svc_dir/soak-drain.txt"
+if ! wait "$simd_pid"; then
+    svc_fail "simd exited non-zero after SIGTERM"
+fi
+grep -q 'simd: drained cleanly' "$svc_dir/simd.log" ||
+    svc_fail "simd did not report a clean drain"
+echo "ci: simulation service soak OK"
 
 echo "== disabled-overhead benchmarks (probe + metrics) =="
 # Repeated -count runs, best-of-N per arm: scheduling noise only ever

@@ -1,0 +1,323 @@
+// Command simctl is the client for the simd simulation service. It
+// speaks the /v1 JSON API and renders answers in the same CSV the sweep
+// CLI emits, so a sweep through the service is byte-identical to — and
+// drop-in substitutable for — a local sweep run.
+//
+// Subcommands:
+//
+//	simctl simulate -format 1080p30 -channels 4 -freq 400   # one point
+//	simctl sweep -formats 720p30 -channels 1,2 -freqs 200   # CSV grid
+//	simctl soak -clients 16 -requests 8                     # load test
+//
+// soak hammers the service with concurrent clients mixing cache hits and
+// misses and verifies the service's load contract: every request either
+// succeeds (200, possibly flagged degraded) or is shed honestly (429
+// with Retry-After) — never a 5xx, never a hang. -allow-shutdown
+// additionally tolerates connections cut by a mid-soak daemon drain, so
+// CI can SIGTERM the daemon under load and still assert the contract.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+const csvHeader = "format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw"
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "simulate":
+		runSimulate(os.Args[2:])
+	case "sweep":
+		runSweep(os.Args[2:])
+	case "soak":
+		runSoak(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "simctl: unknown subcommand %q\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: simctl <simulate|sweep|soak> [flags]
+
+  simulate  answer one point as a CSV row (or -json)
+  sweep     answer a grid as sweep-compatible CSV
+  soak      load-test the service's shed/degrade contract
+
+run "simctl <subcommand> -h" for the subcommand's flags
+`)
+	os.Exit(2)
+}
+
+// client wraps the HTTP transport with the service conventions: JSON
+// bodies, the per-request deadline header, and a hard client-side
+// timeout so no call can hang past it.
+type client struct {
+	base     string
+	http     *http.Client
+	clientID string
+	deadline time.Duration
+}
+
+func newClient(serverURL, clientID string, timeout, deadline time.Duration) *client {
+	return &client{
+		base:     strings.TrimRight(serverURL, "/"),
+		http:     &http.Client{Timeout: timeout},
+		clientID: clientID,
+		deadline: deadline,
+	}
+}
+
+// post sends one API call and returns the status, body and response
+// header. Transport errors come back as err; HTTP-level failures are the
+// caller's to interpret.
+func (c *client) post(path string, body any) (status int, data []byte, hdr http.Header, err error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.clientID != "" {
+		req.Header.Set("X-Client-ID", c.clientID)
+	}
+	if c.deadline > 0 {
+		req.Header.Set("X-Sim-Deadline", c.deadline.String())
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, data, resp.Header, nil
+}
+
+// apiError renders a non-2xx answer for the terminal.
+func apiError(status int, data []byte) error {
+	var e server.ErrorResponse
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server returned %d: %s", status, e.Error)
+	}
+	return fmt.Errorf("server returned %d: %s", status, strings.TrimSpace(string(data)))
+}
+
+// csvRow renders one response exactly as cmd/sweep renders the same
+// point — same verbs, same order — which is what makes the service
+// drop-in substitutable for a local run.
+func csvRow(p server.SimulateResponse) string {
+	return fmt.Sprintf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f",
+		p.Format, p.Channels, p.FreqMHz, p.FrameBytes,
+		p.RequiredGB, p.AccessMS, p.BudgetMS, p.Verdict,
+		p.Efficiency, p.PowerMW, p.InterfaceMW)
+}
+
+func runSimulate(args []string) {
+	fs := flag.NewFlagSet("simctl simulate", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8080", "simd base URL")
+		format    = fs.String("format", "1080p30", "frame format")
+		channels  = fs.Int("channels", 1, "channel count")
+		freq      = fs.Int("freq", 400, "clock frequency in MHz")
+		fraction  = fs.Float64("fraction", 0, "frame fraction to simulate (0 = full frame)")
+		timeout   = fs.Duration("timeout", 2*time.Minute, "client-side HTTP timeout")
+		deadline  = fs.Duration("deadline", 0, "server-side deadline to request (0 = server default)")
+		clientID  = fs.String("client-id", "", "X-Client-ID to present (rate-limit identity)")
+		asJSON    = fs.Bool("json", false, "print the raw JSON response instead of a CSV row")
+	)
+	fs.Parse(args)
+
+	c := newClient(*serverURL, *clientID, *timeout, *deadline)
+	req := server.SimulateRequest{Format: *format, Channels: *channels, FreqMHz: *freq, Fraction: *fraction}
+	status, data, hdr, err := c.post("/v1/simulate", &req)
+	if err != nil {
+		fatal(err)
+	}
+	if status != http.StatusOK {
+		fatal(apiError(status, data))
+	}
+	if *asJSON {
+		os.Stdout.Write(data)
+		return
+	}
+	var resp server.SimulateResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		fatal(fmt.Errorf("decoding response: %w", err))
+	}
+	if resp.Degraded {
+		fmt.Fprintln(os.Stderr, "simctl: warning: degraded (analytic) answer — the service was saturated")
+	}
+	if cache := hdr.Get("X-Sim-Cache"); cache != "" {
+		fmt.Fprintf(os.Stderr, "simctl: cache: %s\n", cache)
+	}
+	fmt.Println(csvHeader)
+	fmt.Println(csvRow(resp))
+}
+
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("simctl sweep", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8080", "simd base URL")
+		formats   = fs.String("formats", "720p30,720p60,1080p30,1080p60,2160p30,2160p60", "comma-separated frame formats")
+		channels  = fs.String("channels", "1,2,4,8", "comma-separated channel counts")
+		freqs     = fs.String("freqs", "200,266,333,400,533", "comma-separated clock frequencies in MHz")
+		fraction  = fs.Float64("fraction", 0.1, "frame fraction to simulate")
+		timeout   = fs.Duration("timeout", 10*time.Minute, "client-side HTTP timeout")
+		deadline  = fs.Duration("deadline", 0, "server-side deadline to request (0 = server default)")
+		clientID  = fs.String("client-id", "", "X-Client-ID to present (rate-limit identity)")
+	)
+	fs.Parse(args)
+
+	chList, err := parseInts(*channels)
+	if err != nil {
+		fatal(err)
+	}
+	freqList, err := parseInts(*freqs)
+	if err != nil {
+		fatal(err)
+	}
+	var formatList []string
+	for _, f := range strings.Split(*formats, ",") {
+		formatList = append(formatList, strings.TrimSpace(f))
+	}
+
+	c := newClient(*serverURL, *clientID, *timeout, *deadline)
+	req := server.SweepRequest{Formats: formatList, Channels: chList, FreqsMHz: freqList, Fraction: *fraction}
+	status, data, _, err := c.post("/v1/sweep", &req)
+	if err != nil {
+		fatal(err)
+	}
+	if status != http.StatusOK {
+		fatal(apiError(status, data))
+	}
+	var resp server.SweepResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		fatal(fmt.Errorf("decoding response: %w", err))
+	}
+	if resp.Degraded {
+		fmt.Fprintln(os.Stderr, "simctl: warning: degraded (analytic) answers — the service was saturated")
+	}
+	fmt.Println(csvHeader)
+	for _, p := range resp.Points {
+		fmt.Println(csvRow(p))
+	}
+}
+
+func runSoak(args []string) {
+	fs := flag.NewFlagSet("simctl soak", flag.ExitOnError)
+	var (
+		serverURL     = fs.String("server", "http://127.0.0.1:8080", "simd base URL")
+		clients       = fs.Int("clients", 8, "concurrent clients")
+		requests      = fs.Int("requests", 8, "requests per client")
+		fraction      = fs.Float64("fraction", 0.02, "frame fraction per point (small = fast)")
+		timeout       = fs.Duration("timeout", 2*time.Minute, "client-side HTTP timeout (a request exceeding it counts as failed)")
+		deadline      = fs.Duration("deadline", 0, "server-side deadline to request (0 = server default)")
+		allowShutdown = fs.Bool("allow-shutdown", false, "tolerate connections cut by a mid-soak daemon drain (counted, not failures)")
+	)
+	fs.Parse(args)
+	if *clients < 1 || *requests < 1 {
+		fatal(fmt.Errorf("-clients and -requests must be >= 1"))
+	}
+
+	var ok, degraded, shed, cut, failed atomic.Int64
+	fail := func(format string, args ...any) {
+		failed.Add(1)
+		fmt.Fprintf(os.Stderr, "simctl: soak: FAIL: %s\n", fmt.Sprintf(format, args...))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := newClient(*serverURL, "soak-"+strconv.Itoa(id), *timeout, *deadline)
+			for r := 0; r < *requests; r++ {
+				// Even requests hammer one hot point (cache hits and
+				// single-flight joins); odd ones walk distinct frequencies
+				// across the device's supported range (misses), so the soak
+				// exercises both paths at once.
+				req := server.SimulateRequest{Format: "720p30", Channels: 1, FreqMHz: 400, Fraction: *fraction}
+				if r%2 == 1 {
+					req.FreqMHz = 200 + (id**requests+r)%334
+				}
+				status, data, hdr, err := c.post("/v1/simulate", &req)
+				switch {
+				case err != nil:
+					if *allowShutdown {
+						cut.Add(1)
+					} else {
+						fail("client %d: %v", id, err)
+					}
+				case status == http.StatusOK:
+					var resp server.SimulateResponse
+					if jerr := json.Unmarshal(data, &resp); jerr != nil {
+						fail("client %d: bad 200 body: %v", id, jerr)
+						break
+					}
+					if resp.Degraded {
+						degraded.Add(1)
+					}
+					ok.Add(1)
+				case status == http.StatusTooManyRequests:
+					if hdr.Get("Retry-After") == "" {
+						fail("client %d: 429 without Retry-After", id)
+						break
+					}
+					shed.Add(1)
+				case status == http.StatusServiceUnavailable && *allowShutdown:
+					// The drain cut this request off mid-flight.
+					cut.Add(1)
+				default:
+					fail("client %d: status %d: %s", id, status, strings.TrimSpace(string(data)))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	fmt.Printf("simctl: soak: ok=%d degraded=%d shed=%d cut=%d failed=%d\n",
+		ok.Load(), degraded.Load(), shed.Load(), cut.Load(), failed.Load())
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simctl:", err)
+	os.Exit(1)
+}

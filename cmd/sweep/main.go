@@ -14,12 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/check"
@@ -87,12 +91,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		// Graceful shutdown at exit: an in-flight scrape of the final
+		// metrics finishes instead of being cut off mid-body.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
 		// The resolved address (":0" picks a port) goes to stderr so live
 		// tooling — and the CI smoke test — can find the endpoints.
 		fmt.Fprintf(os.Stderr, "sweep: debug: listening on %s\n", srv.Addr())
 	}
 	start := time.Now()
+
+	// SIGINT/SIGTERM cancels the sweep between points: workers stop
+	// claiming new indices, the run exits promptly with a clear message,
+	// and the deferred cleanups (profiles, debug server) still run.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// Content-addressed result cache: in-process dedup always (duplicate
 	// grid points simulate once), plus the optional on-disk store that
@@ -167,7 +183,7 @@ func main() {
 	if *progress {
 		prog = core.StartProgress(os.Stderr, time.Second)
 	}
-	results, err := core.RunIndexed(njobs, len(grid), func(i int) (core.Result, error) {
+	results, err := core.RunIndexedContext(ctx, njobs, len(grid), func(i int) (core.Result, error) {
 		p := grid[i]
 		mc := core.PaperMemory(p.ch, units.Frequency(p.f)*units.MHz)
 		var set *check.Set
@@ -194,6 +210,9 @@ func main() {
 	})
 	prog.Stop()
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted before completion; no output written"))
+		}
 		fatal(err)
 	}
 	if *checkRun {

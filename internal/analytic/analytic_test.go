@@ -1,9 +1,10 @@
-package analytic
+package analytic_test
 
 import (
 	"math"
 	"testing"
 
+	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/load"
@@ -41,17 +42,17 @@ func speedAt(t *testing.T, f units.Frequency) dram.Speed {
 }
 
 func TestFrameTimeValidates(t *testing.T) {
-	if _, err := FrameTime(nil, speedAt(t, 400*units.MHz)); err == nil {
+	if _, err := analytic.FrameTime(nil, speedAt(t, 400*units.MHz)); err == nil {
 		t.Error("expected nil generator error")
 	}
-	if _, err := FrameTime(generator(t, "720p30", 1), dram.Speed{}); err == nil {
+	if _, err := analytic.FrameTime(generator(t, "720p30", 1), dram.Speed{}); err == nil {
 		t.Error("expected unresolved speed error")
 	}
 }
 
 func TestEstimateComponents(t *testing.T) {
 	g := generator(t, "720p30", 1)
-	e, err := FrameTime(g, speedAt(t, 400*units.MHz))
+	e, err := analytic.FrameTime(g, speedAt(t, 400*units.MHz))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestAnalyticMatchesSimulation(t *testing.T) {
 	for _, c := range cases {
 		g := generator(t, c.format, c.channels)
 		speed := speedAt(t, c.freq)
-		est, err := FrameTime(g, speed)
+		est, err := analytic.FrameTime(g, speed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,11 +121,11 @@ func TestAnalyticMatchesSimulation(t *testing.T) {
 // The estimate scales linearly with channels and clock, like the simulator.
 func TestEstimateScaling(t *testing.T) {
 	speed := speedAt(t, 400*units.MHz)
-	e1, err := FrameTime(generator(t, "720p30", 1), speed)
+	e1, err := analytic.FrameTime(generator(t, "720p30", 1), speed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e4, err := FrameTime(generator(t, "720p30", 4), speed)
+	e4, err := analytic.FrameTime(generator(t, "720p30", 4), speed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestEstimateScaling(t *testing.T) {
 		t.Errorf("1ch/4ch cycle ratio = %.2f, want ~4", ratio)
 	}
 
-	t200, err := FrameTime(generator(t, "720p30", 1), speedAt(t, 200*units.MHz))
+	t200, err := analytic.FrameTime(generator(t, "720p30", 1), speedAt(t, 200*units.MHz))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestFramePowerMatchesSimulation(t *testing.T) {
 		g := generator(t, c.format, c.channels)
 		speed := speedAt(t, 400*units.MHz)
 		prof, _ := video.ProfileFor(c.format)
-		est, err := FramePower(g, speed, power.DefaultDatasheet(), power.DefaultInterface(),
+		est, err := analytic.FramePower(g, speed, power.DefaultDatasheet(), power.DefaultInterface(),
 			prof.Format.FramePeriod())
 		if err != nil {
 			t.Fatal(err)
@@ -183,15 +184,15 @@ func TestFramePowerValidates(t *testing.T) {
 	speed := speedAt(t, 400*units.MHz)
 	bad := power.DefaultDatasheet()
 	bad.VDD = 0
-	if _, err := FramePower(g, speed, bad, power.DefaultInterface(), units.Millisecond); err == nil {
+	if _, err := analytic.FramePower(g, speed, bad, power.DefaultInterface(), units.Millisecond); err == nil {
 		t.Error("expected datasheet error")
 	}
 	badIf := power.DefaultInterface()
 	badIf.Pins = 0
-	if _, err := FramePower(g, speed, power.DefaultDatasheet(), badIf, units.Millisecond); err == nil {
+	if _, err := analytic.FramePower(g, speed, power.DefaultDatasheet(), badIf, units.Millisecond); err == nil {
 		t.Error("expected interface error")
 	}
-	if _, err := FramePower(g, speed, power.DefaultDatasheet(), power.DefaultInterface(), 0); err == nil {
+	if _, err := analytic.FramePower(g, speed, power.DefaultDatasheet(), power.DefaultInterface(), 0); err == nil {
 		t.Error("expected period error")
 	}
 }

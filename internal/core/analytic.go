@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/analytic"
+	"repro/internal/dram"
+	"repro/internal/units"
+)
+
+// AnalyticResult estimates the Result of Simulate(w, mc) from the
+// closed-form model in internal/analytic, without running the
+// cycle-accurate simulator. It is the graceful-degradation path of the
+// simulation service: when the admission queue is saturated, an estimate
+// in microseconds beats a shed request — the caller is told the answer is
+// an estimate and can retry for the exact one.
+//
+// Only the fields the closed forms can honestly produce are populated:
+// access time, verdict, bandwidths, efficiency and total power. The
+// per-channel power breakdown, interface-power split, command counters
+// and latency histogram stay zero — an estimate must never masquerade as
+// simulator output.
+func AnalyticResult(w Workload, mc MemoryConfig) (Result, error) {
+	if err := mc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	w = normalizeWorkload(w)
+	mc = normalizeMemoryConfig(mc)
+
+	speed, err := dram.Resolve(mc.Geometry, mc.Timing, mc.Freq)
+	if err != nil {
+		return Result{}, err
+	}
+	gen, err := generatorFor(w.Profile, w.Params, mc.Channels, speed.Geometry, w.Load)
+	if err != nil {
+		return Result{}, err
+	}
+	est, err := analytic.FrameTime(gen, speed)
+	if err != nil {
+		return Result{}, err
+	}
+
+	framePeriod := w.Profile.Format.FramePeriod()
+	frameBytes := gen.FrameBytes()
+	res := Result{
+		Format:      w.Profile.Format,
+		Level:       w.Profile.Level,
+		Channels:    mc.Channels,
+		Freq:        mc.Freq,
+		FrameBytes:  frameBytes,
+		FramePeriod: framePeriod,
+		AccessTime:  est.Time,
+		Verdict:     Classify(est.Time, framePeriod),
+	}
+	res.RequiredBandwidth = units.Bandwidth(float64(frameBytes) / framePeriod.Seconds())
+	if est.Time > 0 {
+		res.AchievedBandwidth = units.Bandwidth(float64(frameBytes) / est.Time.Seconds())
+	}
+	res.PeakBandwidth = units.Bandwidth(float64(mc.Channels)) * speed.PeakBandwidth()
+	if res.PeakBandwidth > 0 {
+		res.Efficiency = float64(res.AchievedBandwidth) / float64(res.PeakBandwidth)
+	}
+	ds := *mc.Datasheet
+	iface := *mc.Interface
+	res.TotalPower, err = analytic.FramePower(gen, speed, ds, iface, framePeriod)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestAnalyticResultTracksSimulation: the degraded-mode estimate must be
+// in the same ballpark as the simulator on the paper's flagship points —
+// close enough that a degraded answer is useful, while the honest fields
+// (no per-channel breakdown, no counters) stay empty.
+func TestAnalyticResultTracksSimulation(t *testing.T) {
+	for _, tc := range []struct {
+		format   string
+		channels int
+	}{
+		{"720p30", 1},
+		{"1080p30", 4},
+		{"1080p60", 8},
+	} {
+		w, err := WorkloadFor(tc.format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := PaperMemory(tc.channels, 400*units.MHz)
+		est, err := AnalyticResult(w, mc)
+		if err != nil {
+			t.Fatalf("%s/%dch: %v", tc.format, tc.channels, err)
+		}
+		w.SampleFraction = 0.05
+		sim, err := Simulate(w, mc)
+		if err != nil {
+			t.Fatalf("%s/%dch: %v", tc.format, tc.channels, err)
+		}
+		ratio := est.AccessTime.Seconds() / sim.AccessTime.Seconds()
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s/%dch: analytic access time %v vs simulated %v (ratio %.2f)",
+				tc.format, tc.channels, est.AccessTime, sim.AccessTime, ratio)
+		}
+		if est.TotalPower <= 0 {
+			t.Errorf("%s/%dch: analytic power %v, want positive", tc.format, tc.channels, est.TotalPower)
+		}
+		if est.FrameBytes != sim.FrameBytes || est.FramePeriod != sim.FramePeriod {
+			t.Errorf("%s/%dch: frame invariants differ: bytes %d vs %d, period %v vs %v",
+				tc.format, tc.channels, est.FrameBytes, sim.FrameBytes, est.FramePeriod, sim.FramePeriod)
+		}
+		if est.PerChannel != nil || est.Latency != nil || est.Totals.Reads != 0 {
+			t.Errorf("%s/%dch: estimate populated simulator-only fields", tc.format, tc.channels)
+		}
+	}
+}
+
+// TestAnalyticResultValidates: the estimate path applies the same input
+// hardening as Simulate.
+func TestAnalyticResultValidates(t *testing.T) {
+	w, err := WorkloadFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyticResult(w, PaperMemory(0, 400*units.MHz)); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := AnalyticResult(Workload{}, PaperMemory(1, 400*units.MHz)); err == nil {
+		t.Error("empty workload accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"reflect"
@@ -141,24 +142,69 @@ func (c *SimCache) Stats() CacheStats {
 	}
 }
 
+// CacheOutcome classifies how one cacheable lookup was answered. The
+// simulation service reports it per request (an X-Sim-Cache header) so
+// clients can tell a shared single-flight join from a plain hit without
+// the response body ever depending on cache state.
+type CacheOutcome int
+
+const (
+	// OutcomeBypass: the run was observed (probes, faults, latency
+	// recording) and skipped the cache entirely.
+	OutcomeBypass CacheOutcome = iota
+	// OutcomeHit: answered from a finished memo entry (memory or disk).
+	OutcomeHit
+	// OutcomeJoined: blocked on another caller's in-flight computation of
+	// the same point and shared its result (single-flight dedup).
+	OutcomeJoined
+	// OutcomeSimulated: this call ran the simulator.
+	OutcomeSimulated
+)
+
+// String names the outcome for response headers and logs.
+func (o CacheOutcome) String() string {
+	switch o {
+	case OutcomeBypass:
+		return "bypass"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeJoined:
+		return "joined"
+	case OutcomeSimulated:
+		return "simulated"
+	default:
+		return fmt.Sprintf("CacheOutcome(%d)", int(o))
+	}
+}
+
 // Simulate is Simulate through this cache.
 func (c *SimCache) Simulate(w Workload, mc MemoryConfig) (Result, error) {
-	return c.simulate(w, mc, nil)
+	res, _, err := c.simulate(context.Background(), w, mc, nil)
+	return res, err
+}
+
+// SimulateContext is Simulate through this cache with cancellation: ctx
+// aborts the lookup (and, when every interested caller is gone, the
+// underlying computation — see simcache.Memo.DoContext) and reports how
+// the point was answered.
+func (c *SimCache) SimulateContext(ctx context.Context, w Workload, mc MemoryConfig) (Result, CacheOutcome, error) {
+	return c.simulate(ctx, w, mc, nil)
 }
 
 // simulate is Simulate through this cache, recording phase spans on lane
 // when the run traces them (nil lane no-ops).
-func (c *SimCache) simulate(w Workload, mc MemoryConfig, lane *probe.Lane) (Result, error) {
+func (c *SimCache) simulate(ctx context.Context, w Workload, mc MemoryConfig, lane *probe.Lane) (Result, CacheOutcome, error) {
 	key, cacheable := cacheKey(w, mc)
 	if !cacheable {
 		c.bypassed.Inc()
-		return simulateUncached(w, mc, lane)
+		res, err := simulateUncached(ctx, w, mc, lane)
+		return res, OutcomeBypass, err
 	}
 	// The lookup phase spans the memo+disk consultation; when this call
 	// ends up computing, it closes at the moment simulation starts.
 	endLookup := lane.Phase("cache-lookup")
 	looking := true
-	res, err, hit, joined := c.memo.Do(key, func() (Result, error) {
+	res, err, hit, joined := c.memo.DoContext(ctx, key, func(cctx context.Context) (Result, error) {
 		if c.disk != nil {
 			if data, ok := c.disk.Get(key); ok {
 				var r Result
@@ -173,7 +219,7 @@ func (c *SimCache) simulate(w Workload, mc MemoryConfig, lane *probe.Lane) (Resu
 		}
 		endLookup()
 		looking = false
-		r, err := simulateUncached(w, mc, lane)
+		r, err := simulateUncached(cctx, w, mc, lane)
 		if err != nil {
 			return Result{}, err
 		}
@@ -192,8 +238,14 @@ func (c *SimCache) simulate(w Workload, mc MemoryConfig, lane *probe.Lane) (Resu
 	if looking {
 		endLookup()
 	}
+	outcome := OutcomeSimulated
+	if joined {
+		outcome = OutcomeJoined
+	} else if hit {
+		outcome = OutcomeHit
+	}
 	if err != nil {
-		return Result{}, err
+		return Result{}, outcome, err
 	}
 	if hit {
 		c.memHits.Inc()
@@ -206,7 +258,7 @@ func (c *SimCache) simulate(w Workload, mc MemoryConfig, lane *probe.Lane) (Resu
 	if res.PerChannel != nil {
 		res.PerChannel = append([]power.Breakdown(nil), res.PerChannel...)
 	}
-	return res, nil
+	return res, outcome, nil
 }
 
 // activeCache is the process-wide cache consulted by Simulate; nil means

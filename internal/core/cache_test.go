@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -216,7 +217,7 @@ func TestCacheServesIdenticalResults(t *testing.T) {
 	if !reflect.DeepEqual(r1, r2) {
 		t.Error("cache hit returned a different Result")
 	}
-	uncached, err := simulateUncached(w, mc, nil)
+	uncached, err := simulateUncached(context.Background(), w, mc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -266,14 +267,25 @@ func scaleStats(st stats.Channel, k float64) stats.Channel {
 // experiments simulate each distinct point exactly once. Observed runs —
 // probes, faults, latency recording, -check — always simulate.
 func Simulate(w Workload, mc MemoryConfig) (Result, error) {
+	return SimulateContext(context.Background(), w, mc)
+}
+
+// SimulateContext is Simulate with cancellation: a done ctx aborts the
+// point between pipeline phases (generate / simulate / report) and while
+// waiting on a shared single-flight computation, so a caller that stops
+// caring — a disconnected service client, an interrupted sweep — stops
+// burning CPU at the next phase boundary. The background-context
+// spelling is exactly Simulate.
+func SimulateContext(ctx context.Context, w Workload, mc MemoryConfig) (Result, error) {
 	m := activeMeter.Load()
 	sp := activeSpans.Load()
 	if m == nil && sp == nil {
 		// Disabled observability: the seed's exact path.
 		if c := EnabledCache(); c != nil {
-			return c.Simulate(w, mc)
+			res, _, err := c.simulate(ctx, w, mc, nil)
+			return res, err
 		}
-		return simulateUncached(w, mc, nil)
+		return simulateUncached(ctx, w, mc, nil)
 	}
 	// A lane is one worker track in the phase-span trace: with N pool
 	// workers at most N points are in flight, so lowest-free-lane
@@ -289,16 +301,23 @@ func Simulate(w Workload, mc MemoryConfig) (Result, error) {
 		}()
 	}
 	if c := EnabledCache(); c != nil {
-		return c.simulate(w, mc, lane)
+		res, _, err := c.simulate(ctx, w, mc, lane)
+		return res, err
 	}
-	return simulateUncached(w, mc, lane)
+	return simulateUncached(ctx, w, mc, lane)
 }
 
 // simulate is the uncached Simulate: it runs the simulator unconditionally,
 // reviving a pooled memory subsystem and sharing the immutable load
 // generator where the configuration allows (see pool.go). lane, when
-// non-nil, records the run's phase spans (generate/simulate/report).
-func simulateUncached(w Workload, mc MemoryConfig, lane *probe.Lane) (Result, error) {
+// non-nil, records the run's phase spans (generate/simulate/report). ctx
+// is consulted at phase boundaries only — the engine's hot loop stays
+// untouched (the disabled-overhead gate), and a sweep's points are small
+// enough that boundary granularity is what cancellation latency needs.
+func simulateUncached(ctx context.Context, w Workload, mc MemoryConfig, lane *probe.Lane) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := mc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -330,6 +349,9 @@ func simulateUncached(w Workload, mc MemoryConfig, lane *probe.Lane) (Result, er
 	}
 	endPhase()
 
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	endPhase = lane.Phase("simulate")
 	run, err := sys.Run(src)
 	if err != nil {
@@ -337,6 +359,9 @@ func simulateUncached(w Workload, mc MemoryConfig, lane *probe.Lane) (Result, er
 	}
 	endPhase()
 
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	endPhase = lane.Phase("report")
 	defer endPhase()
 	speed := sys.Speed()

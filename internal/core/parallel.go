@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,15 @@ import (
 // in wall-clock order. jobs <= 1 runs inline with fail-fast semantics — the
 // same lowest-index error, since indices are visited in order.
 func RunIndexed[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	return RunIndexedContext(context.Background(), jobs, n, fn)
+}
+
+// RunIndexedContext is RunIndexed with cancellation: once ctx is done no
+// worker claims another index, in-flight indices finish, and ctx.Err() is
+// returned (taking precedence over any per-index error, since a canceled
+// run's partial errors are not deterministic). The background-context
+// spelling is exactly RunIndexed.
+func RunIndexedContext[T any](ctx context.Context, jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 	// Worker-pool accounting (planned/completed counters drive -progress;
 	// busy/queue gauges and busy time expose pool utilization). Wrapping fn
 	// happens once per RunIndexed call, so the disabled path costs a single
@@ -27,8 +37,10 @@ func RunIndexed[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 	if m := activeMeter.Load(); m != nil {
 		m.indexedPlanned.Add(int64(n))
 		m.queueDepth.Add(int64(n))
+		var ran atomic.Int64
 		inner := fn
 		fn = func(i int) (T, error) {
+			ran.Add(1)
 			m.workersBusy.Add(1)
 			start := time.Now()
 			v, err := inner(i)
@@ -38,6 +50,9 @@ func RunIndexed[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 			m.indexedCompleted.Inc()
 			return v, err
 		}
+		// A canceled run leaves unclaimed indices behind; return the
+		// queue-depth gauge to zero for them on the way out.
+		defer func() { m.queueDepth.Add(-(int64(n) - ran.Load())) }()
 	}
 	out := make([]T, n)
 	if jobs > n {
@@ -45,6 +60,9 @@ func RunIndexed[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if jobs <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -60,7 +78,7 @@ func RunIndexed[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -70,6 +88,9 @@ func RunIndexed[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestPooledSimulateIsDeterministic(t *testing.T) {
 	}
 	var first []Result
 	for _, mc := range configs {
-		r, err := simulateUncached(w, mc, nil)
+		r, err := simulateUncached(context.Background(), w, mc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +34,7 @@ func TestPooledSimulateIsDeterministic(t *testing.T) {
 	// Interleave the configs so every repeat revives a pooled system.
 	for round := 0; round < 3; round++ {
 		for i, mc := range configs {
-			r, err := simulateUncached(w, mc, nil)
+			r, err := simulateUncached(context.Background(), w, mc, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -53,12 +54,12 @@ func TestPooledSimulateParallel(t *testing.T) {
 	}
 	w.SampleFraction = 0.02
 	mc := PaperMemory(2, 400*units.MHz)
-	want, err := simulateUncached(w, mc, nil)
+	want, err := simulateUncached(context.Background(), w, mc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	results, err := RunIndexed(8, 24, func(i int) (Result, error) {
-		return simulateUncached(w, mc, nil)
+		return simulateUncached(context.Background(), w, mc, nil)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -81,11 +82,11 @@ func TestLatencyRunsAreNotPooled(t *testing.T) {
 	w.SampleFraction = 0.02
 	w.RecordLatency = true
 	mc := PaperMemory(2, 400*units.MHz)
-	r1, err := simulateUncached(w, mc, nil)
+	r1, err := simulateUncached(context.Background(), w, mc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := simulateUncached(w, mc, nil)
+	r2, err := simulateUncached(context.Background(), w, mc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

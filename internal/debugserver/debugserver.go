@@ -4,10 +4,12 @@
 // (/debug/vars), and net/http/pprof (/debug/pprof/). The server binds
 // eagerly — so ":0" callers can learn the chosen port and bad addresses
 // fail at flag-validation time — and serves in the background until the
-// process exits.
+// process exits or Shutdown drains it (the long-running daemons shut it
+// down gracefully on SIGINT/SIGTERM so in-flight scrapes finish).
 package debugserver
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -94,10 +96,22 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server. Nil-safe.
+// Close stops the server immediately, cutting off in-flight scrapes.
+// Nil-safe.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes immediately
+// (a mid-drain scrape attempt is refused rather than hung) while requests
+// already in flight — including long pprof captures — get until ctx to
+// finish. Returns ctx's error when they do not. Nil-safe.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

@@ -1,10 +1,13 @@
 package debugserver
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -87,5 +90,55 @@ func TestValidateAddr(t *testing.T) {
 		if err := ValidateAddr(bad); err == nil {
 			t.Errorf("ValidateAddr(%q) = nil, want error", bad)
 		}
+	}
+}
+
+// TestShutdownDrainsInflightScrape: Shutdown must close the listener to
+// new scrapes while an in-flight request (a 1-second pprof CPU capture)
+// runs to completion.
+func TestShutdownDrainsInflightScrape(t *testing.T) {
+	s, err := Start("127.0.0.1:0", metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	type scrape struct {
+		code int
+		n    int
+		err  error
+	}
+	inflight := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/debug/pprof/profile?seconds=1")
+		if err != nil {
+			inflight <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		inflight <- scrape{code: resp.StatusCode, n: len(body), err: err}
+	}()
+	// Wait until the capture is actually in flight, then shut down.
+	time.Sleep(200 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	got := <-inflight
+	if got.err != nil || got.code != http.StatusOK || got.n == 0 {
+		t.Errorf("in-flight scrape during Shutdown: code=%d bytes=%d err=%v; want a complete 200", got.code, got.n, got.err)
+	}
+	// The listener is gone: a fresh scrape is refused, not served or hung.
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Error("listener still accepting connections after Shutdown")
+	}
+}
+
+// TestShutdownNil: like every other accessor, Shutdown is nil-safe.
+func TestShutdownNil(t *testing.T) {
+	var s *Server
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil Shutdown = %v", err)
 	}
 }

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client key earns rate
+// tokens per second up to burst, and one request spends one token. A
+// request arriving with an empty bucket is refused with the wait until
+// the next token — the Retry-After the handler returns.
+//
+// The map is bounded by eviction: buckets idle long enough to have
+// refilled completely hold no state worth keeping (a fresh bucket starts
+// full), so a periodic sweep during Allow drops them. That keeps one
+// scan-happy load balancer from growing the map without bound.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns a limiter, or nil (meaning "unlimited") when
+// rate is zero or negative. All callers treat a nil limiter as allow-all.
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from key's bucket. When the bucket is empty it
+// reports ok=false and the wait until one token will be available.
+// Nil-safe: a nil limiter always allows.
+func (l *rateLimiter) Allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sweep(now)
+	b, found := l.buckets[key]
+	if !found {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / l.rate * float64(time.Second))
+}
+
+// sweep drops buckets that have been idle long enough to be full again.
+// Runs at most once per refill interval, so its cost amortizes to O(1).
+func (l *rateLimiter) sweep(now time.Time) {
+	refill := time.Duration(l.burst / l.rate * float64(time.Second))
+	if now.Sub(l.lastSweep) < refill {
+		return
+	}
+	l.lastSweep = now
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= refill {
+			delete(l.buckets, k)
+		}
+	}
+}

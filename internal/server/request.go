@@ -1,0 +1,230 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/units"
+)
+
+// maxRequestBytes bounds the decoded request body. The largest legitimate
+// sweep request — every format crossed with every channel count and a
+// long frequency list — is well under a kilobyte, so a megabyte keeps
+// the decoder safe from memory-amplification without ever rejecting a
+// real client.
+const maxRequestBytes = 1 << 20
+
+// SimulateRequest is the POST /v1/simulate body: one (Workload,
+// MemoryConfig) point. Field names mirror the sweep CSV columns and the
+// MemoryConfig knobs; zero values mean the paper defaults, exactly as
+// they do in core.
+type SimulateRequest struct {
+	// Format names the frame format ("1080p30", "2160p60", ...).
+	Format string `json:"format"`
+	// Channels is the channel count M; FreqMHz the interface clock.
+	Channels int `json:"channels"`
+	FreqMHz  int `json:"freq_mhz"`
+	// Fraction in (0,1] simulates that fraction of the frame and
+	// extrapolates; 0 means the full frame.
+	Fraction float64 `json:"fraction,omitempty"`
+
+	// Optional MemoryConfig extensions (zero = paper baseline).
+	Mux                   string `json:"mux,omitempty"`    // "rbc" (default) or "brc"
+	Policy                string `json:"policy,omitempty"` // "open" (default) or "closed"
+	DisablePowerDown      bool   `json:"disable_power_down,omitempty"`
+	WriteBufferDepth      int    `json:"write_buffer_depth,omitempty"`
+	QueueDepth            int    `json:"queue_depth,omitempty"`
+	RefreshPostpone       int    `json:"refresh_postpone,omitempty"`
+	PrechargeOnIdle       bool   `json:"precharge_on_idle,omitempty"`
+	InterleaveGranularity int64  `json:"interleave_granularity,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep body: the cross product of formats,
+// channel counts and frequencies, sharing the optional point knobs.
+type SweepRequest struct {
+	Formats  []string `json:"formats"`
+	Channels []int    `json:"channels"`
+	FreqsMHz []int    `json:"freqs_mhz"`
+	Fraction float64  `json:"fraction,omitempty"`
+
+	Mux                   string `json:"mux,omitempty"`
+	Policy                string `json:"policy,omitempty"`
+	DisablePowerDown      bool   `json:"disable_power_down,omitempty"`
+	WriteBufferDepth      int    `json:"write_buffer_depth,omitempty"`
+	QueueDepth            int    `json:"queue_depth,omitempty"`
+	RefreshPostpone       int    `json:"refresh_postpone,omitempty"`
+	PrechargeOnIdle       bool   `json:"precharge_on_idle,omitempty"`
+	InterleaveGranularity int64  `json:"interleave_granularity,omitempty"`
+}
+
+// SimulateResponse is the JSON answer for one point. The numeric fields
+// are the raw values behind the sweep CSV columns; a client printing
+// them with the sweep's format verbs reproduces its rows byte for byte.
+// Degraded marks an analytic estimate served under saturation instead of
+// a simulator result. Cache state is reported in the X-Sim-Cache header,
+// never in the body, so identical points always serialize identically.
+type SimulateResponse struct {
+	Format      string  `json:"format"`
+	Channels    int     `json:"channels"`
+	FreqMHz     int     `json:"freq_mhz"`
+	FrameBytes  int64   `json:"frame_bytes"`
+	RequiredGB  float64 `json:"required_gbps"`
+	AccessMS    float64 `json:"access_ms"`
+	BudgetMS    float64 `json:"budget_ms"`
+	Verdict     string  `json:"verdict"`
+	Efficiency  float64 `json:"efficiency"`
+	PowerMW     float64 `json:"power_mw"`
+	InterfaceMW float64 `json:"interface_mw"`
+	Degraded    bool    `json:"degraded,omitempty"`
+}
+
+// SweepResponse wraps the grid's points in request (row-major) order.
+type SweepResponse struct {
+	Points   []SimulateResponse `json:"points"`
+	Degraded bool               `json:"degraded,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeJSON strictly decodes one JSON document from r into v: unknown
+// fields, trailing garbage and bodies over maxRequestBytes are errors,
+// so a typo'd knob can never silently simulate the default.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBytes+1))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("decoding request: trailing data after JSON document")
+	}
+	if dec.InputOffset() > maxRequestBytes {
+		return fmt.Errorf("decoding request: body exceeds %d bytes", maxRequestBytes)
+	}
+	return nil
+}
+
+// parseMux maps the wire spelling onto mapping.Multiplexing.
+func parseMux(s string) (mapping.Multiplexing, error) {
+	switch strings.ToLower(s) {
+	case "", "rbc":
+		return mapping.RBC, nil
+	case "brc":
+		return mapping.BRC, nil
+	default:
+		return 0, fmt.Errorf("unknown mux %q (want \"rbc\" or \"brc\")", s)
+	}
+}
+
+// parsePolicy maps the wire spelling onto controller.PagePolicy.
+func parsePolicy(s string) (controller.PagePolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "open":
+		return controller.OpenPage, nil
+	case "closed":
+		return controller.ClosedPage, nil
+	default:
+		return 0, fmt.Errorf("unknown page policy %q (want \"open\" or \"closed\")", s)
+	}
+}
+
+// Point lowers the request to the core types, reusing the same
+// Workload/MemoryConfig validation every other entry point applies —
+// the request decoder adds no second, weaker validation surface.
+func (req *SimulateRequest) Point() (core.Workload, core.MemoryConfig, error) {
+	w, err := core.WorkloadFor(req.Format)
+	if err != nil {
+		return core.Workload{}, core.MemoryConfig{}, err
+	}
+	w.SampleFraction = req.Fraction
+	mux, err := parseMux(req.Mux)
+	if err != nil {
+		return core.Workload{}, core.MemoryConfig{}, err
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		return core.Workload{}, core.MemoryConfig{}, err
+	}
+	mc := core.MemoryConfig{
+		Channels:              req.Channels,
+		Freq:                  units.Frequency(req.FreqMHz) * units.MHz,
+		Mux:                   mux,
+		Policy:                policy,
+		DisablePowerDown:      req.DisablePowerDown,
+		WriteBufferDepth:      req.WriteBufferDepth,
+		QueueDepth:            req.QueueDepth,
+		RefreshPostpone:       req.RefreshPostpone,
+		PrechargeOnIdle:       req.PrechargeOnIdle,
+		InterleaveGranularity: req.InterleaveGranularity,
+	}
+	if err := w.Validate(); err != nil {
+		return core.Workload{}, core.MemoryConfig{}, err
+	}
+	if err := mc.Validate(); err != nil {
+		return core.Workload{}, core.MemoryConfig{}, err
+	}
+	return w, mc, nil
+}
+
+// Grid expands the sweep request into its points in row-major
+// (format, channel, frequency) order — the order cmd/sweep emits — after
+// validating every coordinate. maxPoints bounds the expansion so one
+// request cannot monopolize the service.
+func (req *SweepRequest) Grid(maxPoints int) ([]SimulateRequest, error) {
+	if len(req.Formats) == 0 || len(req.Channels) == 0 || len(req.FreqsMHz) == 0 {
+		return nil, fmt.Errorf("sweep request needs formats, channels and freqs_mhz")
+	}
+	n := len(req.Formats) * len(req.Channels) * len(req.FreqsMHz)
+	if n > maxPoints {
+		return nil, fmt.Errorf("sweep grid has %d points, limit %d", n, maxPoints)
+	}
+	points := make([]SimulateRequest, 0, n)
+	for _, f := range req.Formats {
+		for _, ch := range req.Channels {
+			for _, freq := range req.FreqsMHz {
+				points = append(points, SimulateRequest{
+					Format:                f,
+					Channels:              ch,
+					FreqMHz:               freq,
+					Fraction:              req.Fraction,
+					Mux:                   req.Mux,
+					Policy:                req.Policy,
+					DisablePowerDown:      req.DisablePowerDown,
+					WriteBufferDepth:      req.WriteBufferDepth,
+					QueueDepth:            req.QueueDepth,
+					RefreshPostpone:       req.RefreshPostpone,
+					PrechargeOnIdle:       req.PrechargeOnIdle,
+					InterleaveGranularity: req.InterleaveGranularity,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// responseFor renders a Result as the wire response for the request that
+// produced it.
+func responseFor(req SimulateRequest, res core.Result, degraded bool) SimulateResponse {
+	return SimulateResponse{
+		Format:      res.Format.Name,
+		Channels:    req.Channels,
+		FreqMHz:     req.FreqMHz,
+		FrameBytes:  res.FrameBytes,
+		RequiredGB:  res.RequiredBandwidth.GBps(),
+		AccessMS:    res.AccessTime.Milliseconds(),
+		BudgetMS:    res.FramePeriod.Milliseconds(),
+		Verdict:     res.Verdict.String(),
+		Efficiency:  res.Efficiency,
+		PowerMW:     res.TotalPower.Milliwatts(),
+		InterfaceMW: res.InterfacePower.Milliwatts(),
+		Degraded:    degraded,
+	}
+}

@@ -1,0 +1,544 @@
+// Package server is the simulation service: a hardened HTTP/JSON daemon
+// exposing the simulator over POST /v1/simulate (one point) and POST
+// /v1/sweep (a grid), answering from the content-addressed SimCache with
+// cross-request single-flight dedup and dispatching misses into a bounded
+// worker pool.
+//
+// The robustness discipline mirrors the paper's QoS ladder at the service
+// level, in order of preference: answer exactly (cache hit or simulation),
+// answer approximately (the analytic estimate, flagged as degraded, when
+// the queue is saturated), or refuse cheaply and honestly (429 with
+// Retry-After) — never hang, never let one client starve the rest, and
+// never let a disconnected client keep burning CPU. Every limit is a
+// Config knob and every decision is counted in the metrics registry.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Config tunes the service. The zero value of every field means its
+// stated default, so Config{} is a working configuration.
+type Config struct {
+	// Workers bounds the simulations in flight (0 = one per CPU).
+	Workers int
+	// QueueLimit bounds the requests admitted beyond the running ones;
+	// an arrival that would exceed Workers+QueueLimit is shed with 429
+	// (or served degraded, below). 0 = 4×Workers.
+	QueueLimit int
+	// MaxSweepPoints bounds one sweep request's grid (0 = 1024).
+	MaxSweepPoints int
+	// DefaultDeadline is the per-request deadline when the client sets
+	// none (0 = 60s); MaxDeadline caps what a client may ask for via the
+	// X-Sim-Deadline header or ?deadline= parameter (0 = 5m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RateLimit is the per-client token-bucket rate in requests/second
+	// (0 = unlimited); RateBurst the bucket size (0 = max(1, 2×rate)).
+	// Clients are keyed by the X-Client-ID header, else by remote host.
+	RateLimit float64
+	RateBurst int
+	// Degrade serves saturated arrivals an analytic estimate (flagged
+	// degraded in the response) instead of shedding them with 429 —
+	// the service-level analogue of the paper's frame-dropping ladder.
+	Degrade bool
+	// Cache answers points content-addressed with single-flight dedup
+	// (nil = a fresh in-process cache).
+	Cache *core.SimCache
+	// Metrics, when non-nil, registers the service instruments in it.
+	Metrics *metrics.Registry
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = core.DefaultJobs()
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 4 * c.Workers
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 1024
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 60 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = int(math.Max(1, 2*c.RateLimit))
+	}
+	if c.Cache == nil {
+		c.Cache = core.NewSimCache()
+	}
+	return c
+}
+
+// serverMeter bundles the service's registered instruments; every field
+// is nil (a no-op) when no registry was configured.
+type serverMeter struct {
+	requests         map[string]*metrics.Counter
+	latency          map[string]*metrics.Histogram
+	shed             *metrics.Counter
+	rateLimited      *metrics.Counter
+	deadlineExceeded *metrics.Counter
+	panics           *metrics.Counter
+	degraded         *metrics.Counter
+	dedupJoined      *metrics.Counter
+	queueWaiting     *metrics.Gauge
+	running          *metrics.Gauge
+}
+
+func newServerMeter(r *metrics.Registry) serverMeter {
+	endpoint := func(name string) metrics.Label {
+		return metrics.Label{Key: "endpoint", Value: name}
+	}
+	m := serverMeter{
+		requests: map[string]*metrics.Counter{},
+		latency:  map[string]*metrics.Histogram{},
+	}
+	for _, ep := range []string{"simulate", "sweep"} {
+		m.requests[ep] = r.Counter("server_requests_total", endpoint(ep))
+		m.latency[ep] = r.Histogram("server_request_seconds", metrics.DurationBuckets, endpoint(ep))
+	}
+	m.shed = r.Counter("server_shed_total")
+	m.rateLimited = r.Counter("server_ratelimited_total")
+	m.deadlineExceeded = r.Counter("server_deadline_exceeded_total")
+	m.panics = r.Counter("server_panics_total")
+	m.degraded = r.Counter("server_degraded_total")
+	m.dedupJoined = r.Counter("server_dedup_joined_total")
+	m.queueWaiting = r.Gauge("server_queue_waiting")
+	m.running = r.Gauge("server_running")
+	return m
+}
+
+// Server is the simulation service. Construct with New, serve either by
+// Start (own listener) or by mounting Handler on an external server.
+type Server struct {
+	cfg     Config
+	limiter *rateLimiter
+	meter   serverMeter
+
+	// slots is the worker-pool semaphore: one token per concurrent
+	// simulation, shared by both endpoints. pending counts admitted
+	// requests (queued + running) against Workers+QueueLimit.
+	slots   chan struct{}
+	pending atomic.Int64
+
+	// baseCtx parents every request context; cancelBase aborts all
+	// in-flight work when the drain deadline passes.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	http *http.Server
+	ln   net.Listener
+
+	// simulate and estimate are the compute seams: production wires them
+	// to the cache and the analytic model; tests substitute blocking or
+	// panicking stand-ins to pin the failure-handling paths.
+	simulate func(ctx context.Context, w core.Workload, mc core.MemoryConfig) (core.Result, core.CacheOutcome, error)
+	estimate func(w core.Workload, mc core.MemoryConfig) (core.Result, error)
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		limiter:    newRateLimiter(cfg.RateLimit, cfg.RateBurst),
+		meter:      newServerMeter(cfg.Metrics),
+		slots:      make(chan struct{}, cfg.Workers),
+		baseCtx:    baseCtx,
+		cancelBase: cancel,
+		simulate:   cfg.Cache.SimulateContext,
+		estimate:   core.AnalyticResult,
+	}
+	s.http = &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return s.baseCtx },
+	}
+	return s
+}
+
+// Handler returns the service mux (also mounted by Start).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/simulate", s.guard("simulate", s.handleSimulate))
+	mux.HandleFunc("/v1/sweep", s.guard("sweep", s.handleSweep))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "simulation service\n\nPOST /v1/simulate\nPOST /v1/sweep\nGET  /healthz\n")
+	})
+	return mux
+}
+
+// Start binds addr and serves in the background. Like the debug server
+// it binds eagerly so ":0" callers can learn the port.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address (resolved port for ":0" binds).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// drainGrace is how long Drain keeps waiting after it has canceled the
+// in-flight requests' contexts: enough for handlers to observe the
+// cancellation and unwind, short enough that a true hang is surfaced.
+const drainGrace = 5 * time.Second
+
+// Drain gracefully stops the service: the listener closes immediately
+// (no new requests), in-flight requests get until ctx to finish, and
+// past that their contexts are canceled so they abort at the next phase
+// boundary and unwind within drainGrace. Only a request that ignores its
+// cancellation hangs the drain — that returns an error after the
+// listener is forcibly closed, and the daemon exits non-zero.
+func (s *Server) Drain(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, s.cancelBase)
+	defer stop()
+	if err := s.http.Shutdown(ctx); err == nil {
+		s.cancelBase()
+		return nil
+	}
+	// The deadline passed and AfterFunc has canceled every request
+	// context; give the handlers a grace period to unwind.
+	g, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	if err := s.http.Shutdown(g); err != nil {
+		s.http.Close()
+		return fmt.Errorf("server: drain: in-flight requests ignored cancellation: %w", err)
+	}
+	return nil
+}
+
+// Close stops the service immediately, cutting off in-flight requests.
+func (s *Server) Close() error {
+	s.cancelBase()
+	return s.http.Close()
+}
+
+// guard wraps a handler with the shared request discipline: method
+// check, per-client rate limit, panic isolation, and request accounting.
+func (s *Server) guard(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.meter.panics.Inc()
+				fmt.Fprintf(os.Stderr, "server: panic in %s: %v\n%s", endpoint, p, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error serving %s", endpoint))
+			}
+		}()
+		s.meter.requests[endpoint].Inc()
+		start := time.Now()
+		defer func() { s.meter.latency[endpoint].Observe(time.Since(start).Seconds()) }()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		if ok, retry := s.limiter.Allow(clientKey(r), time.Now()); !ok {
+			s.meter.rateLimited.Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			writeError(w, http.StatusTooManyRequests, "client rate limit exceeded")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// clientKey identifies the client for rate limiting: an explicit
+// X-Client-ID header wins, else the remote host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds renders a wait as the integral seconds the
+// Retry-After header wants, rounding up so "retry after 0" never lies.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// requestDeadline resolves the effective deadline: the client's
+// X-Sim-Deadline header or ?deadline= parameter (whichever is present,
+// header winning), capped at MaxDeadline; absent both, DefaultDeadline.
+func (s *Server) requestDeadline(r *http.Request) (time.Duration, error) {
+	spec := r.Header.Get("X-Sim-Deadline")
+	if spec == "" {
+		spec = r.URL.Query().Get("deadline")
+	}
+	if spec == "" {
+		return s.cfg.DefaultDeadline, nil
+	}
+	d, err := time.ParseDuration(spec)
+	if err != nil {
+		return 0, fmt.Errorf("bad deadline %q: %v", spec, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad deadline %q: must be positive", spec)
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d, nil
+}
+
+// admit charges one request against the admission bound. ok=false means
+// the queue is full and the caller must shed or degrade; otherwise the
+// returned release must be called when the request retires.
+func (s *Server) admit() (release func(), ok bool) {
+	limit := int64(s.cfg.Workers + s.cfg.QueueLimit)
+	if s.pending.Add(1) > limit {
+		s.pending.Add(-1)
+		return nil, false
+	}
+	return func() { s.pending.Add(-1) }, true
+}
+
+// acquireSlot blocks until a worker slot is free or ctx is done, keeping
+// the queue-depth gauge honest while waiting.
+func (s *Server) acquireSlot(ctx context.Context) (release func(), err error) {
+	s.meter.queueWaiting.Add(1)
+	defer s.meter.queueWaiting.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		s.meter.running.Add(1)
+		return func() {
+			<-s.slots
+			s.meter.running.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// runPoint answers one point through the worker pool and cache,
+// classifying the outcome for the response header.
+func (s *Server) runPoint(ctx context.Context, w core.Workload, mc core.MemoryConfig) (core.Result, core.CacheOutcome, error) {
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		return core.Result{}, 0, err
+	}
+	defer release()
+	res, outcome, err := s.simulate(ctx, w, mc)
+	if err == nil && outcome == core.OutcomeJoined {
+		s.meter.dedupJoined.Inc()
+	}
+	return res, outcome, err
+}
+
+// shedOrDegrade handles a saturated arrival: the analytic estimate when
+// degradation is enabled (est != nil on success), else a 429 was written.
+func (s *Server) shedOrDegrade(w http.ResponseWriter, req SimulateRequest) (est *SimulateResponse) {
+	if s.cfg.Degrade {
+		wl, mc, err := req.Point()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return nil
+		}
+		res, err := s.estimate(wl, mc)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return nil
+		}
+		s.meter.degraded.Inc()
+		resp := responseFor(req, res, true)
+		return &resp
+	}
+	s.meter.shed.Inc()
+	w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+	writeError(w, http.StatusTooManyRequests, "admission queue full")
+	return nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	wl, mc, err := req.Point()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	deadline, err := s.requestDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		if est := s.shedOrDegrade(w, req); est != nil {
+			w.Header().Set("X-Sim-Degraded", "true")
+			writeJSON(w, http.StatusOK, est)
+		}
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	res, outcome, err := s.runPoint(ctx, wl, mc)
+	if err != nil {
+		s.writeSimError(w, ctx, err)
+		return
+	}
+	w.Header().Set("X-Sim-Cache", outcome.String())
+	resp := responseFor(req, res, false)
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	points, err := req.Grid(s.cfg.MaxSweepPoints)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Validate the whole grid up front: a bad coordinate must 400 before
+	// any simulation runs, not fail the sweep halfway.
+	type point struct {
+		w  core.Workload
+		mc core.MemoryConfig
+	}
+	grid := make([]point, len(points))
+	for i, p := range points {
+		wl, mc, err := p.Point()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		grid[i] = point{wl, mc}
+	}
+	deadline, err := s.requestDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		if !s.cfg.Degrade {
+			s.meter.shed.Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+			writeError(w, http.StatusTooManyRequests, "admission queue full")
+			return
+		}
+		// Degraded sweep: estimate every point analytically.
+		resp := SweepResponse{Degraded: true, Points: make([]SimulateResponse, len(points))}
+		for i, p := range grid {
+			res, err := s.estimate(p.w, p.mc)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			resp.Points[i] = responseFor(points[i], res, true)
+		}
+		s.meter.degraded.Inc()
+		w.Header().Set("X-Sim-Degraded", "true")
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	// One admitted sweep fans its points over the shared worker pool;
+	// the per-point acquireSlot arbitrates fairly with single-point
+	// requests, and RunIndexedContext keeps the output in grid order.
+	results, err := core.RunIndexedContext(ctx, s.cfg.Workers, len(grid), func(i int) (SimulateResponse, error) {
+		res, _, err := s.runPoint(ctx, grid[i].w, grid[i].mc)
+		if err != nil {
+			return SimulateResponse{}, err
+		}
+		return responseFor(points[i], res, false), nil
+	})
+	if err != nil {
+		s.writeSimError(w, ctx, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &SweepResponse{Points: results})
+}
+
+// writeSimError maps a simulation failure to its status: deadline and
+// disconnect cancellations are the client's doing (504/499-as-503),
+// anything else is a service-side 500.
+func (s *Server) writeSimError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch ctx.Err() {
+	case context.DeadlineExceeded:
+		s.meter.deadlineExceeded.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case context.Canceled:
+		// Client went away or the drain deadline cut the request off;
+		// the status is best-effort (the peer is usually gone).
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// writeJSON writes v with status. Marshaling happens before the header
+// goes out so an encoding failure can still 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	data, _ := json.Marshal(ErrorResponse{Error: msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}

@@ -14,6 +14,7 @@
 package simcache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -183,6 +184,13 @@ type memoEntry[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+
+	// refs counts the callers still interested in the in-flight
+	// computation (guarded by Memo.mu); cancel aborts the computation's
+	// context when the last one abandons it. Both are meaningless once
+	// done is closed.
+	refs   int
+	cancel context.CancelFunc
 }
 
 // NewMemo returns an empty memo.
@@ -195,23 +203,63 @@ func NewMemo[V any]() *Memo[V] { return &Memo[V]{m: make(map[Key]*memoEntry[V])}
 // on a computation that was still in flight (single-flight dedup), rather
 // than finding a finished entry.
 func (c *Memo[V]) Do(key Key, fn func() (V, error)) (val V, err error, hit, joined bool) {
+	return c.DoContext(context.Background(), key, func(context.Context) (V, error) { return fn() })
+}
+
+// DoContext is Do with cancellation. The computation runs on a context
+// that outlives any single caller: it is canceled only when every caller
+// interested in the key — the one that started it and every joiner — has
+// had its own ctx canceled, so one impatient client can never abort a
+// result other clients are still waiting for. A caller whose ctx fires
+// while the computation is in flight detaches and returns ctx.Err() with
+// hit=false (its interest is withdrawn; joined still reports whether it
+// had been waiting on an in-flight computation).
+func (c *Memo[V]) DoContext(ctx context.Context, key Key, fn func(context.Context) (V, error)) (val V, err error, hit, joined bool) {
+	if err := ctx.Err(); err != nil {
+		var zero V
+		return zero, err, false, false
+	}
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
-		c.mu.Unlock()
 		select {
 		case <-e.done:
 			// Finished entry: a plain memory hit.
+			c.mu.Unlock()
+			return e.val, e.err, true, false
 		default:
-			joined = true
-			<-e.done
 		}
-		return e.val, e.err, true, joined
+		e.refs++
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.val, e.err, true, true
+		case <-ctx.Done():
+			c.release(e)
+			var zero V
+			return zero, ctx.Err(), false, true
+		}
 	}
-	e := &memoEntry[V]{done: make(chan struct{})}
+	// Computation context: detached from the initiating caller's
+	// cancellation (joiners may outlive it) but carrying its values;
+	// canceled when the interested-caller count drops to zero.
+	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	e := &memoEntry[V]{done: make(chan struct{}), refs: 1, cancel: cancel}
 	c.m[key] = e
 	c.mu.Unlock()
+	// The initiating caller runs fn inline, so its own ctx is watched on
+	// the side: if it fires mid-computation its interest is withdrawn
+	// like a joiner's (fn sees cctx canceled once everyone is gone).
+	stop := context.AfterFunc(ctx, func() { c.release(e) })
 
-	e.val, e.err = fn()
+	e.val, e.err = fn(cctx)
+	if !stop() {
+		// ctx already fired and release ran; re-take the reference so the
+		// bookkeeping below is uniform. The computation still completed,
+		// so its result is published either way.
+		c.mu.Lock()
+		e.refs++
+		c.mu.Unlock()
+	}
 	if e.err != nil {
 		// Don't cache failures: remove the entry (waiters already joined
 		// on e see the error; later callers retry).
@@ -220,7 +268,39 @@ func (c *Memo[V]) Do(key Key, fn func() (V, error)) (val V, err error, hit, join
 		c.mu.Unlock()
 	}
 	close(e.done)
+	cancel()
 	return e.val, e.err, false, false
+}
+
+// release withdraws one caller's interest in an in-flight entry,
+// canceling the computation when nobody is left.
+func (c *Memo[V]) release(e *memoEntry[V]) {
+	c.mu.Lock()
+	e.refs--
+	last := e.refs == 0
+	c.mu.Unlock()
+	if last {
+		e.cancel()
+	}
+}
+
+// Inflight returns the number of callers currently interested in an
+// in-flight computation of key: 0 when the key is absent or already
+// finished. Diagnostics and tests (it pins the single-flight property:
+// N concurrent callers ⇒ Inflight reaches N while exactly one computes).
+func (c *Memo[V]) Inflight(key Key) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return 0
+	}
+	select {
+	case <-e.done:
+		return 0
+	default:
+		return e.refs
+	}
 }
 
 // Len returns the number of cached entries (including in-flight ones).

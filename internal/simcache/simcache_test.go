@@ -1,6 +1,7 @@
 package simcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -264,5 +265,166 @@ func TestDiskPutLeavesNoTempFiles(t *testing.T) {
 		if filepath.Ext(e.Name()) != ".json" {
 			t.Errorf("stray file %s", e.Name())
 		}
+	}
+}
+
+// waitInflight polls until the in-flight interest count for key reaches
+// want, failing the test after a generous deadline.
+func waitInflight[V any](t *testing.T, m *Memo[V], key Key, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Inflight(key) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("Inflight(%v) = %d, want %d", key, m.Inflight(key), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMemoDoContextExactDedup pins the single-flight contract precisely:
+// N concurrent DoContext callers for one key reach Inflight == N with the
+// computation still running, exactly one computes, and the N-1 others all
+// report hit+joined with the identical value.
+func TestMemoDoContextExactDedup(t *testing.T) {
+	const n = 8
+	m := NewMemo[int]()
+	key := Key{3}
+	release := make(chan struct{})
+	var computed atomic.Int64
+	type outcome struct {
+		v           int
+		err         error
+		hit, joined bool
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			v, err, hit, joined := m.DoContext(context.Background(), key, func(context.Context) (int, error) {
+				computed.Add(1)
+				<-release
+				return 99, nil
+			})
+			results <- outcome{v, err, hit, joined}
+		}()
+	}
+	waitInflight(t, m, key, n)
+	close(release)
+	var joins int
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err != nil || r.v != 99 {
+			t.Errorf("DoContext = %d, %v", r.v, r.err)
+		}
+		if r.joined {
+			if !r.hit {
+				t.Error("joined caller did not report hit")
+			}
+			joins++
+		}
+	}
+	if got := computed.Load(); got != 1 {
+		t.Errorf("computed %d times, want 1", got)
+	}
+	if joins != n-1 {
+		t.Errorf("%d joined callers, want %d", joins, n-1)
+	}
+	if m.Inflight(key) != 0 {
+		t.Errorf("Inflight after completion = %d, want 0", m.Inflight(key))
+	}
+}
+
+// TestMemoDoContextJoinerCancel: a joiner whose ctx fires detaches with
+// ctx.Err() while the computation — still wanted by its initiator —
+// completes unaborted and is cached.
+func TestMemoDoContextJoinerCancel(t *testing.T) {
+	m := NewMemo[int]()
+	key := Key{4}
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	initiator := make(chan error, 1)
+	go func() {
+		_, err, _, _ := m.DoContext(context.Background(), key, func(cctx context.Context) (int, error) {
+			<-release
+			sawCancel.Store(cctx.Err() != nil)
+			return 5, nil
+		})
+		initiator <- err
+	}()
+	waitInflight(t, m, key, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	joinErr := make(chan error, 1)
+	go func() {
+		_, err, _, joined := m.DoContext(ctx, key, func(context.Context) (int, error) { return 0, nil })
+		if !joined {
+			t.Error("canceled waiter did not report joined")
+		}
+		joinErr <- err
+	}()
+	waitInflight(t, m, key, 2)
+	cancel()
+	if err := <-joinErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled joiner err = %v, want context.Canceled", err)
+	}
+	waitInflight(t, m, key, 1)
+	close(release)
+	if err := <-initiator; err != nil {
+		t.Fatalf("initiator err = %v", err)
+	}
+	if sawCancel.Load() {
+		t.Error("computation context was canceled while the initiator still wanted it")
+	}
+	if v, err, hit, _ := m.Do(key, func() (int, error) { return 0, nil }); err != nil || v != 5 || !hit {
+		t.Errorf("after join-cancel: Do = %d, %v, hit=%v", v, err, hit)
+	}
+}
+
+// TestMemoDoContextAbandonedComputationIsCanceled: when every interested
+// caller goes away, the computation's context fires so it can stop
+// burning CPU.
+func TestMemoDoContextAbandonedComputationIsCanceled(t *testing.T) {
+	m := NewMemo[int]()
+	key := Key{5}
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+	aborted := make(chan error, 1)
+	go func() {
+		_, err, _, _ := m.DoContext(ctx, key, func(cctx context.Context) (int, error) {
+			close(entered)
+			<-cctx.Done()
+			return 0, cctx.Err()
+		})
+		aborted <- err
+	}()
+	<-entered
+	cancel()
+	select {
+	case err := <-aborted:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned computation err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoning the only caller did not cancel the computation")
+	}
+	// The failed computation must not be cached: a later caller retries.
+	if v, err, hit, _ := m.Do(key, func() (int, error) { return 8, nil }); err != nil || v != 8 || hit {
+		t.Errorf("retry after abandonment = %d, %v, hit=%v", v, err, hit)
+	}
+}
+
+// TestMemoDoContextPreCanceled: a ctx that is already done never runs or
+// joins anything.
+func TestMemoDoContextPreCanceled(t *testing.T) {
+	m := NewMemo[int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, hit, joined := m.DoContext(ctx, Key{6}, func(context.Context) (int, error) {
+		t.Error("computation ran under a pre-canceled ctx")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) || hit || joined {
+		t.Errorf("pre-canceled DoContext = err %v, hit=%v, joined=%v", err, hit, joined)
+	}
+	if m.Len() != 0 {
+		t.Errorf("pre-canceled DoContext left %d entries", m.Len())
 	}
 }
