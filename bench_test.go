@@ -293,6 +293,68 @@ func BenchmarkFullFormatMatrixCached(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyticResult measures the closed-form estimator alone — the
+// cost of answering one point at fast fidelity, which is also the unit
+// cost of an auto-tier sweep that never falls back. ci.sh gates its
+// allocations against results/BENCH_FLOOR.
+func BenchmarkAnalyticResult(b *testing.B) {
+	core.DisableCache()
+	w, err := core.WorkloadFor("720p30")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.SampleFraction = benchFraction
+	mc := core.PaperMemory(2, 400*units.MHz)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyticResult(w, mc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoSweep answers the full paper grid (every format x channel
+// count x frequency) at auto fidelity with the cache off — the cache-cold
+// cost of the calibrated fast path. On the calibrated grid every point is
+// served analytically, so the ratio to BenchmarkFullFormatMatrix is the
+// sweep-level speedup the PR claims; fallbacks/op reports how many points
+// had to fall back to the cycle-accurate simulator (0 on the shipped
+// envelope).
+func BenchmarkAutoSweep(b *testing.B) {
+	core.DisableCache()
+	formats := core.PaperFormats()
+	// The embedded envelope is calibrated at fraction 0.1; auto serves
+	// analytically only when the fractions match.
+	const fraction = 0.1
+	var fallbacks int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fallbacks = 0
+		for _, f := range formats {
+			w, err := core.WorkloadFor(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.SampleFraction = fraction
+			for _, ch := range core.PaperChannels {
+				for _, mhz := range core.PaperFreqsMHz {
+					mc := core.PaperMemory(ch, units.Frequency(mhz)*units.MHz)
+					res, err := core.SimulateAuto(w, mc, core.FidelityAuto)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Estimated {
+						fallbacks++
+					}
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(fallbacks), "fallbacks/op")
+}
+
 // rawRun drives the saturated 4 MiB sequential read stream through a
 // 4-channel system built from the (possibly mutated) paper configuration —
 // the shared core of the simulator-throughput benchmarks below.
@@ -341,9 +403,19 @@ func BenchmarkCoalescedRun(b *testing.B) {
 
 // BenchmarkParallelRun adds the persistent per-channel worker engine on
 // top of coalescing: one goroutine per channel fed with reusable op
-// batches, zero allocations per flush.
+// batches. On a single-CPU host the config's GOMAXPROCS guard routes
+// this to the serial path (goroutine handoffs cannot win without a
+// second core), so the benchmark measures what production Parallel
+// actually executes on the host.
 func BenchmarkParallelRun(b *testing.B) {
 	rawRun(b, func(cfg *memsys.Config) { cfg.Parallel = true })
+}
+
+// BenchmarkParallelEngineRun pins the worker engine itself (ForceParallel
+// bypasses the GOMAXPROCS guard): the cross-Run batch reuse keeps its
+// steady-state allocations at the coalesced path's level.
+func BenchmarkParallelEngineRun(b *testing.B) {
+	rawRun(b, func(cfg *memsys.Config) { cfg.Parallel = true; cfg.ForceParallel = true })
 }
 
 // probeBenchRun drives one saturated 4 MiB stream through a 4-channel

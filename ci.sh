@@ -279,6 +279,93 @@ grep -q 'simd: drained cleanly' "$svc_dir/simd.log" ||
     svc_fail "simd did not report a clean drain"
 echo "ci: simulation service soak OK"
 
+echo "== fidelity differential gate =="
+# The auto fidelity tier's contract is verdict identity at a fraction of
+# the cost: a cache-cold full-grid auto sweep must carry byte-identical
+# verdict columns to the exact sweep while finishing at least
+# FIDELITY_SPEEDUP_MIN (default 50) times faster, and the estimated
+# column must be honest — every exact row false, every auto fallback row
+# byte-identical to its exact counterpart, and at least one auto row
+# actually served analytically. A shared on-disk cache across an auto
+# and an exact run must not leak estimates into exact answers, and a
+# small calibration pass must emit a well-formed, decodable envelope
+# that drives -fidelity auto through the -envelope flag.
+fid_dir=$(mktemp -d)
+trap 'rm -rf "$qos_dir" "$cache_dir" "$svc_dir" "$fid_dir"' EXIT
+go build -o "$fid_dir/sweep" ./cmd/sweep
+t0=$(date +%s%N)
+"$fid_dir/sweep" -no-cache >"$fid_dir/exact.csv"
+t1=$(date +%s%N)
+"$fid_dir/sweep" -no-cache -fidelity auto >"$fid_dir/auto.csv"
+t2=$(date +%s%N)
+cut -d, -f1,2,3,8 "$fid_dir/exact.csv" >"$fid_dir/exact-verdicts"
+cut -d, -f1,2,3,8 "$fid_dir/auto.csv" >"$fid_dir/auto-verdicts"
+if ! cmp "$fid_dir/exact-verdicts" "$fid_dir/auto-verdicts"; then
+    echo "ci: auto sweep verdicts differ from exact — the envelope proof is broken" >&2
+    exit 1
+fi
+if grep -q ',true$' "$fid_dir/exact.csv"; then
+    echo "ci: exact sweep flagged rows estimated" >&2
+    exit 1
+fi
+auto_estimates=$(grep -c ',true$' "$fid_dir/auto.csv" || true)
+if [ "$auto_estimates" -eq 0 ]; then
+    echo "ci: auto sweep served nothing analytically on the calibrated grid" >&2
+    exit 1
+fi
+if ! paste -d'|' "$fid_dir/exact.csv" "$fid_dir/auto.csv" | awk -F'|' '
+    $2 !~ /,true$/ && $1 != $2 {
+        printf "ci: auto fallback row differs from exact:\n  %s\n  %s\n", $1, $2
+        fail = 1
+    }
+    END { exit fail }'; then
+    exit 1
+fi
+exact_ms=$(( (t1 - t0) / 1000000 ))
+auto_ms=$(( (t2 - t1) / 1000000 ))
+[ "$auto_ms" -gt 0 ] || auto_ms=1
+ratio=$(( exact_ms / auto_ms ))
+echo "ci: exact sweep ${exact_ms}ms, auto sweep ${auto_ms}ms (${auto_estimates}/120 analytic, ${ratio}x)"
+if [ "$ratio" -lt "${FIDELITY_SPEEDUP_MIN:-50}" ]; then
+    echo "ci: auto sweep only ${ratio}x faster than exact (want >= ${FIDELITY_SPEEDUP_MIN:-50}x)" >&2
+    exit 1
+fi
+# Cache-pollution check: estimates are memoized under tier-tagged keys
+# and never written to disk, so an exact run sharing the store must
+# reproduce the uncached exact output byte for byte.
+pollute_flags="-formats 720p30 -channels 4 -freqs 400,533"
+# shellcheck disable=SC2086
+"$fid_dir/sweep" $pollute_flags -no-cache >"$fid_dir/pollute-ref.csv"
+# shellcheck disable=SC2086
+"$fid_dir/sweep" $pollute_flags -fidelity auto -cache-dir "$fid_dir/store" >/dev/null 2>&1
+# shellcheck disable=SC2086
+"$fid_dir/sweep" $pollute_flags -cache-dir "$fid_dir/store" >"$fid_dir/pollute-exact.csv" 2>/dev/null
+if ! cmp "$fid_dir/pollute-ref.csv" "$fid_dir/pollute-exact.csv"; then
+    echo "ci: exact sweep through a store shared with an auto sweep differs — estimate pollution" >&2
+    exit 1
+fi
+# Calibration smoke: a tiny pass must emit the current schema and the
+# artifact must round-trip through -envelope into an auto sweep.
+"$fid_dir/sweep" -calibrate $pollute_flags -fraction 0.02 \
+    >"$fid_dir/envelope.json" 2>"$fid_dir/calibrate.log"
+grep -q '"schema": "mcm-analytic-envelope/v1"' "$fid_dir/envelope.json" || {
+    echo "ci: calibration artifact missing the schema header:" >&2
+    cat "$fid_dir/calibrate.log" >&2
+    exit 1
+}
+# shellcheck disable=SC2086
+"$fid_dir/sweep" $pollute_flags -fraction 0.02 -no-cache >"$fid_dir/calib-exact.csv"
+# shellcheck disable=SC2086
+"$fid_dir/sweep" $pollute_flags -fraction 0.02 -no-cache -fidelity auto \
+    -envelope "$fid_dir/envelope.json" >"$fid_dir/calib-auto.csv"
+cut -d, -f1,2,3,8 "$fid_dir/calib-exact.csv" >"$fid_dir/calib-exact-verdicts"
+cut -d, -f1,2,3,8 "$fid_dir/calib-auto.csv" >"$fid_dir/calib-auto-verdicts"
+if ! cmp "$fid_dir/calib-exact-verdicts" "$fid_dir/calib-auto-verdicts"; then
+    echo "ci: auto sweep under a fresh -envelope changed verdicts" >&2
+    exit 1
+fi
+echo "ci: fidelity differential OK"
+
 echo "== disabled-overhead benchmarks (probe + metrics) =="
 # Repeated -count runs, best-of-N per arm: scheduling noise only ever
 # slows an iteration down, so the max MB/s is the robust estimate. The
@@ -331,7 +418,7 @@ while [ -e "$bench_json" ]; do
     bench_json="$bench_stem-$n.json"
 done
 raw_out=$(go test -run '^$' \
-    -bench 'BenchmarkRawChannel$|BenchmarkPerBurstRun$|BenchmarkCoalescedRun$|BenchmarkParallelRun$|BenchmarkSimulate$|BenchmarkSimulateCached$|BenchmarkFullFormatMatrix$|BenchmarkFullFormatMatrixCached$' \
+    -bench 'BenchmarkRawChannel$|BenchmarkPerBurstRun$|BenchmarkCoalescedRun$|BenchmarkParallelRun$|BenchmarkParallelEngineRun$|BenchmarkSimulate$|BenchmarkSimulateCached$|BenchmarkFullFormatMatrix$|BenchmarkFullFormatMatrixCached$|BenchmarkAnalyticResult$|BenchmarkAutoSweep$' \
     -benchmem -benchtime "${BENCH_BENCHTIME:-0.5s}" -count "${BENCH_COUNT:-3}" .)
 echo "$raw_out"
 echo "$raw_out" | awk -v date="$(date +%Y-%m-%d)" '
@@ -422,5 +509,21 @@ echo "$raw_out" | awk -v floor="$floor" -v mode="$floor_mode" '
             if (mode == "warn") { print "ci: WARNING: below floor on a slow host — not failing" }
             else { print "ci: throughput below floor — simulator regression" ; exit 1 }
         }
+    }'
+
+echo "== parallel-dispatch scaling gate =="
+# Parallel dispatch must never be slower than the coalesced serial path
+# it builds on: on multi-core hosts the engine has to win, and on a
+# single-CPU host the GOMAXPROCS guard routes Parallel to the serial
+# path, so the two are the same code and the same speed. Best-of-N MB/s
+# with a small noise margin (PARALLEL_MIN_RATIO, default 0.97).
+echo "$raw_out" | awk -v min="${PARALLEL_MIN_RATIO:-0.97}" '
+    /^BenchmarkCoalescedRun/ { for (i = 2; i <= NF; i++) if ($i == "MB/s" && $(i-1) > coal) coal = $(i-1) }
+    /^BenchmarkParallelRun/  { for (i = 2; i <= NF; i++) if ($i == "MB/s" && $(i-1) > par)  par  = $(i-1) }
+    END {
+        if (coal == 0 || par == 0) { print "ci: parallel gate missing MB/s"; exit 1 }
+        printf "ci: BenchmarkParallelRun %.0f MB/s vs BenchmarkCoalescedRun %.0f MB/s (%.2fx, min %s)\n",
+            par, coal, par / coal, min
+        if (par < min * coal) { print "ci: parallel dispatch slower than coalesced — scaling regression"; exit 1 }
     }'
 echo "ci: OK"

@@ -62,6 +62,8 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
+		fidelity = flag.String("fidelity", "exact", "exact = cycle-accurate simulation; fast = closed-form analytic estimate (no verdict guarantee); auto = analytic when the calibration envelope proves the verdict, cycle-accurate fallback otherwise")
+
 		cacheDir = flag.String("cache-dir", "", "serve the point from a content-addressed on-disk cache under this directory when present, storing it otherwise")
 		noCache  = flag.Bool("no-cache", false, "simulate even when a cache would hit (output is byte-identical either way)")
 
@@ -83,6 +85,29 @@ func main() {
 	}
 	if err := probe.CheckWritable(*summaryOut); err != nil {
 		usageError("-summary-out not writable: %v", err)
+	}
+	tier, err := core.ParseFidelity(*fidelity)
+	if err != nil {
+		usageError("-fidelity: %v", err)
+	}
+	if tier != core.FidelityExact {
+		// The analytic tiers produce no command stream, no per-burst
+		// events and no per-frame payloads; every surface that consumes
+		// those needs the cycle-accurate simulator.
+		switch {
+		case *checkRun:
+			usageError("-check conflicts with -fidelity %s: the protocol checker needs the cycle-accurate command stream", tier)
+		case *latency:
+			usageError("-latency conflicts with -fidelity %s: the estimate has no per-burst latencies", tier)
+		case *stages:
+			usageError("-stages conflicts with -fidelity %s: stage attribution re-runs the simulator", tier)
+		case *perChan:
+			usageError("-per-channel conflicts with -fidelity %s: the estimate has no per-channel breakdown", tier)
+		case *traceOut != "" || *metricsOut != "":
+			usageError("-trace-out/-metrics-out conflict with -fidelity %s: estimates emit no event stream", tier)
+		case *faultDrop >= 0 || *faultDerate != 0 || *faultReadErr != 0 || *faultStall != 0:
+			usageError("fault injection conflicts with -fidelity %s: degraded-mode runs are always cycle-accurate", tier)
+		}
 	}
 
 	// The registry exists only when some surface consumes it; otherwise the
@@ -225,7 +250,7 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := core.Simulate(w, mc)
+	res, err := core.SimulateAuto(w, mc, tier)
 	if err != nil {
 		fatal(err)
 	}
@@ -259,11 +284,19 @@ func main() {
 		res.Channels, res.Freq, mc.Mux, mc.Policy, !mc.DisablePowerDown)
 	fmt.Printf("access:     %v per frame (budget %v)  ->  %s\n",
 		res.AccessTime, res.FramePeriod, res.Verdict)
+	if res.Estimated {
+		fmt.Printf("fidelity:   analytic estimate (%s tier; error-bounded closed form, not simulated)\n", tier)
+	}
 	fmt.Printf("bandwidth:  %.2f GB/s achieved of %.2f GB/s peak (efficiency %.3f)\n",
 		res.AchievedBandwidth.GBps(), res.PeakBandwidth.GBps(), res.Efficiency)
-	fmt.Printf("power:      %.1f mW total (interface %.1f mW)\n",
-		res.TotalPower.Milliwatts(), res.InterfacePower.Milliwatts())
-	fmt.Printf("activity:   %s\n", res.Totals)
+	if res.Estimated {
+		fmt.Printf("power:      %.1f mW total (interface split not computed)\n",
+			res.TotalPower.Milliwatts())
+	} else {
+		fmt.Printf("power:      %.1f mW total (interface %.1f mW)\n",
+			res.TotalPower.Milliwatts(), res.InterfacePower.Milliwatts())
+		fmt.Printf("activity:   %s\n", res.Totals)
+	}
 	if *perChan {
 		for i, b := range res.PerChannel {
 			fmt.Printf("  channel %d: %.2f mW (bg %.3f mJ, act %.3f mJ, rw %.3f mJ, ref %.3f mJ, io %.3f mJ)\n",

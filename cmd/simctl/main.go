@@ -34,7 +34,7 @@ import (
 	"repro/internal/server"
 )
 
-const csvHeader = "format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw"
+const csvHeader = "format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw,estimated"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -130,10 +130,10 @@ func apiError(status int, data []byte) error {
 // point — same verbs, same order — which is what makes the service
 // drop-in substitutable for a local run.
 func csvRow(p server.SimulateResponse) string {
-	return fmt.Sprintf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f",
+	return fmt.Sprintf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f,%t",
 		p.Format, p.Channels, p.FreqMHz, p.FrameBytes,
 		p.RequiredGB, p.AccessMS, p.BudgetMS, p.Verdict,
-		p.Efficiency, p.PowerMW, p.InterfaceMW)
+		p.Efficiency, p.PowerMW, p.InterfaceMW, p.Estimated)
 }
 
 func runSimulate(args []string) {
@@ -148,11 +148,12 @@ func runSimulate(args []string) {
 		deadline  = fs.Duration("deadline", 0, "server-side deadline to request (0 = server default)")
 		clientID  = fs.String("client-id", "", "X-Client-ID to present (rate-limit identity)")
 		asJSON    = fs.Bool("json", false, "print the raw JSON response instead of a CSV row")
+		fidelity  = fs.String("fidelity", "", "fidelity tier to request: exact, fast or auto (empty = server default)")
 	)
 	fs.Parse(args)
 
 	c := newClient(*serverURL, *clientID, *timeout, *deadline)
-	req := server.SimulateRequest{Format: *format, Channels: *channels, FreqMHz: *freq, Fraction: *fraction}
+	req := server.SimulateRequest{Format: *format, Channels: *channels, FreqMHz: *freq, Fraction: *fraction, Fidelity: *fidelity}
 	status, data, hdr, err := c.post("/v1/simulate", &req)
 	if err != nil {
 		fatal(err)
@@ -189,6 +190,7 @@ func runSweep(args []string) {
 		timeout   = fs.Duration("timeout", 10*time.Minute, "client-side HTTP timeout")
 		deadline  = fs.Duration("deadline", 0, "server-side deadline to request (0 = server default)")
 		clientID  = fs.String("client-id", "", "X-Client-ID to present (rate-limit identity)")
+		fidelity  = fs.String("fidelity", "", "fidelity tier to request: exact, fast or auto (empty = server default)")
 	)
 	fs.Parse(args)
 
@@ -206,7 +208,7 @@ func runSweep(args []string) {
 	}
 
 	c := newClient(*serverURL, *clientID, *timeout, *deadline)
-	req := server.SweepRequest{Formats: formatList, Channels: chList, FreqsMHz: freqList, Fraction: *fraction}
+	req := server.SweepRequest{Formats: formatList, Channels: chList, FreqsMHz: freqList, Fraction: *fraction, Fidelity: *fidelity}
 	status, data, _, err := c.post("/v1/sweep", &req)
 	if err != nil {
 		fatal(err)

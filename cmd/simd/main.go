@@ -52,6 +52,7 @@ func main() {
 		cacheDir       = flag.String("cache-dir", "", "persist simulated points to a content-addressed on-disk cache under this directory (versioned; survives restarts)")
 		degrade        = flag.Bool("degrade", false, "serve analytic estimates (flagged degraded) when the queue is saturated, instead of shedding with 429")
 		maxSweepPoints = flag.Int("max-sweep-points", 1024, "largest grid one sweep request may expand to")
+		fidelity       = flag.String("fidelity", "exact", "default fidelity tier for requests without a \"fidelity\" field: exact, fast, or auto (estimated answers carry \"estimated\":true)")
 	)
 	flag.Parse()
 
@@ -68,6 +69,13 @@ func main() {
 	}
 	if *rate < 0 {
 		usageError("-rate must be >= 0 (0 = unlimited), got %v", *rate)
+	}
+	tier, err := core.ParseFidelity(*fidelity)
+	if err != nil {
+		usageError("-fidelity: %v", err)
+	}
+	if tier == core.FidelityAuto && core.EnabledEnvelope() == nil {
+		fmt.Fprintln(os.Stderr, "simd: warning: no calibration envelope available; auto fidelity will simulate every point")
 	}
 	if *deadline <= 0 || *maxDeadline <= 0 || *drain <= 0 {
 		usageError("-deadline, -max-deadline and -drain must be positive")
@@ -97,6 +105,7 @@ func main() {
 		RateLimit:       *rate,
 		RateBurst:       *burst,
 		Degrade:         *degrade,
+		Fidelity:        tier,
 		Cache:           cache,
 		Metrics:         reg,
 	})
@@ -123,7 +132,7 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	err := srv.Drain(ctx)
+	err = srv.Drain(ctx)
 	// The debug surface drains on the same deadline so an in-flight
 	// metrics scrape finishes; it has no long-running work of its own.
 	if derr := dbg.Shutdown(ctx); err == nil {

@@ -11,6 +11,9 @@
 //	sweep                              # full paper cross product
 //	sweep -formats 1080p30,1080p60 -channels 2,4 -freqs 400,533
 //	sweep -jobs 1                      # serial (e.g. when profiling)
+//	sweep -fidelity auto               # calibrated analytic fast path,
+//	                                   # verdict-identical to exact
+//	sweep -calibrate > envelope.json   # measure the analytic error bounds
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/debugserver"
@@ -50,6 +54,9 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /metrics.json, expvar and pprof on this host:port for the run's duration (e.g. 127.0.0.1:0)")
 		summaryOut = flag.String("summary-out", "", "write a schema-versioned end-of-run summary JSON (manifest + metrics snapshot) to this file")
 		progress   = flag.Bool("progress", false, "print periodic progress lines (points done, cache-hit rate, ETA) to stderr; stdout is unchanged")
+		fidelity   = flag.String("fidelity", "exact", "exact = cycle-accurate simulation; fast = closed-form analytic estimate for every point (no verdict guarantee); auto = analytic where the calibration envelope proves the verdict, cycle-accurate fallback elsewhere (verdict-identical to exact)")
+		calibrate  = flag.Bool("calibrate", false, "run analytic-vs-exact calibration over the grid and write the error-envelope JSON to stdout instead of sweeping")
+		envelope   = flag.String("envelope", "", "calibration envelope JSON for -fidelity auto (default: the envelope embedded at build time)")
 	)
 	flag.Parse()
 
@@ -75,6 +82,43 @@ func main() {
 	}
 	if *progress && *serial {
 		usageError("-progress conflicts with -serial: the serial path is the profiling/CI determinism mode and stays free of background reporting")
+	}
+	tier, err := core.ParseFidelity(*fidelity)
+	if err != nil {
+		usageError("-fidelity: %v", err)
+	}
+	if tier != core.FidelityExact && *checkRun {
+		usageError("-check conflicts with -fidelity %s: the protocol checker needs the cycle-accurate command stream", tier)
+	}
+	if *calibrate {
+		switch {
+		case tier != core.FidelityExact:
+			usageError("-calibrate conflicts with -fidelity %s: calibration measures the analytic model against exact simulation", tier)
+		case *checkRun:
+			usageError("-calibrate conflicts with -check")
+		case *envelope != "":
+			usageError("-calibrate conflicts with -envelope: calibration produces an envelope, it does not consume one")
+		case *summaryOut != "":
+			usageError("-calibrate conflicts with -summary-out: stdout carries the envelope JSON, not sweep rows")
+		}
+	}
+	if *envelope != "" && tier != core.FidelityAuto {
+		usageError("-envelope only applies to -fidelity auto (got %s)", tier)
+	}
+	if *envelope != "" {
+		data, err := os.ReadFile(*envelope)
+		if err != nil {
+			fatal(err)
+		}
+		env, err := analytic.DecodeEnvelope(data)
+		if err != nil {
+			fatal(err)
+		}
+		core.EnableEnvelope(env)
+		defer core.EnableEnvelope(nil)
+	}
+	if tier == core.FidelityAuto && core.EnabledEnvelope() == nil {
+		fmt.Fprintln(os.Stderr, "sweep: warning: no calibration envelope available; -fidelity auto will simulate every point")
 	}
 
 	// The metrics registry exists only when some surface consumes it; with
@@ -183,6 +227,33 @@ func main() {
 	if *progress {
 		prog = core.StartProgress(os.Stderr, time.Second)
 	}
+	if *calibrate {
+		env, err := core.Calibrate(ctx, core.CalibrateOptions{
+			Formats:        trimmed(formatList),
+			Channels:       chList,
+			FreqsMHz:       freqList,
+			SampleFraction: *fraction,
+			Jobs:           njobs,
+		})
+		prog.Stop()
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fatal(fmt.Errorf("interrupted before completion; no envelope written"))
+			}
+			fatal(err)
+		}
+		buf, err := env.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(buf)
+		fmt.Fprintf(os.Stderr, "sweep: calibrate: %d points, worst |err| %.4f%% of access time, fraction %v\n",
+			env.Points, env.WorstAbsErr*100, *fraction)
+		if cache != nil {
+			fmt.Fprintln(os.Stderr, "sweep: cache:", cache.Stats())
+		}
+		return
+	}
 	results, err := core.RunIndexedContext(ctx, njobs, len(grid), func(i int) (core.Result, error) {
 		p := grid[i]
 		mc := core.PaperMemory(p.ch, units.Frequency(p.f)*units.MHz)
@@ -193,7 +264,7 @@ func main() {
 				return core.Result{}, err
 			}
 		}
-		res, err := core.Simulate(p.w, mc)
+		res, err := core.SimulateAuto(p.w, mc, tier)
 		if err != nil {
 			return core.Result{}, err
 		}
@@ -219,9 +290,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: check: all %d points verified against the device timing constraints\n", len(grid))
 	}
 
-	fmt.Println("format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw")
+	fmt.Println("format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw,estimated")
 	for i, res := range results {
-		fmt.Printf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f\n",
+		fmt.Printf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f,%t\n",
 			res.Format.Name, grid[i].ch, grid[i].f,
 			res.FrameBytes,
 			res.RequiredBandwidth.GBps(),
@@ -230,7 +301,8 @@ func main() {
 			res.Verdict,
 			res.Efficiency,
 			res.TotalPower.Milliwatts(),
-			res.InterfacePower.Milliwatts())
+			res.InterfacePower.Milliwatts(),
+			res.Estimated)
 	}
 
 	if *memprofile != "" {
@@ -264,6 +336,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "sweep: summary: wrote %s\n", *summaryOut)
 	}
+}
+
+func trimmed(parts []string) []string {
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+	}
+	return out
 }
 
 func parseInts(s string) ([]int, error) {

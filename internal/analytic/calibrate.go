@@ -1,0 +1,283 @@
+package analytic
+
+import (
+	"bytes"
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// EnvelopeSchema versions the calibration artifact. Decoding rejects any
+// other value: an envelope produced by an older (or newer) calibration
+// format must never silently drive verdict decisions.
+const EnvelopeSchema = "mcm-analytic-envelope/v1"
+
+// Default widening applied by EnvelopeBuilder. PointSlack is additive
+// headroom on calibrated grid points — the simulator is deterministic, so
+// the measured error there is exact and the slack only guards against an
+// envelope applied to a drifted model. RegionSafety multiplies the error
+// magnitude for frequencies inside a region's range but not on its
+// calibrated grid, where the error was interpolated rather than measured.
+const (
+	DefaultPointSlack   = 0.0002
+	DefaultRegionSafety = 1.25
+)
+
+// PointBound is the signed relative error of the analytic access-time
+// estimate at one calibrated grid point: err = (est − sim) / sim.
+type PointBound struct {
+	FreqMHz int     `json:"freq_mhz"`
+	Err     float64 `json:"err"`
+}
+
+// Region covers one (format, channels) slice of the calibration grid. The
+// per-frequency Points carry exact measured errors; MinErr/MaxErr bound the
+// whole frequency range for queries between calibrated frequencies.
+type Region struct {
+	Format     string       `json:"format"`
+	Channels   int          `json:"channels"`
+	MinFreqMHz int          `json:"min_freq_mhz"`
+	MaxFreqMHz int          `json:"max_freq_mhz"`
+	MinErr     float64      `json:"min_err"`
+	MaxErr     float64      `json:"max_err"`
+	Points     []PointBound `json:"points"`
+}
+
+// Envelope is the schema-versioned calibration artifact: signed relative
+// error bounds of the analytic estimate versus the cycle-accurate
+// simulator, per (format, channels, frequency) region. Bounds are only
+// meaningful at the sampling fraction they were calibrated at —
+// measured cross-fraction drift exceeds 100×, so Bound refuses to answer
+// for any other fraction.
+type Envelope struct {
+	Schema         string   `json:"schema"`
+	SampleFraction float64  `json:"sample_fraction"`
+	Points         int      `json:"points"`
+	WorstAbsErr    float64  `json:"worst_abs_err"`
+	PointSlack     float64  `json:"point_slack"`
+	RegionSafety   float64  `json:"region_safety"`
+	Regions        []Region `json:"regions"`
+}
+
+// Encode renders the envelope as deterministic, human-diffable JSON.
+// Regions and points are kept sorted by the builder, so equal envelopes
+// encode byte-identically.
+func (e *Envelope) Encode() ([]byte, error) {
+	buf, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("analytic: encode envelope: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// DecodeEnvelope parses and validates an envelope artifact. Unknown fields
+// and stale schemas are rejected.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var e Envelope
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("analytic: decode envelope: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Validate checks the envelope is internally consistent and carries the
+// schema this build understands.
+func (e *Envelope) Validate() error {
+	if e.Schema != EnvelopeSchema {
+		return fmt.Errorf("analytic: stale envelope schema %q (want %q): recalibrate with sweep -calibrate", e.Schema, EnvelopeSchema)
+	}
+	if !(e.SampleFraction > 0 && e.SampleFraction <= 1) {
+		return fmt.Errorf("analytic: envelope sample_fraction %v outside (0, 1]", e.SampleFraction)
+	}
+	if e.PointSlack < 0 || e.RegionSafety < 1 {
+		return fmt.Errorf("analytic: envelope widening (point_slack %v, region_safety %v) must be ≥ 0 and ≥ 1", e.PointSlack, e.RegionSafety)
+	}
+	if len(e.Regions) == 0 {
+		return fmt.Errorf("analytic: envelope has no regions")
+	}
+	for i, r := range e.Regions {
+		if r.Format == "" || r.Channels <= 0 || len(r.Points) == 0 {
+			return fmt.Errorf("analytic: envelope region %d (%s/%d) malformed", i, r.Format, r.Channels)
+		}
+		if r.MinErr > r.MaxErr || r.MinFreqMHz > r.MaxFreqMHz {
+			return fmt.Errorf("analytic: envelope region %s/%d has inverted bounds", r.Format, r.Channels)
+		}
+		for _, p := range r.Points {
+			if p.FreqMHz < r.MinFreqMHz || p.FreqMHz > r.MaxFreqMHz {
+				return fmt.Errorf("analytic: envelope region %s/%d point %d MHz outside range", r.Format, r.Channels, p.FreqMHz)
+			}
+			if p.Err < r.MinErr || p.Err > r.MaxErr {
+				return fmt.Errorf("analytic: envelope region %s/%d point %d MHz error outside region bounds", r.Format, r.Channels, p.FreqMHz)
+			}
+			if math.IsNaN(p.Err) || math.IsInf(p.Err, 0) {
+				return fmt.Errorf("analytic: envelope region %s/%d point %d MHz error not finite", r.Format, r.Channels, p.FreqMHz)
+			}
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a short content hash of the envelope. Fidelity-aware
+// cache keys fold this in, so replacing the envelope rotates every
+// estimate key and stale bounds can never validate a cached verdict.
+func (e *Envelope) Fingerprint() string {
+	buf, err := json.Marshal(e)
+	if err != nil {
+		// Envelope contains only plain data; Marshal cannot fail on a
+		// validated value. Fall back to an impossible fingerprint.
+		return "unfingerprintable"
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Bound returns the widened signed error interval [lo, hi] that the
+// calibration run guarantees for the analytic estimate at this point, or
+// ok=false when the envelope does not cover it (unknown region, frequency
+// outside the calibrated range, or a different sampling fraction).
+//
+// On a calibrated grid point the interval is the measured error ± the
+// point slack. Between grid points it is the region's [MinErr, MaxErr]
+// widened outward by the region safety factor plus the slack.
+func (e *Envelope) Bound(format string, channels, freqMHz int, fraction float64) (lo, hi float64, ok bool) {
+	if e == nil || fraction != e.SampleFraction {
+		return 0, 0, false
+	}
+	for i := range e.Regions {
+		r := &e.Regions[i]
+		if r.Format != format || r.Channels != channels {
+			continue
+		}
+		if freqMHz < r.MinFreqMHz || freqMHz > r.MaxFreqMHz {
+			return 0, 0, false
+		}
+		for _, p := range r.Points {
+			if p.FreqMHz == freqMHz {
+				return p.Err - e.PointSlack, p.Err + e.PointSlack, true
+			}
+		}
+		lo = r.MinErr - (e.RegionSafety-1)*math.Abs(r.MinErr) - e.PointSlack
+		hi = r.MaxErr + (e.RegionSafety-1)*math.Abs(r.MaxErr) + e.PointSlack
+		return lo, hi, true
+	}
+	return 0, 0, false
+}
+
+// EnvelopeBuilder accumulates per-point calibration observations and
+// assembles a validated envelope.
+type EnvelopeBuilder struct {
+	fraction     float64
+	pointSlack   float64
+	regionSafety float64
+	regions      map[regionKey]*Region
+}
+
+type regionKey struct {
+	format   string
+	channels int
+}
+
+// NewEnvelopeBuilder starts an envelope for one sampling fraction with the
+// default widening parameters.
+func NewEnvelopeBuilder(fraction float64) *EnvelopeBuilder {
+	return &EnvelopeBuilder{
+		fraction:     fraction,
+		pointSlack:   DefaultPointSlack,
+		regionSafety: DefaultRegionSafety,
+		regions:      make(map[regionKey]*Region),
+	}
+}
+
+// Observe records the signed relative error err = (est − sim) / sim
+// measured at one grid point. Re-observing a frequency keeps the
+// larger-magnitude error.
+func (b *EnvelopeBuilder) Observe(format string, channels, freqMHz int, err float64) {
+	k := regionKey{format, channels}
+	r := b.regions[k]
+	if r == nil {
+		r = &Region{Format: format, Channels: channels}
+		b.regions[k] = r
+	}
+	for i := range r.Points {
+		if r.Points[i].FreqMHz == freqMHz {
+			if math.Abs(err) > math.Abs(r.Points[i].Err) {
+				r.Points[i].Err = err
+			}
+			return
+		}
+	}
+	r.Points = append(r.Points, PointBound{FreqMHz: freqMHz, Err: err})
+}
+
+// Build sorts the accumulated regions, derives the range bounds, and
+// returns a validated envelope.
+func (b *EnvelopeBuilder) Build() (*Envelope, error) {
+	if len(b.regions) == 0 {
+		return nil, fmt.Errorf("analytic: calibration produced no observations")
+	}
+	e := &Envelope{
+		Schema:         EnvelopeSchema,
+		SampleFraction: b.fraction,
+		PointSlack:     b.pointSlack,
+		RegionSafety:   b.regionSafety,
+	}
+	keys := make([]regionKey, 0, len(b.regions))
+	for k := range b.regions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].format != keys[j].format {
+			return keys[i].format < keys[j].format
+		}
+		return keys[i].channels < keys[j].channels
+	})
+	for _, k := range keys {
+		r := *b.regions[k]
+		sort.Slice(r.Points, func(i, j int) bool { return r.Points[i].FreqMHz < r.Points[j].FreqMHz })
+		r.MinFreqMHz = r.Points[0].FreqMHz
+		r.MaxFreqMHz = r.Points[len(r.Points)-1].FreqMHz
+		r.MinErr, r.MaxErr = r.Points[0].Err, r.Points[0].Err
+		for _, p := range r.Points {
+			r.MinErr = math.Min(r.MinErr, p.Err)
+			r.MaxErr = math.Max(r.MaxErr, p.Err)
+			if a := math.Abs(p.Err); a > e.WorstAbsErr {
+				e.WorstAbsErr = a
+			}
+			e.Points++
+		}
+		e.Regions = append(e.Regions, r)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+//go:embed envelope_default.json
+var defaultEnvelopeJSON []byte
+
+var (
+	defaultEnvelopeOnce sync.Once
+	defaultEnvelope     *Envelope
+	defaultEnvelopeErr  error
+)
+
+// DefaultEnvelope returns the envelope calibrated for the paper grid at
+// the default sweep sampling fraction (0.1), embedded at build time. The
+// same artifact is published as results/ANALYTIC_ENVELOPE.json.
+func DefaultEnvelope() (*Envelope, error) {
+	defaultEnvelopeOnce.Do(func() {
+		defaultEnvelope, defaultEnvelopeErr = DecodeEnvelope(defaultEnvelopeJSON)
+	})
+	return defaultEnvelope, defaultEnvelopeErr
+}

@@ -1,0 +1,183 @@
+package analytic
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildTestEnvelope assembles a small two-region envelope through the same
+// builder path the calibration pass uses.
+func buildTestEnvelope(t *testing.T) *Envelope {
+	t.Helper()
+	b := NewEnvelopeBuilder(0.1)
+	b.Observe("720p30", 4, 200, -0.010)
+	b.Observe("720p30", 4, 400, 0.025)
+	b.Observe("720p30", 4, 533, 0.005)
+	b.Observe("1080p30", 2, 200, -0.040)
+	b.Observe("1080p30", 2, 400, -0.002)
+	e, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return e
+}
+
+// TestEnvelopeRoundTrip: Encode -> DecodeEnvelope must reproduce the
+// envelope exactly, and re-encoding must be byte-identical (the artifact
+// is diffed in review, so encoding has to be deterministic).
+func TestEnvelopeRoundTrip(t *testing.T) {
+	e := buildTestEnvelope(t)
+	data, err := e.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatalf("DecodeEnvelope: %v", err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("round trip changed the envelope:\n got %+v\nwant %+v", got, e)
+	}
+	again, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-encoding is not byte-identical:\n%s\nvs\n%s", again, data)
+	}
+	if got.Fingerprint() != e.Fingerprint() {
+		t.Fatalf("fingerprint changed across round trip")
+	}
+}
+
+// TestEnvelopeStaleSchema: an artifact from a different calibration format
+// version must be rejected loudly, never partially decoded.
+func TestEnvelopeStaleSchema(t *testing.T) {
+	e := buildTestEnvelope(t)
+	e.Schema = "mcm-analytic-envelope/v0"
+	data, err := e.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := DecodeEnvelope(data); err == nil {
+		t.Fatalf("DecodeEnvelope accepted stale schema %q", e.Schema)
+	} else if !strings.Contains(err.Error(), "stale envelope schema") {
+		t.Fatalf("stale-schema error %q does not name the problem", err)
+	}
+}
+
+// TestEnvelopeUnknownField: typo'd or future fields must not decode
+// silently into the zero value.
+func TestEnvelopeUnknownField(t *testing.T) {
+	e := buildTestEnvelope(t)
+	data, err := e.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	mangled := strings.Replace(string(data), `"sample_fraction"`, `"sample_fractoin"`, 1)
+	if _, err := DecodeEnvelope([]byte(mangled)); err == nil {
+		t.Fatalf("DecodeEnvelope accepted unknown field")
+	}
+}
+
+// TestEnvelopeBound covers the lookup semantics the auto tier depends on:
+// measured-point intervals, widened region intervals, and the refusals.
+func TestEnvelopeBound(t *testing.T) {
+	e := buildTestEnvelope(t)
+
+	// Exact grid point: measured error widened only by the point slack.
+	lo, hi, ok := e.Bound("720p30", 4, 400, 0.1)
+	if !ok {
+		t.Fatalf("Bound refused a calibrated grid point")
+	}
+	if math.Abs(lo-(0.025-e.PointSlack)) > 1e-12 || math.Abs(hi-(0.025+e.PointSlack)) > 1e-12 {
+		t.Fatalf("grid-point bound [%v, %v], want measured 0.025 +/- %v", lo, hi, e.PointSlack)
+	}
+
+	// Between grid points: the region's range widened by the safety factor.
+	lo, hi, ok = e.Bound("720p30", 4, 300, 0.1)
+	if !ok {
+		t.Fatalf("Bound refused an in-range frequency")
+	}
+	wantLo := -0.010 - (e.RegionSafety-1)*0.010 - e.PointSlack
+	wantHi := 0.025 + (e.RegionSafety-1)*0.025 + e.PointSlack
+	if math.Abs(lo-wantLo) > 1e-12 || math.Abs(hi-wantHi) > 1e-12 {
+		t.Fatalf("region bound [%v, %v], want [%v, %v]", lo, hi, wantLo, wantHi)
+	}
+	if lo >= -0.010 || hi <= 0.025 {
+		t.Fatalf("region bound [%v, %v] is not strictly wider than the measured range", lo, hi)
+	}
+
+	// Refusals: wrong fraction, frequency outside the range, unknown
+	// region, nil receiver. All must fail safe (caller simulates).
+	refusals := []struct {
+		name           string
+		env            *Envelope
+		format         string
+		channels, freq int
+		fraction       float64
+	}{
+		{"fraction mismatch", e, "720p30", 4, 400, 0.05},
+		{"below range", e, "720p30", 4, 133, 0.1},
+		{"above range", e, "720p30", 4, 667, 0.1},
+		{"unknown channels", e, "720p30", 8, 400, 0.1},
+		{"unknown format", e, "2160p60", 4, 400, 0.1},
+		{"nil envelope", nil, "720p30", 4, 400, 0.1},
+	}
+	for _, r := range refusals {
+		if _, _, ok := r.env.Bound(r.format, r.channels, r.freq, r.fraction); ok {
+			t.Errorf("%s: Bound answered, want refusal", r.name)
+		}
+	}
+}
+
+// TestEnvelopeObserveKeepsWorst: re-observing a point (e.g. a calibration
+// rerun folded into an existing builder) must keep the larger-magnitude
+// error — bounds may only widen.
+func TestEnvelopeObserveKeepsWorst(t *testing.T) {
+	b := NewEnvelopeBuilder(0.1)
+	b.Observe("720p30", 1, 400, 0.010)
+	b.Observe("720p30", 1, 400, -0.002)
+	b.Observe("720p30", 1, 400, -0.030)
+	e, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := e.Regions[0].Points[0].Err; got != -0.030 {
+		t.Fatalf("kept error %v, want the worst-magnitude -0.030", got)
+	}
+}
+
+// TestEnvelopeFingerprint: any content change must rotate the fingerprint,
+// since fidelity-aware cache keys fold it in.
+func TestEnvelopeFingerprint(t *testing.T) {
+	a := buildTestEnvelope(t)
+	c := buildTestEnvelope(t)
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("equal envelopes disagree on fingerprint")
+	}
+	c.Regions[0].Points[0].Err += 1e-6
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatalf("fingerprint ignored a bound change")
+	}
+}
+
+// TestDefaultEnvelope: the embedded artifact must decode, validate, and
+// carry the sweep default sampling fraction.
+func TestDefaultEnvelope(t *testing.T) {
+	e, err := DefaultEnvelope()
+	if err != nil {
+		t.Fatalf("DefaultEnvelope: %v", err)
+	}
+	if e.SampleFraction != 0.1 {
+		t.Fatalf("embedded envelope fraction %v, want the sweep default 0.1", e.SampleFraction)
+	}
+	if e.Points == 0 || len(e.Regions) == 0 {
+		t.Fatalf("embedded envelope is empty: %+v", e)
+	}
+	if e.WorstAbsErr <= 0 || e.WorstAbsErr > 0.10 {
+		t.Fatalf("embedded worst |err| %v implausible (want (0, 0.10])", e.WorstAbsErr)
+	}
+}

@@ -36,10 +36,11 @@ func randomConfig(rng *rand.Rand) memsys.Config {
 	freqs := []units.Frequency{200 * units.MHz, 266 * units.MHz, 333 * units.MHz,
 		400 * units.MHz, 533 * units.MHz}
 	cfg := memsys.Config{
-		Channels:  []int{1, 2, 4}[rng.Intn(3)],
-		Freq:      freqs[rng.Intn(len(freqs))],
-		PowerDown: rng.Intn(4) != 0,
-		Parallel:  rng.Intn(2) == 0,
+		Channels:      []int{1, 2, 4}[rng.Intn(3)],
+		Freq:          freqs[rng.Intn(len(freqs))],
+		PowerDown:     rng.Intn(4) != 0,
+		Parallel:      rng.Intn(2) == 0,
+		ForceParallel: true,
 	}
 	if rng.Intn(3) == 0 {
 		cfg.Policy = controller.ClosedPage

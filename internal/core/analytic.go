@@ -3,8 +3,16 @@ package core
 import (
 	"repro/internal/analytic"
 	"repro/internal/dram"
+	"repro/internal/power"
 	"repro/internal/units"
 )
+
+// PowerNotComputed is the sentinel an analytic Result carries in
+// InterfacePower: the closed forms produce only the total, and a literal
+// zero would read as "the interface consumed nothing". Negative power is
+// impossible, so the sentinel survives JSON (unlike NaN) and is trivially
+// detectable downstream.
+const PowerNotComputed units.Power = -1
 
 // AnalyticResult estimates the Result of Simulate(w, mc) from the
 // closed-form model in internal/analytic, without running the
@@ -14,10 +22,18 @@ import (
 // an estimate and can retry for the exact one.
 //
 // Only the fields the closed forms can honestly produce are populated:
-// access time, verdict, bandwidths, efficiency and total power. The
-// per-channel power breakdown, interface-power split, command counters
-// and latency histogram stay zero — an estimate must never masquerade as
-// simulator output.
+// access time, verdict, bandwidths, efficiency and total power. The rest
+// carry explicit "not computed" sentinels — an estimate must never
+// masquerade as simulator output: Estimated is true, InterfacePower is
+// PowerNotComputed (−1), and the per-channel breakdown and latency
+// histogram are nil (never empty-but-allocated).
+//
+// The power model is resolved here with the same explicit nil-checked
+// defaulting the simulator uses, so a MemoryConfig with nil
+// Datasheet/Interface (the common spelling — PaperMemory leaves both nil)
+// estimates with the paper's power model instead of dereferencing nil; a
+// present-but-invalid datasheet is rejected with the validation error
+// from FramePower.
 func AnalyticResult(w Workload, mc MemoryConfig) (Result, error) {
 	if err := mc.Validate(); err != nil {
 		return Result{}, err
@@ -61,11 +77,21 @@ func AnalyticResult(w Workload, mc MemoryConfig) (Result, error) {
 	if res.PeakBandwidth > 0 {
 		res.Efficiency = float64(res.AchievedBandwidth) / float64(res.PeakBandwidth)
 	}
-	ds := *mc.Datasheet
-	iface := *mc.Interface
+	ds := power.DefaultDatasheet()
+	if mc.Datasheet != nil {
+		ds = *mc.Datasheet
+	}
+	iface := power.DefaultInterface()
+	if mc.Interface != nil {
+		iface = *mc.Interface
+	}
 	res.TotalPower, err = analytic.FramePower(gen, speed, ds, iface, framePeriod)
 	if err != nil {
 		return Result{}, err
 	}
+	res.InterfacePower = PowerNotComputed
+	res.PerChannel = nil
+	res.Latency = nil
+	res.Estimated = true
 	return res, nil
 }

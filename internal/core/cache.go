@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"sync/atomic"
 
+	"repro/internal/analytic"
 	"repro/internal/dram"
 	"repro/internal/metrics"
 	"repro/internal/power"
@@ -261,6 +262,39 @@ func (c *SimCache) simulate(ctx context.Context, w Workload, mc MemoryConfig, la
 	return res, outcome, nil
 }
 
+// memoEstimate publishes an analytic estimate under its fidelity-tagged
+// key in the in-process memo (single-flight, shared with concurrent
+// callers of the same point). Estimates never reach the disk store: the
+// tier tag in the key already rules out collisions with exact entries,
+// and a disk round-trip costs more than the microseconds the estimate
+// takes to recompute — the disk store stays exact-only. Cache stats are
+// simulator-entry stats and are not touched here; the per-tier fidelity
+// counters account for estimate traffic.
+func (c *SimCache) memoEstimate(ctx context.Context, w Workload, mc MemoryConfig, tier Fidelity, envTag string, est Result) (Result, error) {
+	res, _, err := c.memoEstimateOutcome(ctx, w, mc, tier, envTag, est)
+	return res, err
+}
+
+func (c *SimCache) memoEstimateOutcome(ctx context.Context, w Workload, mc MemoryConfig, tier Fidelity, envTag string, est Result) (Result, CacheOutcome, error) {
+	key, cacheable := cacheKeyTier(w, mc, tier, envTag)
+	if !cacheable {
+		return est, OutcomeBypass, nil
+	}
+	res, err, hit, joined := c.memo.DoContext(ctx, key, func(context.Context) (Result, error) {
+		return est, nil
+	})
+	if err != nil {
+		return Result{}, OutcomeBypass, err
+	}
+	outcome := OutcomeSimulated
+	if hit {
+		outcome = OutcomeHit
+	} else if joined {
+		outcome = OutcomeJoined
+	}
+	return res, outcome, nil
+}
+
 // activeCache is the process-wide cache consulted by Simulate; nil means
 // every call simulates (the seed behavior, and the -no-cache spelling).
 var activeCache atomic.Pointer[SimCache]
@@ -287,11 +321,26 @@ func EnabledCache() *SimCache { return activeCache.Load() }
 // semantics) are special-cased by name. TestCacheKeyFieldCoverage pins the
 // special-case list and fails when a new field lands in it unhandled.
 func cacheKey(w Workload, mc MemoryConfig) (simcache.Key, bool) {
+	return cacheKeyTier(w, mc, FidelityExact, "")
+}
+
+// cacheKeyTier is cacheKey extended with the fidelity tier. Exact keys
+// stay byte-identical to every release since the cache landed, so
+// existing disk stores remain valid. Non-exact tiers fold the tier, the
+// envelope schema version and the envelope content fingerprint into the
+// key: an analytic estimate can never collide with — and therefore never
+// pollute — an exact entry, and replacing the calibration envelope
+// rotates every estimate key so stale bounds cannot answer.
+func cacheKeyTier(w Workload, mc MemoryConfig, tier Fidelity, envTag string) (simcache.Key, bool) {
 	if w.RecordLatency || mc.NewProbe != nil || mc.Faults != nil {
 		return simcache.Key{}, false
 	}
 	e := simcache.NewEncoder()
 	e.String("core.Simulate/" + CacheSchemaVersion)
+	if tier != FidelityExact {
+		e.String("fidelity/" + tier.String())
+		e.String("envelope/" + analytic.EnvelopeSchema + "/" + envTag)
+	}
 	if err := encodeFields(e, normalizeWorkload(w)); err != nil {
 		return simcache.Key{}, false
 	}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// CalibrateOptions selects the grid a calibration pass covers. Zero-value
+// fields take the paper defaults: every format, the {1, 2, 4, 8} channel
+// counts, the Table I frequencies, the default sweep sampling fraction
+// (0.1) and one worker per CPU.
+type CalibrateOptions struct {
+	Formats        []string
+	Channels       []int
+	FreqsMHz       []int
+	SampleFraction float64
+	Jobs           int
+}
+
+// PaperFreqsMHz is the Table I operating-frequency grid.
+var PaperFreqsMHz = []int{200, 266, 333, 400, 533}
+
+// PaperChannels is the channel-count grid of the paper's sweeps.
+var PaperChannels = []int{1, 2, 4, 8}
+
+// PaperFormats lists the evaluated frame formats in paper order.
+func PaperFormats() []string {
+	names := make([]string, len(video.EvaluatedProfiles))
+	for i, p := range video.EvaluatedProfiles {
+		names[i] = p.Format.Name
+	}
+	return names
+}
+
+// Calibrate runs the cycle-accurate simulator and the analytic model
+// across the grid and records, per (format, channels) region, the signed
+// relative access-time error err = (est − sim)/sim of every frequency
+// point. The returned envelope is what the auto fidelity tier consults
+// to prove verdicts; it is only valid at the calibrated sampling
+// fraction (cross-fraction error drift is two orders of magnitude).
+//
+// Exact simulations go through the enabled cache, so a calibration pass
+// over an already-swept grid is nearly free and a cold pass warms the
+// cache for the sweep that follows.
+func Calibrate(ctx context.Context, opt CalibrateOptions) (*analytic.Envelope, error) {
+	if len(opt.Formats) == 0 {
+		opt.Formats = PaperFormats()
+	}
+	if len(opt.Channels) == 0 {
+		opt.Channels = PaperChannels
+	}
+	if len(opt.FreqsMHz) == 0 {
+		opt.FreqsMHz = PaperFreqsMHz
+	}
+	if opt.SampleFraction == 0 {
+		opt.SampleFraction = 0.1
+	}
+	if opt.Jobs == 0 {
+		opt.Jobs = DefaultJobs()
+	}
+
+	type gridPoint struct {
+		format string
+		ch     int
+		mhz    int
+	}
+	var grid []gridPoint
+	for _, f := range opt.Formats {
+		for _, ch := range opt.Channels {
+			for _, mhz := range opt.FreqsMHz {
+				grid = append(grid, gridPoint{f, ch, mhz})
+			}
+		}
+	}
+
+	errs, err := RunIndexedContext(ctx, opt.Jobs, len(grid), func(i int) (float64, error) {
+		p := grid[i]
+		w, err := WorkloadFor(p.format)
+		if err != nil {
+			return 0, err
+		}
+		w.SampleFraction = opt.SampleFraction
+		mc := PaperMemory(p.ch, units.Frequency(p.mhz)*units.MHz)
+		exact, err := SimulateContext(ctx, w, mc)
+		if err != nil {
+			return 0, fmt.Errorf("calibrate %s/%dch/%dMHz: %w", p.format, p.ch, p.mhz, err)
+		}
+		est, err := AnalyticResult(w, mc)
+		if err != nil {
+			return 0, fmt.Errorf("calibrate %s/%dch/%dMHz (analytic): %w", p.format, p.ch, p.mhz, err)
+		}
+		if exact.AccessTime <= 0 {
+			return 0, fmt.Errorf("calibrate %s/%dch/%dMHz: non-positive simulated access time", p.format, p.ch, p.mhz)
+		}
+		return (est.AccessTime.Seconds() - exact.AccessTime.Seconds()) / exact.AccessTime.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	b := analytic.NewEnvelopeBuilder(opt.SampleFraction)
+	for i, e := range errs {
+		b.Observe(grid[i].format, grid[i].ch, grid[i].mhz, e)
+	}
+	return b.Build()
+}

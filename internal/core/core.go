@@ -182,6 +182,12 @@ type Result struct {
 	AccessTime units.Duration
 	// Verdict classifies AccessTime against FramePeriod.
 	Verdict Verdict
+	// Estimated marks results produced by the closed-form analytic model
+	// (the fast/auto fidelity tiers and the service's degraded mode)
+	// rather than the cycle-accurate simulator. It rides through JSON the
+	// same way the service's degraded flag does; absent means exact, so
+	// cache entries written before the flag existed decode correctly.
+	Estimated bool `json:",omitempty"`
 
 	// RequiredBandwidth is FrameBytes over the frame period; Achieved is
 	// over the access time; Peak is the configuration's theoretical max.

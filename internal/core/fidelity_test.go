@@ -1,0 +1,299 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/mapping"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// testFraction keeps the in-test calibration affordable; the envelope is
+// only valid at this fraction, which the tests rely on to exercise the
+// fraction-mismatch fallback.
+const testFraction = 0.02
+
+// calibrateForTest runs a real calibration pass over the full paper grid
+// at the cheap test fraction, with the process cache enabled so the exact
+// answers it produces are reused by the auto-vs-exact comparison.
+func calibrateForTest(t *testing.T) *analytic.Envelope {
+	t.Helper()
+	env, err := Calibrate(context.Background(), CalibrateOptions{SampleFraction: testFraction})
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	return env
+}
+
+// TestAutoVerdictIdenticalToExact is the tier's contract: across the full
+// format x channels x frequency matrix, auto fidelity must produce exactly
+// the verdicts the cycle-accurate simulator produces — and actually serve
+// a useful share of the grid analytically while doing so.
+func TestAutoVerdictIdenticalToExact(t *testing.T) {
+	EnableCache(NewSimCache())
+	defer DisableCache()
+	env := calibrateForTest(t)
+	EnableEnvelope(env)
+	defer EnableEnvelope(nil)
+
+	analyticServed := 0
+	for _, f := range PaperFormats() {
+		w, err := WorkloadFor(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SampleFraction = testFraction
+		for _, ch := range PaperChannels {
+			for _, mhz := range PaperFreqsMHz {
+				mc := PaperMemory(ch, units.Frequency(mhz)*units.MHz)
+				exact, err := Simulate(w, mc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				auto, err := SimulateAuto(w, mc, FidelityAuto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if auto.Verdict != exact.Verdict {
+					t.Errorf("%s/%dch/%dMHz: auto verdict %s, exact %s",
+						f, ch, mhz, auto.Verdict, exact.Verdict)
+				}
+				if auto.Estimated {
+					analyticServed++
+				} else if auto.AccessTime != exact.AccessTime {
+					t.Errorf("%s/%dch/%dMHz: fallback result differs from exact", f, ch, mhz)
+				}
+			}
+		}
+	}
+	if analyticServed == 0 {
+		t.Fatalf("auto served no point analytically on its own calibration grid")
+	}
+	t.Logf("auto served %d points analytically", analyticServed)
+}
+
+// TestAutoFallsBackOffEnvelope: every way a point can leave the calibrated
+// region must route to the exact simulator (Estimated stays false).
+func TestAutoFallsBackOffEnvelope(t *testing.T) {
+	env := calibrateForTest(t)
+	EnableEnvelope(env)
+	defer EnableEnvelope(nil)
+	DisableCache()
+
+	w, err := WorkloadFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = testFraction
+	base := PaperMemory(4, 400*units.MHz)
+
+	// Sanity: the unmodified point is served analytically.
+	res, err := SimulateAuto(w, base, FidelityAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Estimated {
+		t.Fatalf("calibrated baseline point was not served analytically")
+	}
+
+	cases := []struct {
+		name string
+		w    Workload
+		mc   MemoryConfig
+	}{
+		{"fraction mismatch", func() Workload { w2 := w; w2.SampleFraction = 0.5; return w2 }(), base},
+		{"ablation mux", w, func() MemoryConfig { m := base; m.Mux = mapping.BRC; return m }()},
+		{"ablation power-down", w, func() MemoryConfig { m := base; m.DisablePowerDown = true; return m }()},
+		{"ablation write buffer", w, func() MemoryConfig { m := base; m.WriteBufferDepth = 32; return m }()},
+		{"latency recording", func() Workload { w2 := w; w2.RecordLatency = true; return w2 }(), base},
+	}
+	for _, c := range cases {
+		res, err := SimulateAuto(c.w, c.mc, FidelityAuto)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if res.Estimated {
+			t.Errorf("%s: served analytically, want exact fallback", c.name)
+		}
+	}
+
+	// Frequency outside the calibrated range: an envelope built on a
+	// narrower grid must refuse 533 MHz even though the device supports it.
+	b := analytic.NewEnvelopeBuilder(testFraction)
+	b.Observe("720p30", 4, 266, 0)
+	b.Observe("720p30", 4, 400, 0)
+	narrow, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	EnableEnvelope(narrow)
+	res, err = SimulateAuto(w, PaperMemory(4, 533*units.MHz), FidelityAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimated {
+		t.Errorf("off-envelope frequency: served analytically, want exact fallback")
+	}
+}
+
+// TestAutoFallsBackOnStraddle: when the error interval straddles a verdict
+// boundary the envelope cannot prove the verdict, and auto must simulate.
+// A hand-built envelope with absurdly wide bounds straddles every boundary.
+func TestAutoFallsBackOnStraddle(t *testing.T) {
+	DisableCache()
+	b := analytic.NewEnvelopeBuilder(testFraction)
+	for _, mhz := range PaperFreqsMHz {
+		b.Observe("720p30", 4, mhz, 0)
+	}
+	env, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widen by hand: sim may be up to 20x slower or 2x faster than the
+	// estimate. No verdict is provable under that.
+	env.Regions[0].MinErr, env.Regions[0].MaxErr = -0.95, 1.0
+	for i := range env.Regions[0].Points {
+		env.Regions[0].Points[i].Err = 0
+	}
+	env.PointSlack = 1.0
+	EnableEnvelope(env)
+	defer EnableEnvelope(nil)
+
+	w, err := WorkloadFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = testFraction
+	res, err := SimulateAuto(w, PaperMemory(4, 400*units.MHz), FidelityAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimated {
+		t.Fatalf("auto served an estimate under a straddling error interval")
+	}
+}
+
+// TestFidelityCacheIsolation: an estimate answered at auto fidelity must
+// never satisfy a later exact request for the same point — the tiers key
+// differently, so the exact path re-simulates.
+func TestFidelityCacheIsolation(t *testing.T) {
+	cache := NewSimCache()
+	EnableCache(cache)
+	defer DisableCache()
+	env := calibrateForTest(t)
+	EnableEnvelope(env)
+	defer EnableEnvelope(nil)
+
+	w, err := WorkloadFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = testFraction
+	mc := PaperMemory(4, 400*units.MHz)
+
+	auto, err := SimulateAuto(w, mc, FidelityAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Estimated {
+		t.Skipf("point not served analytically; isolation untestable here")
+	}
+	exact, err := Simulate(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Estimated {
+		t.Fatalf("exact request was answered with a cached estimate")
+	}
+	// And the other direction: the estimate is memoized under its own key,
+	// so asking again at auto fidelity returns it unchanged.
+	again, err := SimulateAuto(w, mc, FidelityAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Estimated || again.AccessTime != auto.AccessTime {
+		t.Fatalf("repeated auto request changed: %+v vs %+v", again, auto)
+	}
+}
+
+// TestFastTier: fast fidelity always estimates, regardless of envelope
+// coverage, and carries the sentinel fields.
+func TestFastTier(t *testing.T) {
+	DisableCache()
+	w, err := WorkloadFor("1080p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = 0.37 // no envelope covers this fraction
+	res, err := SimulateAuto(w, PaperMemory(2, 333*units.MHz), FidelityFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Estimated {
+		t.Fatalf("fast tier result not flagged Estimated")
+	}
+	if res.InterfacePower != PowerNotComputed {
+		t.Errorf("fast tier InterfacePower %v, want PowerNotComputed", res.InterfacePower)
+	}
+	if res.PerChannel != nil || res.Latency != nil {
+		t.Errorf("fast tier populated per-channel/latency fields it did not compute")
+	}
+}
+
+// TestParseFidelity covers the flag spellings and the error path.
+func TestParseFidelity(t *testing.T) {
+	for s, want := range map[string]Fidelity{"exact": FidelityExact, "fast": FidelityFast, "auto": FidelityAuto} {
+		got, err := ParseFidelity(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFidelity(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if got.String() != s {
+			t.Errorf("Fidelity.String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseFidelity("approximate"); err == nil {
+		t.Errorf("ParseFidelity accepted an unknown tier")
+	}
+}
+
+// TestAnalyticNilPowerModel: the sentinel-handling satellite. A nil
+// Datasheet/Interface (the PaperMemory spelling) must estimate with the
+// default power model instead of dereferencing nil, and match the result
+// of spelling the defaults out explicitly.
+func TestAnalyticNilPowerModel(t *testing.T) {
+	w, err := WorkloadFor("720p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SampleFraction = testFraction
+	mc := PaperMemory(2, 400*units.MHz)
+	if mc.Datasheet != nil || mc.Interface != nil {
+		t.Fatalf("PaperMemory no longer leaves the power model nil; update this test")
+	}
+	implicit, err := AnalyticResult(w, mc)
+	if err != nil {
+		t.Fatalf("AnalyticResult with nil power model: %v", err)
+	}
+	ds := power.DefaultDatasheet()
+	iface := power.DefaultInterface()
+	mc.Datasheet, mc.Interface = &ds, &iface
+	explicit, err := AnalyticResult(w, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.TotalPower != explicit.TotalPower {
+		t.Errorf("nil power model estimated %v, explicit defaults %v", implicit.TotalPower, explicit.TotalPower)
+	}
+
+	// A present-but-invalid datasheet must surface the validation error,
+	// not a panic and not a silent default.
+	mc.Datasheet = &power.Datasheet{}
+	if _, err := AnalyticResult(w, mc); err == nil {
+		t.Errorf("AnalyticResult accepted a zero-value datasheet")
+	} else if strings.Contains(err.Error(), "panic") {
+		t.Errorf("unexpected panic-shaped error: %v", err)
+	}
+}

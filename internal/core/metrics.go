@@ -36,6 +36,13 @@ type coreMeter struct {
 	poolRevivals *metrics.Counter
 	poolBuilds   *metrics.Counter
 
+	// Points served per fidelity tier; auto splits into envelope-proven
+	// analytic answers and cycle-accurate fallbacks.
+	fidelityExact        *metrics.Counter
+	fidelityFast         *metrics.Counter
+	fidelityAutoAnalytic *metrics.Counter
+	fidelityAutoExact    *metrics.Counter
+
 	// Degraded-mode fault/QoS accounting.
 	framesSimulated *metrics.Counter
 	framesDropped   *metrics.Counter
@@ -59,13 +66,19 @@ func newCoreMeter(r *metrics.Registry) *coreMeter {
 		busyNanos:        r.Counter("runindexed_busy_nanos_total"),
 		poolRevivals:     r.Counter("simpool_revivals_total"),
 		poolBuilds:       r.Counter("simpool_builds_total"),
-		framesSimulated:  r.Counter("qos_frames_simulated_total"),
-		framesDropped:    r.Counter("qos_frames_dropped_total"),
-		framesLate:       r.Counter("qos_frames_late_total"),
-		deadlineMisses:   r.Counter("qos_deadline_misses_total"),
-		degradeSteps:     r.Counter("qos_degrade_steps_total"),
-		faultInjections:  r.Counter("fault_injections_total"),
-		faultRetries:     r.Counter("fault_retries_total"),
+		fidelityExact:    r.Counter("sim_fidelity_points_total", metrics.Label{Key: "tier", Value: "exact"}),
+		fidelityFast:     r.Counter("sim_fidelity_points_total", metrics.Label{Key: "tier", Value: "fast"}),
+		fidelityAutoAnalytic: r.Counter("sim_fidelity_points_total",
+			metrics.Label{Key: "tier", Value: "auto_analytic"}),
+		fidelityAutoExact: r.Counter("sim_fidelity_points_total",
+			metrics.Label{Key: "tier", Value: "auto_exact"}),
+		framesSimulated: r.Counter("qos_frames_simulated_total"),
+		framesDropped:   r.Counter("qos_frames_dropped_total"),
+		framesLate:      r.Counter("qos_frames_late_total"),
+		deadlineMisses:  r.Counter("qos_deadline_misses_total"),
+		degradeSteps:    r.Counter("qos_degrade_steps_total"),
+		faultInjections: r.Counter("fault_injections_total"),
+		faultRetries:    r.Counter("fault_retries_total"),
 	}
 }
 

@@ -12,10 +12,21 @@ type runOp struct {
 	arrival int64
 }
 
-// batchOps is the dispatch batch capacity per channel. Coalesced runs pack
-// whole transactions into single ops, so a batch covers far more traffic
-// than the same capacity did under per-burst dispatch.
-const batchOps = 1 << 15
+// batchCapFor sizes dispatch batches by channel count. With few channels
+// the dispatcher feeds few workers, so each channel sees a large share of
+// the op stream and bigger batches amortize the handoff cost; with many
+// channels the same total in-flight footprint is split across more lanes.
+// 4 channels reproduces the original fixed 1<<15 capacity.
+func batchCapFor(channels int) int {
+	c := (4 << 15) / channels
+	if c < 1<<14 {
+		c = 1 << 14
+	}
+	if c > 1<<17 {
+		c = 1 << 17
+	}
+	return c
+}
 
 // chanWorker is one channel's persistent dispatch lane: a goroutine that
 // lives for the whole Run, fed with reusable op batches through a
@@ -33,45 +44,72 @@ type chanWorker struct {
 	inflight bool
 }
 
-// engine drives the channels from persistent per-channel workers. One
-// engine is created per parallel Run and stopped when the Run returns; the
-// per-flush goroutine spawns, WaitGroup and ends-slice allocations of the
-// old scheme are gone — steady state allocates nothing.
+// engine drives the channels from persistent per-channel workers. The
+// engine state is embedded in the System and reused across Runs: the
+// workers slice, both op batches per channel and both handoff channels
+// are allocated on the first parallel Run and recycled afterwards, so a
+// steady-state Run allocates nothing beyond its worker goroutines. Worker
+// goroutines are spawned by startEngine and terminated by stop — a System
+// parked in the subsystem pool keeps its batches but holds no goroutines.
 type engine struct {
-	workers []chanWorker
-	last    int64 // max completion cycle seen across all channels
-	stopped bool
+	workers  []chanWorker
+	batchCap int
+	last     int64 // max completion cycle seen across all channels
+	running  bool
 }
 
-// startEngine launches one worker per channel. Each channel is driven by
-// exactly one goroutine for the engine's lifetime, so per-channel state
-// (controller, probe sink, fault stream) needs no locking and the op order
-// per channel is the dispatch order — the bit-identical guarantee.
-func startEngine(chans []*channel.Channel) *engine {
-	e := &engine{workers: make([]chanWorker, len(chans))}
-	for i := range chans {
+// startEngine launches one worker per channel on the System's persistent
+// engine. Each channel is driven by exactly one goroutine for the
+// engine's lifetime, so per-channel state (controller, probe sink, fault
+// stream) needs no locking and the op order per channel is the dispatch
+// order — the bit-identical guarantee.
+func (s *System) startEngine() *engine {
+	e := &s.eng
+	if len(e.workers) != len(s.chans) {
+		e.workers = make([]chanWorker, len(s.chans))
+		e.batchCap = batchCapFor(len(s.chans))
+		for i := range e.workers {
+			w := &e.workers[i]
+			w.work = make(chan []runOp, 1)
+			w.done = make(chan int64, 1)
+			// cur and spare start empty and grow on demand: coalesced
+			// runs need a handful of ops per flush, so preallocating
+			// batchCap entries would cost megabytes per System for
+			// nothing. Per-burst dispatch (probes/faults) grows them
+			// geometrically once and then recycles them for every
+			// subsequent Run of this System.
+		}
+	}
+	e.last = 0
+	e.running = true
+	for i := range e.workers {
 		w := &e.workers[i]
-		w.ch = chans[i]
-		w.work = make(chan []runOp, 1)
-		w.done = make(chan int64, 1)
-		// cur and spare start empty and grow on demand: coalesced runs
-		// need a handful of ops per flush, so preallocating batchOps
-		// entries would cost megabytes per Run for nothing. Per-burst
-		// dispatch (probes/faults) grows them geometrically once and
-		// then recycles.
-		go func(w *chanWorker) {
-			for batch := range w.work {
-				var end int64
-				for _, op := range batch {
-					if e := w.ch.AccessRun(op.write, op.local, int(op.bursts), op.arrival); e > end {
-						end = e
-					}
-				}
-				w.done <- end
-			}
-		}(w)
+		w.ch = s.chans[i] // re-bind: pool revival rebuilds the channels
+		w.cur = w.cur[:0]
+		w.inflight = false
+		go workerLoop(w)
 	}
 	return e
+}
+
+// workerLoop chews batches until the nil poison pill, acknowledging it
+// through done so stop can join the goroutine. A top-level function (not
+// a closure) so spawning it allocates nothing.
+func workerLoop(w *chanWorker) {
+	for {
+		batch := <-w.work
+		if batch == nil {
+			w.done <- 0
+			return
+		}
+		var end int64
+		for _, op := range batch {
+			if e := w.ch.AccessRun(op.write, op.local, int(op.bursts), op.arrival); e > end {
+				end = e
+			}
+		}
+		w.done <- end
+	}
 }
 
 // dispatch queues one op for the channel, handing the batch to the worker
@@ -79,7 +117,7 @@ func startEngine(chans []*channel.Channel) *engine {
 func (e *engine) dispatch(ch int, op runOp) {
 	w := &e.workers[ch]
 	w.cur = append(w.cur, op)
-	if len(w.cur) >= batchOps {
+	if len(w.cur) >= e.batchCap {
 		e.submit(w)
 	}
 }
@@ -128,15 +166,18 @@ func (e *engine) barrier() {
 	}
 }
 
-// stop drains outstanding work and terminates the workers. Idempotent, so
-// Run can both defer it (error paths) and call it before reading stats.
+// stop drains outstanding work and terminates the workers, leaving the
+// batches parked for the next Run. Idempotent, so Run can both defer it
+// (error paths) and call it before reading stats.
 func (e *engine) stop() {
-	if e.stopped {
+	if !e.running {
 		return
 	}
-	e.stopped = true
+	e.running = false
 	e.barrier()
 	for i := range e.workers {
-		close(e.workers[i].work)
+		w := &e.workers[i]
+		w.work <- nil
+		<-w.done
 	}
 }

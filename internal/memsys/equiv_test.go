@@ -109,6 +109,7 @@ func TestDispatchEquivalence(t *testing.T) {
 		runVariant := func(v variant) outcome {
 			c := cfg
 			c.Parallel = v.parallel
+			c.ForceParallel = v.parallel
 			c.NoCoalesce = v.noCoalesce
 			if plan != nil {
 				p := *plan
@@ -219,6 +220,7 @@ func TestCoalescedMatchesPerBurstAcrossGranularities(t *testing.T) {
 func TestParallelEngineReuse(t *testing.T) {
 	cfg := PaperConfig(4, 400*units.MHz)
 	cfg.Parallel = true
+	cfg.ForceParallel = true
 	sys, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -250,6 +252,7 @@ func TestParallelEngineReuse(t *testing.T) {
 func TestRunErrorStopsEngine(t *testing.T) {
 	cfg := PaperConfig(4, 400*units.MHz)
 	cfg.Parallel = true
+	cfg.ForceParallel = true
 	sys, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

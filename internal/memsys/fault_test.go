@@ -98,6 +98,7 @@ func TestFaultySerialMatchesParallel(t *testing.T) {
 	for i, parallel := range []bool{false, true} {
 		cfg := PaperConfig(4, 400*units.MHz)
 		cfg.Parallel = parallel
+		cfg.ForceParallel = parallel
 		p := *plan
 		cfg.Faults = &p
 		s, err := New(cfg)

@@ -8,6 +8,7 @@ package memsys
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/channel"
 	"repro/internal/controller"
@@ -63,6 +64,13 @@ type Config struct {
 	// bit-identical to the serial run; this only changes wall-clock
 	// simulation speed.
 	Parallel bool
+	// ForceParallel runs the parallel engine even on a single-CPU host,
+	// where Run otherwise takes the serial path because goroutine
+	// handoffs cannot buy wall-clock time without a second core. Results
+	// are bit-identical regardless — this knob exists so the differential
+	// oracle and the engine's own tests exercise the parallel code path
+	// deterministically on any CI host.
+	ForceParallel bool
 	// NoCoalesce forces per-burst dispatch even where the burst-run fast
 	// path applies (see Run). Results are bit-identical either way — this
 	// is a debugging/CI knob, like core.MemoryConfig.Serial: the
@@ -163,6 +171,11 @@ type System struct {
 	liveIlv     mapping.ChannelInterleave // Table II remap over M-1
 	dispArrival int64                     // max request arrival dispatched
 	dispBus     int64                     // data-bus cycles dispatched
+
+	// eng is the persistent parallel-dispatch engine: batches and handoff
+	// channels survive across Runs (and pool revivals), worker goroutines
+	// do not — see startEngine/stop.
+	eng engine
 }
 
 // New builds the subsystem, validating the configuration.
@@ -341,10 +354,14 @@ func (s *System) Run(src Source) (Result, error) {
 	burst := s.cfg.Geometry.BurstBytes()
 	var last int64
 
-	parallel := s.cfg.Parallel && len(s.chans) > 1
+	// On one CPU the engine's goroutine handoffs are pure overhead — the
+	// serial path computes the identical result faster — so Parallel only
+	// engages with real parallelism available (or when forced for tests).
+	parallel := s.cfg.Parallel && len(s.chans) > 1 &&
+		(s.cfg.ForceParallel || runtime.GOMAXPROCS(0) > 1)
 	var eng *engine
 	if parallel {
-		eng = startEngine(s.chans)
+		eng = s.startEngine()
 		defer eng.stop() // idempotent; drains workers on early error returns
 	}
 	coalesce := !s.cfg.NoCoalesce && s.inj == nil &&

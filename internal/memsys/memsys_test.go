@@ -315,6 +315,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	serialCfg := PaperConfig(4, 400*units.MHz)
 	parallelCfg := serialCfg
 	parallelCfg.Parallel = true
+	parallelCfg.ForceParallel = true
 
 	run := func(cfg Config) Result {
 		sys, err := New(cfg)

@@ -249,6 +249,7 @@ func TestParallelRunMatchesSerial(t *testing.T) {
 		recs := make([]*probe.Recorder, channels)
 		cfg := memsys.PaperConfig(channels, 400*units.MHz)
 		cfg.Parallel = parallel
+		cfg.ForceParallel = parallel
 		cfg.NewProbe = func(ch int) probe.Sink {
 			recs[ch] = &probe.Recorder{}
 			return recs[ch]

@@ -32,6 +32,11 @@ type SimulateRequest struct {
 	// Fraction in (0,1] simulates that fraction of the frame and
 	// extrapolates; 0 means the full frame.
 	Fraction float64 `json:"fraction,omitempty"`
+	// Fidelity selects the tier: "exact", "fast" or "auto". Empty uses
+	// the server's -fidelity default. Estimated answers carry
+	// "estimated":true, the same way saturation fallbacks carry
+	// "degraded":true.
+	Fidelity string `json:"fidelity,omitempty"`
 
 	// Optional MemoryConfig extensions (zero = paper baseline).
 	Mux                   string `json:"mux,omitempty"`    // "rbc" (default) or "brc"
@@ -51,6 +56,7 @@ type SweepRequest struct {
 	Channels []int    `json:"channels"`
 	FreqsMHz []int    `json:"freqs_mhz"`
 	Fraction float64  `json:"fraction,omitempty"`
+	Fidelity string   `json:"fidelity,omitempty"`
 
 	Mux                   string `json:"mux,omitempty"`
 	Policy                string `json:"policy,omitempty"`
@@ -81,6 +87,10 @@ type SimulateResponse struct {
 	PowerMW     float64 `json:"power_mw"`
 	InterfaceMW float64 `json:"interface_mw"`
 	Degraded    bool    `json:"degraded,omitempty"`
+	// Estimated marks closed-form analytic answers (fast/auto fidelity
+	// tiers and degraded-mode fallbacks), serialized the same omitempty
+	// way Degraded is: absent means cycle-accurate.
+	Estimated bool `json:"estimated,omitempty"`
 }
 
 // SweepResponse wraps the grid's points in request (row-major) order.
@@ -226,5 +236,6 @@ func responseFor(req SimulateRequest, res core.Result, degraded bool) SimulateRe
 		PowerMW:     res.TotalPower.Milliwatts(),
 		InterfaceMW: res.InterfacePower.Milliwatts(),
 		Degraded:    degraded,
+		Estimated:   res.Estimated,
 	}
 }

@@ -55,6 +55,10 @@ type Config struct {
 	// degraded in the response) instead of shedding them with 429 —
 	// the service-level analogue of the paper's frame-dropping ladder.
 	Degrade bool
+	// Fidelity is the tier used for requests that do not set their own
+	// "fidelity" field (the simd -fidelity flag). The zero value is
+	// FidelityExact — the seed behavior.
+	Fidelity core.Fidelity
 	// Cache answers points content-addressed with single-flight dedup
 	// (nil = a fresh in-process cache).
 	Cache *core.SimCache
@@ -150,7 +154,7 @@ type Server struct {
 	// simulate and estimate are the compute seams: production wires them
 	// to the cache and the analytic model; tests substitute blocking or
 	// panicking stand-ins to pin the failure-handling paths.
-	simulate func(ctx context.Context, w core.Workload, mc core.MemoryConfig) (core.Result, core.CacheOutcome, error)
+	simulate func(ctx context.Context, w core.Workload, mc core.MemoryConfig, tier core.Fidelity) (core.Result, core.CacheOutcome, error)
 	estimate func(w core.Workload, mc core.MemoryConfig) (core.Result, error)
 }
 
@@ -165,7 +169,7 @@ func New(cfg Config) *Server {
 		slots:      make(chan struct{}, cfg.Workers),
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
-		simulate:   cfg.Cache.SimulateContext,
+		simulate:   cfg.Cache.SimulateTier,
 		estimate:   core.AnalyticResult,
 	}
 	s.http = &http.Server{
@@ -357,17 +361,25 @@ func (s *Server) acquireSlot(ctx context.Context) (release func(), err error) {
 
 // runPoint answers one point through the worker pool and cache,
 // classifying the outcome for the response header.
-func (s *Server) runPoint(ctx context.Context, w core.Workload, mc core.MemoryConfig) (core.Result, core.CacheOutcome, error) {
+func (s *Server) runPoint(ctx context.Context, w core.Workload, mc core.MemoryConfig, tier core.Fidelity) (core.Result, core.CacheOutcome, error) {
 	release, err := s.acquireSlot(ctx)
 	if err != nil {
 		return core.Result{}, 0, err
 	}
 	defer release()
-	res, outcome, err := s.simulate(ctx, w, mc)
+	res, outcome, err := s.simulate(ctx, w, mc, tier)
 	if err == nil && outcome == core.OutcomeJoined {
 		s.meter.dedupJoined.Inc()
 	}
 	return res, outcome, err
+}
+
+// tierFor resolves a request's fidelity field against the server default.
+func (s *Server) tierFor(field string) (core.Fidelity, error) {
+	if field == "" {
+		return s.cfg.Fidelity, nil
+	}
+	return core.ParseFidelity(field)
 }
 
 // shedOrDegrade handles a saturated arrival: the analytic estimate when
@@ -405,6 +417,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tier, err := s.tierFor(req.Fidelity)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	deadline, err := s.requestDeadline(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -421,7 +438,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
-	res, outcome, err := s.runPoint(ctx, wl, mc)
+	res, outcome, err := s.runPoint(ctx, wl, mc, tier)
 	if err != nil {
 		s.writeSimError(w, ctx, err)
 		return
@@ -438,6 +455,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	points, err := req.Grid(s.cfg.MaxSweepPoints)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tier, err := s.tierFor(req.Fidelity)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -492,7 +514,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// the per-point acquireSlot arbitrates fairly with single-point
 	// requests, and RunIndexedContext keeps the output in grid order.
 	results, err := core.RunIndexedContext(ctx, s.cfg.Workers, len(grid), func(i int) (SimulateResponse, error) {
-		res, _, err := s.runPoint(ctx, grid[i].w, grid[i].mc)
+		res, _, err := s.runPoint(ctx, grid[i].w, grid[i].mc, tier)
 		if err != nil {
 			return SimulateResponse{}, err
 		}

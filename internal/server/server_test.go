@@ -145,7 +145,7 @@ func TestSingleFlightDedup(t *testing.T) {
 	key := simcache.Key{0x5f}
 	gate := make(chan struct{})
 	var computed atomic.Int64
-	s.simulate = func(ctx context.Context, w core.Workload, mc core.MemoryConfig) (core.Result, core.CacheOutcome, error) {
+	s.simulate = func(ctx context.Context, w core.Workload, mc core.MemoryConfig, tier core.Fidelity) (core.Result, core.CacheOutcome, error) {
 		val, err, hit, joined := memo.DoContext(ctx, key, func(context.Context) (core.Result, error) {
 			computed.Add(1)
 			<-gate
@@ -213,8 +213,8 @@ func TestSingleFlightDedup(t *testing.T) {
 
 // blockingStub parks every simulate call until gate closes (or the
 // request context is canceled), reporting each arrival on started.
-func blockingStub(res core.Result, gate <-chan struct{}, started chan<- struct{}) func(context.Context, core.Workload, core.MemoryConfig) (core.Result, core.CacheOutcome, error) {
-	return func(ctx context.Context, w core.Workload, mc core.MemoryConfig) (core.Result, core.CacheOutcome, error) {
+func blockingStub(res core.Result, gate <-chan struct{}, started chan<- struct{}) func(context.Context, core.Workload, core.MemoryConfig, core.Fidelity) (core.Result, core.CacheOutcome, error) {
+	return func(ctx context.Context, w core.Workload, mc core.MemoryConfig, tier core.Fidelity) (core.Result, core.CacheOutcome, error) {
 		if started != nil {
 			started <- struct{}{}
 		}
@@ -342,7 +342,7 @@ func TestDeadlineExceeded(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	reg := metrics.NewRegistry()
 	s := New(Config{Workers: 1, Metrics: reg})
-	s.simulate = func(context.Context, core.Workload, core.MemoryConfig) (core.Result, core.CacheOutcome, error) {
+	s.simulate = func(context.Context, core.Workload, core.MemoryConfig, core.Fidelity) (core.Result, core.CacheOutcome, error) {
 		panic("poisoned point")
 	}
 	h := s.Handler()
@@ -354,7 +354,7 @@ func TestPanicIsolation(t *testing.T) {
 		t.Errorf("server_panics_total = %d, want 1", v)
 	}
 	res := sampleResult(t)
-	s.simulate = func(context.Context, core.Workload, core.MemoryConfig) (core.Result, core.CacheOutcome, error) {
+	s.simulate = func(context.Context, core.Workload, core.MemoryConfig, core.Fidelity) (core.Result, core.CacheOutcome, error) {
 		return res, core.OutcomeSimulated, nil
 	}
 	if rec := postJSON(h, "/v1/simulate", sampleBody, nil); rec.Code != http.StatusOK {
@@ -371,7 +371,7 @@ func TestRateLimit(t *testing.T) {
 	reg := metrics.NewRegistry()
 	s := New(Config{Workers: 1, RateLimit: 0.001, RateBurst: 1, Metrics: reg})
 	res := sampleResult(t)
-	s.simulate = func(context.Context, core.Workload, core.MemoryConfig) (core.Result, core.CacheOutcome, error) {
+	s.simulate = func(context.Context, core.Workload, core.MemoryConfig, core.Fidelity) (core.Result, core.CacheOutcome, error) {
 		return res, core.OutcomeSimulated, nil
 	}
 	h := s.Handler()
