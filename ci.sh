@@ -8,6 +8,9 @@
 # protocol-checker soak (randomized configs replayed under the timing
 # invariant checker and the three-way differential oracle, -race on,
 # seed counts bounded by CHECK_SOAK_CONFIGS / CHECK_ORACLE_CONFIGS),
+# the policy x device matrix gate (every registered scheduling policy
+# on every registered datasheet through the checked differential
+# oracle, CHECK_MATRIX_REQS requests per cell),
 # the cache differential gate (cached, uncached, serial-cached and
 # disk-cached runs must produce byte-identical output), the
 # observability gates (the disabled metrics registry stays within the
@@ -69,10 +72,25 @@ CHECK_ORACLE_CONFIGS="${CHECK_ORACLE_CONFIGS:-100}" \
     go test -race -count=1 -run 'TestCheckerSoak$|TestDifferentialOracle$' ./internal/check/
 echo "ci: checker soak OK"
 
+echo "== policy x device matrix gate =="
+# The admissibility contract for scheduling policies and datasheets:
+# every registered policy on every registered device must run a mixed
+# multi-client workload with the timing-invariant checker silent AND
+# replay it bit-identically through all four dispatch strategies of the
+# differential oracle (coalesce-unsafe policies proving their fast-path
+# fallback). Workload size scales with CHECK_MATRIX_REQS.
+CHECK_MATRIX_REQS="${CHECK_MATRIX_REQS:-200}" \
+    go test -race -count=1 -run 'TestPolicyDeviceMatrix$' ./internal/check/
+echo "ci: policy x device matrix OK"
+
 echo "== checked end-to-end run =="
 # One flagship run per tool path with -check on: any DRAM command that
-# violates the device timing constraints fails the build.
+# violates the device timing constraints fails the build. The second run
+# crosses a reordering policy with a modern datasheet so the non-baseline
+# plumbing stays covered end to end.
 go run ./cmd/mcmsim -format 1080p30 -channels 4 -fraction 0.02 -check >/dev/null
+go run ./cmd/mcmsim -format 1080p30 -channels 4 -fraction 0.02 -check \
+    -page frfcfs -device lpddr4 -freq 800 >/dev/null
 echo "ci: checked run OK"
 
 echo "== fuzz smoke =="

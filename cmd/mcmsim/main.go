@@ -15,10 +15,13 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"strings"
+
 	"repro/internal/check"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/debugserver"
+	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
@@ -30,9 +33,10 @@ func main() {
 	var (
 		format   = flag.String("format", "720p30", "frame format: 720p30, 720p60, 1080p30, 1080p60, 2160p30, 2160p60")
 		channels = flag.Int("channels", 1, "memory channel count (1, 2, 4, 8)")
-		freqMHz  = flag.Float64("freq", 400, "interface clock in MHz (200-533)")
+		freqMHz  = flag.Float64("freq", 400, "interface clock in MHz (200-533 for the paper device; other -device entries carry their own range)")
 		mux      = flag.String("mux", "rbc", "address multiplexing: rbc or brc")
-		page     = flag.String("page", "open", "page policy: open or closed")
+		page     = flag.String("page", "open", "scheduling policy: "+strings.Join(controller.PolicyNames(), ", "))
+		device   = flag.String("device", "", "DRAM datasheet: "+strings.Join(dram.DeviceNames(), ", ")+" (empty = paper)")
 		noPD     = flag.Bool("no-powerdown", false, "disable aggressive power-down")
 		fraction = flag.Float64("fraction", 1.0, "fraction of the frame traffic to simulate (extrapolated)")
 		perChan  = flag.Bool("per-channel", false, "print per-channel power breakdown")
@@ -184,16 +188,15 @@ func main() {
 	case "brc":
 		mc.Mux = mapping.BRC
 	default:
-		fatal(fmt.Errorf("unknown multiplexing %q", *mux))
+		usageError("unknown multiplexing %q (want rbc or brc)", *mux)
 	}
-	switch *page {
-	case "open":
-		mc.Policy = controller.OpenPage
-	case "closed":
-		mc.Policy = controller.ClosedPage
-	default:
-		fatal(fmt.Errorf("unknown page policy %q", *page))
+	if mc.Policy, err = controller.ParsePolicy(*page); err != nil {
+		usageError("-page: %v", err)
 	}
+	if _, err := dram.Device(*device); err != nil {
+		usageError("-device: %v", err)
+	}
+	mc.Device = *device
 	mc.DisablePowerDown = *noPD
 	mc.WriteBufferDepth = *wbuf
 	mc.QueueDepth = *queue
@@ -263,6 +266,7 @@ func main() {
 		man.SampleFraction = *fraction
 		man.Config = map[string]any{
 			"mux": mc.Mux.String(), "page_policy": mc.Policy.String(),
+			"device":    deviceName(mc.Device),
 			"powerdown": !mc.DisablePowerDown, "write_buffer": mc.WriteBufferDepth,
 			"queue_depth": mc.QueueDepth, "refresh_postpone": mc.RefreshPostpone,
 			"precharge_on_idle": mc.PrechargeOnIdle, "probe_window": *probeWindow,
@@ -280,8 +284,8 @@ func main() {
 
 	fmt.Printf("workload:   %s (H.264 level %s), %d B/frame (%.2f GB/s required)\n",
 		res.Format, res.Level.Number, res.FrameBytes, res.RequiredBandwidth.GBps())
-	fmt.Printf("memory:     %d channel(s) @ %v, %s, %s, power-down %v\n",
-		res.Channels, res.Freq, mc.Mux, mc.Policy, !mc.DisablePowerDown)
+	fmt.Printf("memory:     %d channel(s) @ %v, %s, %s, %s, power-down %v\n",
+		res.Channels, res.Freq, mc.Mux, mc.Policy, deviceName(mc.Device), !mc.DisablePowerDown)
 	fmt.Printf("access:     %v per frame (budget %v)  ->  %s\n",
 		res.AccessTime, res.FramePeriod, res.Verdict)
 	if res.Estimated {
@@ -362,6 +366,16 @@ func reportCheck(set *check.Set) {
 	fmt.Println("check:      every DRAM command satisfied the device timing constraints")
 }
 
+// deviceName spells the -device selection for reports; the empty string
+// is the paper baseline.
+func deviceName(device string) string {
+	d, err := dram.Device(device)
+	if err != nil {
+		return device
+	}
+	return d.Name
+}
+
 // usageError reports a flag-validation failure and exits with the usage
 // status (2), matching the flag package's own error handling.
 func usageError(format string, args ...any) {
@@ -388,6 +402,7 @@ func runDegraded(w core.Workload, mc core.MemoryConfig, obs *probe.Observer, fra
 		man.SampleFraction = fraction
 		man.Config = map[string]any{
 			"mux": mc.Mux.String(), "page_policy": mc.Policy.String(),
+			"device":    deviceName(mc.Device),
 			"powerdown": !mc.DisablePowerDown, "probe_window": probeWindow,
 			"serial": mc.Serial, "fault_plan": fmt.Sprintf("%+v", *mc.Faults),
 		}

@@ -17,10 +17,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/debugserver"
+	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/probe"
@@ -35,6 +38,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		fraction = flag.Float64("fraction", 0.2, "fraction of each frame to simulate (results extrapolate linearly)")
 		jobs     = flag.Int("jobs", 0, "concurrent sweep points per artifact (0 = one per CPU, 1 = serial); output is identical at any job count")
+		policy   = flag.String("policy", "", "controller scheduling policy for every artifact: "+strings.Join(controller.PolicyNames(), ", ")+" (empty = open-page)")
+		device   = flag.String("device", "", "DRAM datasheet for every artifact: "+strings.Join(dram.DeviceNames(), ", ")+" (empty = paper)")
 		dir      = flag.String("dir", "", "also write each artifact to <dir>/<name>.txt (or .csv)")
 
 		probeWindow = flag.Int64("probe-window", 100000, "time-series epoch length in DRAM cycles (for -metrics-out)")
@@ -69,7 +74,14 @@ func main() {
 	if err := probe.CheckWritable(*summaryOut); err != nil {
 		usageError("-summary-out not writable: %v", err)
 	}
-	opt := core.RunOptions{SampleFraction: *fraction, Jobs: *jobs}
+	pol, err := controller.ParsePolicy(*policy)
+	if err != nil {
+		usageError("-policy: %v", err)
+	}
+	if _, err := dram.Device(*device); err != nil {
+		usageError("-device: %v", err)
+	}
+	opt := core.RunOptions{SampleFraction: *fraction, Jobs: *jobs, Policy: pol, Device: *device}
 
 	// Run-level observability: the registry exists only when a flag
 	// consumes it (stdout stays byte-identical either way), and the phase
@@ -176,7 +188,10 @@ func main() {
 	if *summaryOut != "" {
 		man := probe.NewManifest("paper")
 		man.SampleFraction = *fraction
-		man.Config = map[string]any{"only": *only, "csv": *csv, "jobs": *jobs}
+		man.Config = map[string]any{
+			"only": *only, "csv": *csv, "jobs": *jobs,
+			"policy": pol.String(), "device": *device,
+		}
 		man.Finish(0, time.Since(start))
 		man.AddOutput("summary", *summaryOut)
 		if err := probe.NewSummary(man, reg.Snapshot()).Write(*summaryOut); err != nil {

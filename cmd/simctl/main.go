@@ -149,11 +149,13 @@ func runSimulate(args []string) {
 		clientID  = fs.String("client-id", "", "X-Client-ID to present (rate-limit identity)")
 		asJSON    = fs.Bool("json", false, "print the raw JSON response instead of a CSV row")
 		fidelity  = fs.String("fidelity", "", "fidelity tier to request: exact, fast or auto (empty = server default)")
+		policy    = fs.String("policy", "", "controller scheduling policy (empty = server default, open-page)")
+		device    = fs.String("device", "", "DRAM datasheet to simulate (empty = paper device)")
 	)
 	fs.Parse(args)
 
 	c := newClient(*serverURL, *clientID, *timeout, *deadline)
-	req := server.SimulateRequest{Format: *format, Channels: *channels, FreqMHz: *freq, Fraction: *fraction, Fidelity: *fidelity}
+	req := server.SimulateRequest{Format: *format, Channels: *channels, FreqMHz: *freq, Fraction: *fraction, Fidelity: *fidelity, Policy: *policy, Device: *device}
 	status, data, hdr, err := c.post("/v1/simulate", &req)
 	if err != nil {
 		fatal(err)
@@ -191,6 +193,8 @@ func runSweep(args []string) {
 		deadline  = fs.Duration("deadline", 0, "server-side deadline to request (0 = server default)")
 		clientID  = fs.String("client-id", "", "X-Client-ID to present (rate-limit identity)")
 		fidelity  = fs.String("fidelity", "", "fidelity tier to request: exact, fast or auto (empty = server default)")
+		policy    = fs.String("policy", "", "controller scheduling policy (empty = server default, open-page)")
+		device    = fs.String("device", "", "DRAM datasheet to simulate (empty = paper device)")
 	)
 	fs.Parse(args)
 
@@ -208,7 +212,7 @@ func runSweep(args []string) {
 	}
 
 	c := newClient(*serverURL, *clientID, *timeout, *deadline)
-	req := server.SweepRequest{Formats: formatList, Channels: chList, FreqsMHz: freqList, Fraction: *fraction, Fidelity: *fidelity}
+	req := server.SweepRequest{Formats: formatList, Channels: chList, FreqsMHz: freqList, Fraction: *fraction, Fidelity: *fidelity, Policy: *policy, Device: *device}
 	status, data, _, err := c.post("/v1/sweep", &req)
 	if err != nil {
 		fatal(err)

@@ -31,8 +31,10 @@ import (
 
 	"repro/internal/analytic"
 	"repro/internal/check"
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/debugserver"
+	"repro/internal/dram"
 	"repro/internal/metrics"
 	"repro/internal/probe"
 	"repro/internal/units"
@@ -44,6 +46,8 @@ func main() {
 		channels   = flag.String("channels", "1,2,4,8", "comma-separated channel counts")
 		freqs      = flag.String("freqs", "200,266,333,400,533", "comma-separated clock frequencies in MHz")
 		fraction   = flag.Float64("fraction", 0.1, "frame fraction to simulate")
+		policyName = flag.String("policy", "", "controller scheduling policy: "+strings.Join(controller.PolicyNames(), ", ")+" (empty = open-page)")
+		deviceName = flag.String("device", "", "DRAM datasheet: "+strings.Join(dram.DeviceNames(), ", ")+" (empty = paper)")
 		jobs       = flag.Int("jobs", 0, "concurrent sweep points (0 = one per CPU, 1 = serial)")
 		serial     = flag.Bool("serial", false, "run the sweep serially (same output; shorthand for -jobs 1)")
 		checkRun   = flag.Bool("check", false, "verify every point's DRAM commands against the device timing constraints (slower; violations are fatal)")
@@ -87,6 +91,13 @@ func main() {
 	if err != nil {
 		usageError("-fidelity: %v", err)
 	}
+	policy, err := controller.ParsePolicy(*policyName)
+	if err != nil {
+		usageError("-policy: %v", err)
+	}
+	if _, err := dram.Device(*deviceName); err != nil {
+		usageError("-device: %v", err)
+	}
 	if tier != core.FidelityExact && *checkRun {
 		usageError("-check conflicts with -fidelity %s: the protocol checker needs the cycle-accurate command stream", tier)
 	}
@@ -100,6 +111,8 @@ func main() {
 			usageError("-calibrate conflicts with -envelope: calibration produces an envelope, it does not consume one")
 		case *summaryOut != "":
 			usageError("-calibrate conflicts with -summary-out: stdout carries the envelope JSON, not sweep rows")
+		case policy != controller.OpenPage || *deviceName != "":
+			usageError("-calibrate conflicts with -policy/-device: calibration measures the paper baseline the auto tier serves")
 		}
 	}
 	if *envelope != "" && tier != core.FidelityAuto {
@@ -257,6 +270,8 @@ func main() {
 	results, err := core.RunIndexedContext(ctx, njobs, len(grid), func(i int) (core.Result, error) {
 		p := grid[i]
 		mc := core.PaperMemory(p.ch, units.Frequency(p.f)*units.MHz)
+		mc.Policy = policy
+		mc.Device = *deviceName
 		var set *check.Set
 		if *checkRun {
 			var err error
@@ -327,6 +342,7 @@ func main() {
 		man.SampleFraction = *fraction
 		man.Config = map[string]any{
 			"formats": *formats, "channels": *channels, "freqs": *freqs,
+			"policy": policy.String(), "device": *deviceName,
 			"points": len(grid), "jobs": njobs,
 		}
 		man.Finish(totalCycles, time.Since(start))

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/controller"
 	"repro/internal/dram"
 	"repro/internal/load"
 	"repro/internal/memsys"
@@ -42,8 +44,22 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "with -run: write a Chrome/Perfetto trace-event JSON of the replay")
 		metricsOut  = flag.String("metrics-out", "", "with -run: write windowed time-series metrics (.json = JSON, else CSV)")
 		checkRun    = flag.Bool("check", false, "with -run: verify every DRAM command against the device timing constraints (violations are fatal)")
+		policyName  = flag.String("policy", "", "with -run: controller scheduling policy, one of "+strings.Join(controller.PolicyNames(), ", ")+" (empty = open-page)")
+		deviceName  = flag.String("device", "", "with -run: DRAM datasheet, one of "+strings.Join(dram.DeviceNames(), ", ")+" (empty = paper)")
 	)
 	flag.Parse()
+
+	policy, err := controller.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: -policy: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if _, err := dram.Device(*deviceName); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: -device: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *probeWindow <= 0 {
 		fmt.Fprintf(os.Stderr, "trace: -probe-window must be positive, got %d\n", *probeWindow)
@@ -61,7 +77,7 @@ func main() {
 			fatal(err)
 		}
 	case *run != "":
-		if err := replay(*run, *channels, *freqMHz, *probeWindow, *traceOut, *metricsOut, *checkRun); err != nil {
+		if err := replay(*run, *channels, *freqMHz, *probeWindow, *traceOut, *metricsOut, *checkRun, policy, *deviceName); err != nil {
 			fatal(err)
 		}
 	default:
@@ -113,7 +129,7 @@ func summarize(path string) error {
 	return nil
 }
 
-func replay(path string, channels int, freqMHz float64, probeWindow int64, traceOut, metricsOut string, checkRun bool) error {
+func replay(path string, channels int, freqMHz float64, probeWindow int64, traceOut, metricsOut string, checkRun bool, policy controller.PagePolicy, deviceName string) error {
 	reqs, err := loadTrace(path)
 	if err != nil {
 		return err
@@ -123,6 +139,11 @@ func replay(path string, channels int, freqMHz float64, probeWindow int64, trace
 		return err
 	}
 	cfg := memsys.PaperConfig(channels, units.Frequency(freqMHz)*units.MHz)
+	cfg.Policy = policy
+	if dev, err := dram.Device(deviceName); err == nil && dev.Name != dram.PaperDevice {
+		cfg.Geometry = dev.Geometry
+		cfg.Timing = dev.Timing
+	}
 	if obs.Enabled() {
 		cfg.NewProbe = obs.Channel
 	}

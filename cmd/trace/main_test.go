@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"repro/internal/controller"
 	"strings"
 	"testing"
 )
@@ -29,14 +30,14 @@ func TestDumpSummaryReplayRoundTrip(t *testing.T) {
 	if err := summarize(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := replay(path, 2, 400, 100000, "", "", true); err != nil {
+	if err := replay(path, 2, 400, 100000, "", "", true, controller.OpenPage, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Error paths.
 	if err := summarize(filepath.Join(dir, "missing")); err == nil {
 		t.Error("expected error for missing file")
 	}
-	if err := replay(path, 0, 400, 100000, "", "", false); err == nil {
+	if err := replay(path, 0, 400, 100000, "", "", false, controller.OpenPage, ""); err == nil {
 		t.Error("expected error for zero channels")
 	}
 	if err := dumpTrace("nope", 2, 0.001, false); err == nil {
@@ -72,7 +73,7 @@ func TestDumpSummaryReplayRoundTrip(t *testing.T) {
 	// file and a manifest next to them.
 	traceOut := filepath.Join(dir, "replay.trace.json")
 	metricsOut := filepath.Join(dir, "replay.metrics.csv")
-	if err := replay(path, 2, 400, 10000, traceOut, metricsOut, false); err != nil {
+	if err := replay(path, 2, 400, 10000, traceOut, metricsOut, false, controller.FRFCFS, "lpddr4"); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(traceOut)

@@ -55,7 +55,16 @@ type Region struct {
 // measured cross-fraction drift exceeds 100×, so Bound refuses to answer
 // for any other fraction.
 type Envelope struct {
-	Schema         string   `json:"schema"`
+	Schema string `json:"schema"`
+	// Policy and Device identify the controller scheduling policy and the
+	// DRAM datasheet the calibration swept. Empty means the paper baseline
+	// (open-page on the estimated mobile DDR part) — the only combination
+	// the calibrator produces today. Both fold into Fingerprint, and the
+	// auto fidelity tier refuses to serve an estimate from an envelope
+	// whose identity it does not recognize, so a calibration against one
+	// policy/device can never prove a verdict for another.
+	Policy         string   `json:"policy,omitempty"`
+	Device         string   `json:"device,omitempty"`
 	SampleFraction float64  `json:"sample_fraction"`
 	Points         int      `json:"points"`
 	WorstAbsErr    float64  `json:"worst_abs_err"`

@@ -54,9 +54,16 @@ func New(cfg Config) (*Channel, error) {
 	if cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("channel: negative queue depth %d", cfg.QueueDepth)
 	}
+	depth := cfg.QueueDepth
+	if min := ctl.MinQueueDepth(); depth < min {
+		// A reordering policy (FR-FCFS) needs a window to reorder over;
+		// open one at the policy's default when the configuration sets
+		// none.
+		depth = min
+	}
 	return &Channel{
 		ctl:   ctl,
-		queue: controller.NewReorderQueue(ctl, cfg.QueueDepth),
+		queue: controller.NewReorderQueue(ctl, depth),
 		link:  cfg.DRAMLink,
 		inj:   cfg.Faults,
 	}, nil
@@ -65,12 +72,23 @@ func New(cfg Config) (*Channel, error) {
 // Access performs one burst at the channel-local byte address. arrival is
 // when the request reaches the channel; the returned cycle is when the
 // requester observes completion (read data returned, or write data
-// accepted by the cluster).
+// accepted by the cluster). The burst is attributed to stream 0; use
+// AccessStream when the requester's stream identity matters (bank
+// partitioning).
 func (ch *Channel) Access(write bool, local int64, arrival int64) int64 {
+	return ch.AccessStream(write, local, 0, arrival)
+}
+
+// AccessStream performs one burst on behalf of the identified client
+// stream. The controller's policy may remap the decoded bank by stream
+// (bank partitioning) before the request enters the scheduling window;
+// for every other policy the remap is the identity and the call behaves
+// exactly like Access.
+func (ch *Channel) AccessStream(write bool, local int64, stream int, arrival int64) int64 {
 	if arrival < 0 {
 		arrival = 0
 	}
-	loc := ch.decode(local)
+	loc := ch.ctl.MapStream(stream, ch.decode(local))
 	end := ch.queue.Access(write, loc, ch.link.Deliver(arrival))
 	if write {
 		return end
@@ -101,22 +119,33 @@ func (ch *Channel) Access(write bool, local int64, arrival int64) int64 {
 // per-burst completion cycle, bit-identical to calling Access once per burst
 // in address order.
 //
-// With an in-order, unobserved, fault-free channel the run is handed to the
-// controller's coalesced fast path (see controller.AccessRun); a reorder
-// window, an attached probe, or a fault stream falls back to the per-burst
-// path so event streams and fault decisions stay identical.
+// With an in-order, unobserved, fault-free channel under a coalesce-safe
+// policy the run is handed to the controller's coalesced fast path (see
+// controller.AccessRun); a reorder window, an attached probe, a fault
+// stream, or a policy that has not declared coalesce-safety falls back to
+// the per-burst path so event streams, fault decisions and policy state
+// stay identical.
 func (ch *Channel) AccessRun(write bool, local int64, bursts int, arrival int64) int64 {
+	return ch.AccessRunStream(write, local, bursts, 0, arrival)
+}
+
+// AccessRunStream is AccessRun with the requester's stream identity; the
+// per-burst fallback attributes every burst to the stream. The coalesced
+// fast path only engages for coalesce-safe policies, whose stream remap
+// is the identity, so stream attribution is never lost to coalescing.
+func (ch *Channel) AccessRunStream(write bool, local int64, bursts int, stream int, arrival int64) int64 {
 	if bursts <= 1 {
 		if bursts < 1 {
 			return 0
 		}
-		return ch.Access(write, local, arrival)
+		return ch.AccessStream(write, local, stream, arrival)
 	}
-	if ch.inj != nil || ch.queue.Depth() > 0 || (ch.ctl.HasProbe() && !ch.ctl.SynthCoalesced()) {
+	if ch.inj != nil || ch.queue.Depth() > 0 || !ch.ctl.CoalesceSafe() ||
+		(ch.ctl.HasProbe() && !ch.ctl.SynthCoalesced()) {
 		burstBytes := ch.ctl.Config().Speed.Geometry.BurstBytes()
 		var end int64
 		for i := 0; i < bursts; i++ {
-			if e := ch.Access(write, local, arrival); e > end {
+			if e := ch.AccessStream(write, local, stream, arrival); e > end {
 				end = e
 			}
 			local += burstBytes

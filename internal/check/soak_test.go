@@ -31,19 +31,21 @@ func envInt(name string, def int) int {
 }
 
 // randomConfig draws one subsystem configuration across the simulator's
-// feature matrix.
+// feature matrix: every registered scheduling policy and datasheet, with
+// the clock drawn from the chosen device's legal list.
 func randomConfig(rng *rand.Rand) memsys.Config {
-	freqs := []units.Frequency{200 * units.MHz, 266 * units.MHz, 333 * units.MHz,
-		400 * units.MHz, 533 * units.MHz}
+	devices := dram.Devices()
+	dev := devices[rng.Intn(len(devices))]
+	policies := controller.Policies()
 	cfg := memsys.Config{
 		Channels:      []int{1, 2, 4}[rng.Intn(3)],
-		Freq:          freqs[rng.Intn(len(freqs))],
+		Freq:          dev.Frequencies[rng.Intn(len(dev.Frequencies))],
+		Geometry:      dev.Geometry,
+		Timing:        dev.Timing,
+		Policy:        policies[rng.Intn(len(policies))],
 		PowerDown:     rng.Intn(4) != 0,
 		Parallel:      rng.Intn(2) == 0,
 		ForceParallel: true,
-	}
-	if rng.Intn(3) == 0 {
-		cfg.Policy = controller.ClosedPage
 	}
 	if rng.Intn(3) == 0 {
 		cfg.WriteBufferDepth = 1 << rng.Intn(5)
@@ -58,7 +60,8 @@ func randomConfig(rng *rand.Rand) memsys.Config {
 		cfg.PrechargeOnIdle = true
 	}
 	if rng.Intn(3) == 0 {
-		cfg.InterleaveGranularity = 16 << rng.Intn(4)
+		burst := int64(dev.Geometry.WordBits/8) * int64(dev.Geometry.BurstLength)
+		cfg.InterleaveGranularity = burst << rng.Intn(4)
 	}
 	return cfg
 }
@@ -80,6 +83,7 @@ func randomReqs(rng *rand.Rand, n int, refi int64) []memsys.Request {
 			Addr:    int64(rng.Intn(1 << 22)),
 			Bytes:   int64(1 + rng.Intn(4096)),
 			Arrival: arrival,
+			Stream:  rng.Intn(4),
 		})
 	}
 	return reqs
@@ -126,7 +130,7 @@ func TestCheckerSoak(t *testing.T) {
 			if rng.Intn(2) == 0 {
 				cfg.Faults = randomPlan(rng, cfg, uint64(i+1))
 			}
-			speed, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), cfg.Freq)
+			speed, err := dram.Resolve(cfg.Geometry, cfg.Timing, cfg.Freq)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -168,7 +172,7 @@ func TestDifferentialOracle(t *testing.T) {
 		t.Run(fmt.Sprintf("cfg%03d", i), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(0xD1FF + i*104_729)))
 			cfg := randomConfig(rng)
-			speed, err := dram.Resolve(dram.DefaultGeometry(), dram.DefaultTiming(), cfg.Freq)
+			speed, err := dram.Resolve(cfg.Geometry, cfg.Timing, cfg.Freq)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -177,6 +181,74 @@ func TestDifferentialOracle(t *testing.T) {
 				t.Fatalf("config %+v: %v", cfg, err)
 			}
 		})
+	}
+}
+
+// TestPolicyDeviceMatrix is the exhaustive policy-safety gate: every
+// registered scheduling policy on every registered datasheet runs a mixed
+// workload (multi-client streams included) with the invariant checker
+// attached, then replays the same workload through the differential oracle.
+// A policy is only admissible if its command stream satisfies the device's
+// timing constraints AND all four dispatch strategies reproduce it
+// bit-identically — which is exactly the coalesce-safety contract the
+// fast-path guard enforces. CHECK_MATRIX_REQS scales the workload for the
+// CI gate.
+func TestPolicyDeviceMatrix(t *testing.T) {
+	n := envInt("CHECK_MATRIX_REQS", 200)
+	if testing.Short() {
+		n = 60
+	}
+	for _, policy := range controller.Policies() {
+		for _, dev := range dram.Devices() {
+			policy, dev := policy, dev
+			t.Run(fmt.Sprintf("%s/%s", policy, dev.Name), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(policy)<<8 ^ int64(len(dev.Name))))
+				cfg := memsys.Config{
+					Channels: 4,
+					Freq:     dev.Frequencies[len(dev.Frequencies)-1],
+					Geometry: dev.Geometry,
+					Timing:   dev.Timing,
+					Policy:   policy,
+					// A reorder window so FR-FCFS actually reorders even
+					// beyond its own default, and enough clients that the
+					// partition table fills every group.
+					QueueDepth: 8,
+					PowerDown:  true,
+				}
+				speed, err := dram.Resolve(cfg.Geometry, cfg.Timing, cfg.Freq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reqs := randomReqs(rng, n, speed.REFI)
+
+				// Arm 1: the invariant checker must stay silent.
+				checked := cfg
+				set := check.New(check.Options{
+					Speed:         speed,
+					Policy:        cfg.Policy,
+					MaxViolations: 8,
+				})
+				checked.NewProbe = set.Channel
+				sys, err := memsys.New(checked)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sys.Run(memsys.NewSliceSource(reqs)); err != nil {
+					t.Fatal(err)
+				}
+				if err := set.Err(); err != nil {
+					for _, v := range set.Violations() {
+						t.Logf("%s", v)
+					}
+					t.Fatalf("%s on %s: %v", policy, dev.Name, err)
+				}
+
+				// Arm 2: all four dispatch strategies must agree.
+				if err := check.Differential(cfg, reqs); err != nil {
+					t.Fatalf("%s on %s: %v", policy, dev.Name, err)
+				}
+			})
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ package controller
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/dram"
 	"repro/internal/fault"
@@ -21,7 +22,9 @@ import (
 	"repro/internal/stats"
 )
 
-// PagePolicy selects what happens to a row after an access.
+// PagePolicy identifies a registered scheduling policy (see Policy in
+// policy.go). The int identity keeps every configuration struct
+// comparable, which the content-addressed cache keys rely on.
 type PagePolicy int
 
 const (
@@ -32,18 +35,21 @@ const (
 	// ClosedPage precharges the bank immediately after every access
 	// (auto-precharge); evaluated as an ablation.
 	ClosedPage
+	// FRFCFS issues row hits first, then requests to closed banks, then
+	// the oldest — first-ready FCFS over a reorder window it opens by
+	// default (DefaultFRFCFSDepth).
+	FRFCFS
+	// BankPartition confines each client stream to its own bank group so
+	// streams cannot evict each other's open rows.
+	BankPartition
 )
 
 // String names the policy.
 func (p PagePolicy) String() string {
-	switch p {
-	case OpenPage:
-		return "open-page"
-	case ClosedPage:
-		return "closed-page"
-	default:
-		return fmt.Sprintf("PagePolicy(%d)", int(p))
+	if pol, ok := policyFor(p); ok {
+		return pol.Name()
 	}
+	return fmt.Sprintf("PagePolicy(%d)", int(p))
 }
 
 // Config parameterizes one channel controller.
@@ -107,6 +113,7 @@ type Config struct {
 // from the start of the simulation.
 type Controller struct {
 	cfg    Config
+	pol    Policy // resolved from cfg.Policy in New; stateless singleton
 	mapper mapping.BankMapper
 	banks  []bankState
 
@@ -129,6 +136,12 @@ type Controller struct {
 	haveCmd       bool
 
 	wbuf []mapping.Location // posted writes awaiting drain
+
+	// Bank-partitioning state: stream id -> assigned bank group, -1 when
+	// unseen; partNext is the round-robin cursor. Only the BankPartition
+	// policy touches these.
+	partGroup []int32
+	partNext  int32
 
 	probe   probe.Sink // nil = observability disabled (the fast path)
 	chID    int32
@@ -156,8 +169,10 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Policy != OpenPage && cfg.Policy != ClosedPage {
-		return nil, fmt.Errorf("controller: unknown page policy %d", int(cfg.Policy))
+	pol, ok := policyFor(cfg.Policy)
+	if !ok {
+		return nil, fmt.Errorf("controller: unknown page policy %d (valid policies: %s)",
+			int(cfg.Policy), strings.Join(PolicyNames(), ", "))
 	}
 	if cfg.Speed.TCK <= 0 {
 		return nil, fmt.Errorf("controller: unresolved speed (use dram.Resolve)")
@@ -170,6 +185,7 @@ func New(cfg Config) (*Controller, error) {
 	}
 	c := &Controller{
 		cfg:    cfg,
+		pol:    pol,
 		mapper: mapper,
 		banks:  make([]bankState, cfg.Speed.Geometry.Banks),
 		probe:  cfg.Probe,
@@ -605,7 +621,7 @@ func (c *Controller) perform(write bool, loc mapping.Location, earliest, arrival
 		c.st.BusyCycles = dataEnd
 	}
 
-	if c.cfg.Policy == ClosedPage {
+	if c.pol.AutoPrecharge() {
 		// Auto-precharge: the bank closes itself once its restore and
 		// recovery windows elapse; no explicit PRE command is spent.
 		t := max64(b.preReady, dataEnd)
@@ -684,12 +700,16 @@ func (c *Controller) AccessRun(write bool, local int64, bursts int, arrival int6
 		return c.accessOne(write, c.mapper.Decode(local), arrival, synth)
 	}
 	burstBytes := c.cfg.Speed.Geometry.BurstBytes()
-	if (c.probe != nil && !synth) || c.cfg.Faults != nil || c.cfg.Policy != OpenPage ||
+	if (c.probe != nil && !synth) || c.cfg.Faults != nil || !c.pol.CoalesceSafe() ||
 		(write && c.cfg.WriteBufferDepth > 0) || local%burstBytes != 0 {
-		// Per-burst reference path. An unaligned start address (reachable
-		// only through the public API — memsys dispatches burst-aligned
-		// runs) must land here too: the row walk below counts whole
-		// bursts per row and would make no progress on a row tail
+		// Per-burst reference path. Any policy that has not explicitly
+		// declared coalesce-safety lands here: the arithmetic row walk
+		// below reproduces the pure open-page schedule only, so
+		// reordering, auto-precharge and bank-remapping policies all
+		// fall back conservatively. An unaligned start address
+		// (reachable only through the public API — memsys dispatches
+		// burst-aligned runs) must land here too: the row walk counts
+		// whole bursts per row and would make no progress on a row tail
 		// shorter than one burst.
 		var end int64
 		for i := 0; i < bursts; i++ {

@@ -388,8 +388,20 @@ func TestPagePolicyString(t *testing.T) {
 	if OpenPage.String() != "open-page" || ClosedPage.String() != "closed-page" {
 		t.Error("bad policy names")
 	}
-	if got := PagePolicy(3).String(); got != "PagePolicy(3)" {
+	if FRFCFS.String() != "frfcfs" || BankPartition.String() != "bank-partition" {
+		t.Error("bad extension policy names")
+	}
+	if got := PagePolicy(99).String(); got != "PagePolicy(99)" {
 		t.Errorf("String() = %q", got)
+	}
+	for _, p := range Policies() {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", p.String(), back, err, p)
+		}
+	}
+	if _, err := ParsePolicy("lifo"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
 	}
 }
 

@@ -85,7 +85,9 @@ func (q *ReorderQueue) Access(write bool, loc mapping.Location, arrival int64) i
 	return q.issueBest()
 }
 
-// issueBest picks a row hit if one exists, else the oldest request.
+// issueBest issues the policy's preferred pending request (row hits first
+// for every built-in; FR-FCFS additionally prefers closed banks), forcing
+// the oldest once the anti-starvation bound trips.
 func (q *ReorderQueue) issueBest() int64 {
 	best := 0
 	oldest := 0
@@ -101,15 +103,7 @@ func (q *ReorderQueue) issueBest() int64 {
 	if q.bypasses >= maxBypass {
 		best = oldest
 	} else {
-		best = -1
-		for i := range q.pending {
-			r := q.pending[i]
-			if q.ctl.rowOpen(r.loc) {
-				if best < 0 || r.seq < q.pending[best].seq {
-					best = i
-				}
-			}
-		}
+		best = q.ctl.pol.Pick(q.ctl, q.pending)
 		if best < 0 {
 			best = oldest
 		}

@@ -7,6 +7,7 @@ import (
 	"unsafe"
 
 	"repro/internal/fault"
+	"repro/internal/mapping"
 	"repro/internal/probe"
 )
 
@@ -30,7 +31,7 @@ func TestResetEquivalence(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		cfg := Config{
 			Speed:                speed,
-			Policy:               PagePolicy(rng.Intn(2)),
+			Policy:               PagePolicy(rng.Intn(len(builtinPolicies))),
 			PowerDown:            rng.Intn(2) == 0,
 			RecordLatency:        rng.Intn(2) == 0,
 			RefreshPostpone:      rng.Intn(5),
@@ -80,7 +81,10 @@ func TestResetEquivalence(t *testing.T) {
 
 		run := func(c *Controller, inj *fault.ChannelInjector) ([]int64, int64) {
 			var ends []int64
-			for _, o := range ops {
+			for i, o := range ops {
+				// Exercise the policy's stream mapping (the partition table
+				// is Controller state the replay must not leak across Reset).
+				c.MapStream(i%5, mapping.Location{Bank: i % speed.Geometry.Banks})
 				end := c.AccessAddr(o.write, o.local, o.arrival)
 				if inj != nil && !o.write {
 					// Mirror the channel layer's ECC retry re-issue so the
@@ -189,8 +193,15 @@ func TestResetFieldEquivalence(t *testing.T) {
 	tuned.Channel = 3
 	tuned.Probe = &probe.Recorder{}
 
+	frfcfs := base
+	frfcfs.Policy = FRFCFS
+
+	partition := base
+	partition.Policy = BankPartition
+
 	for name, cfg := range map[string]Config{
 		"baseline": base, "closed-page+wbuf": closed, "tuned+probe": tuned,
+		"frfcfs": frfcfs, "bank-partition": partition,
 	} {
 		t.Run(name, func(t *testing.T) {
 			ctl := newCtl(t, cfg)
@@ -203,6 +214,9 @@ func TestResetFieldEquivalence(t *testing.T) {
 				if i%23 == 0 {
 					arrival += speed.REFI * 3 // power-down / self-refresh / debt
 				}
+				// Dirty the policy's stream map too (partGroup/partNext for
+				// bank partitioning; a no-op for every other policy).
+				ctl.MapStream(int(i%7), mapping.Location{Bank: int(i) % speed.Geometry.Banks})
 				end = ctl.AccessAddr(i%3 == 0, (i*176)&^15, arrival)
 			}
 			ctl.Flush()

@@ -22,7 +22,10 @@ import (
 // field: in-process keys separate immediately (the version is folded into
 // every key) and the on-disk store moves to a fresh <root>/<version>/
 // directory, orphaning every stale entry without touching it.
-const CacheSchemaVersion = "v1"
+//
+// v2: MemoryConfig gained the Device field (the datasheet registry), which
+// folds into every key via the reflective field walk.
+const CacheSchemaVersion = "v2"
 
 // CacheStats is a snapshot of a SimCache's lookup counters.
 type CacheStats struct {
@@ -367,8 +370,11 @@ func normalizeWorkload(w Workload) Workload {
 }
 
 // normalizeMemoryConfig mirrors the default substitution memsys.New and
-// Simulate perform (see normalizeWorkload).
+// Simulate perform (see normalizeWorkload). Device resolution runs first:
+// a named device and its explicit geometry/timing spelling share a key,
+// and the paper baseline's name collapses to the empty string.
 func normalizeMemoryConfig(mc MemoryConfig) MemoryConfig {
+	mc = mc.applyDevice()
 	if mc.Geometry == (dram.Geometry{}) {
 		mc.Geometry = dram.DefaultGeometry()
 	}

@@ -16,11 +16,14 @@ import (
 // Attaching a checker makes the run observed, which disables the coalesced
 // dispatch fast path — results are bit-identical, simulation is slower.
 func AttachChecker(mc *MemoryConfig) (*check.Set, error) {
-	geom := mc.Geometry
+	// The checker must see the same geometry and timing the run will use,
+	// so the datasheet (Device) is applied before the fallbacks.
+	eff := mc.applyDevice()
+	geom := eff.Geometry
 	if geom == (dram.Geometry{}) {
 		geom = dram.DefaultGeometry()
 	}
-	timing := mc.Timing
+	timing := eff.Timing
 	if timing == (dram.Timing{}) {
 		timing = dram.DefaultTiming()
 	}

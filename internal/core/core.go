@@ -43,8 +43,15 @@ type MemoryConfig struct {
 	Freq units.Frequency
 	// Mux selects RBC (paper default) or BRC address multiplexing.
 	Mux mapping.Multiplexing
-	// Policy selects open-page (paper default) or closed-page.
+	// Policy selects the controller scheduling policy: open-page (paper
+	// default), closed-page, FR-FCFS, or bank partitioning (see
+	// controller.ParsePolicy for the accepted spellings).
 	Policy controller.PagePolicy
+	// Device names a registered DRAM datasheet (see dram.Devices): its
+	// geometry, timing (with the device's legal clock range) and power
+	// profile replace the paper defaults wherever this configuration
+	// leaves them zero. Empty means the paper's estimated mobile DDR.
+	Device string
 	// DisablePowerDown turns off the paper's aggressive power-down
 	// (ablation A2). The zero value keeps power-down enabled.
 	DisablePowerDown bool
@@ -223,6 +230,57 @@ type Result struct {
 	QoS *fault.QoS
 }
 
+// applyDevice folds the named device's datasheet into the configuration's
+// zero-value fields: geometry, timing (which carries the device clock
+// range) and the power profile. Explicit overrides win over the entry.
+// The device name is canonicalized — the paper baseline collapses to the
+// empty string, so "paper" and "" are one configuration everywhere
+// (cache keys, the analytic baseline check). Unknown names are left
+// untouched; Validate rejects them before any simulation work.
+func (mc MemoryConfig) applyDevice() MemoryConfig {
+	d, err := dram.Device(mc.Device)
+	if err != nil {
+		return mc
+	}
+	if d.Name == dram.PaperDevice {
+		mc.Device = ""
+	} else {
+		mc.Device = d.Name
+	}
+	if mc.Geometry == (dram.Geometry{}) {
+		mc.Geometry = d.Geometry
+	}
+	if mc.Timing == (dram.Timing{}) {
+		mc.Timing = d.Timing
+	}
+	if mc.Datasheet == nil {
+		ds := powerDatasheet(d.IDDProfile())
+		mc.Datasheet = &ds
+	}
+	return mc
+}
+
+// powerDatasheet converts a registry IDD profile to the power model's
+// datasheet. The two structs mirror each other field for field (package
+// power imports dram, so the conversion lives here); the paper entry
+// reproduces power.DefaultDatasheet exactly.
+func powerDatasheet(p dram.IDD) power.Datasheet {
+	return power.Datasheet{
+		BaseFreq:           p.BaseFreq,
+		BaseVDD:            p.BaseVDD,
+		VDD:                p.VDD,
+		IDD2P:              p.IDD2P,
+		IDD3P:              p.IDD3P,
+		IDD2N:              p.IDD2N,
+		IDD3N:              p.IDD3N,
+		IDD4R:              p.IDD4R,
+		IDD4W:              p.IDD4W,
+		IDD5:               p.IDD5,
+		IDD6:               p.IDD6,
+		ActPrechargeEnergy: p.ActPrechargeEnergy,
+	}
+}
+
 // memsysConfig lowers the MemoryConfig for the subsystem constructor.
 func (mc MemoryConfig) memsysConfig() memsys.Config {
 	return memsys.Config{
@@ -330,6 +388,7 @@ func simulateUncached(ctx context.Context, w Workload, mc MemoryConfig, lane *pr
 	if err := w.Validate(); err != nil {
 		return Result{}, err
 	}
+	mc = mc.applyDevice()
 	if w.Params == (usecase.Params{}) {
 		w.Params = usecase.DefaultParams()
 	}

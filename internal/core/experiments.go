@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/controller"
+	"repro/internal/dram"
 	"repro/internal/mapping"
 	"repro/internal/memsys"
 	"repro/internal/units"
@@ -26,6 +27,14 @@ type RunOptions struct {
 	// runner returns identical results at any job count — points are
 	// independent and RunIndexed keeps index order.
 	Jobs int
+	// Policy overrides the controller scheduling policy of every point
+	// (zero = the paper's open-page). Variants that flip the policy as
+	// their ablation axis still do so explicitly.
+	Policy controller.PagePolicy
+	// Device names a registered DRAM datasheet applied to every point
+	// (empty = the paper device). Frequency-sweeping runners walk the
+	// device's representative clock list instead of the DDR2 grid.
+	Device string
 }
 
 func (o RunOptions) fraction() float64 {
@@ -40,6 +49,25 @@ func (o RunOptions) jobs() int {
 		return o.Jobs
 	}
 	return DefaultJobs()
+}
+
+// memory is PaperMemory with the options' policy and device applied — the
+// base configuration every runner's points start from.
+func (o RunOptions) memory(channels int, freq units.Frequency) MemoryConfig {
+	mc := PaperMemory(channels, freq)
+	mc.Policy = o.Policy
+	mc.Device = o.Device
+	return mc
+}
+
+// frequencies returns the selected device's representative clock list
+// (the paper's Fig. 3 grid for the default device).
+func (o RunOptions) frequencies() ([]units.Frequency, error) {
+	d, err := dram.Device(o.Device)
+	if err != nil {
+		return nil, err
+	}
+	return d.Frequencies, nil
 }
 
 func (o RunOptions) workload(format string) (Workload, error) {
@@ -121,11 +149,14 @@ func RunFig3(opt RunOptions) ([]FigPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	freqs := []units.Frequency{200 * units.MHz, 266 * units.MHz, 333 * units.MHz, 400 * units.MHz, 533 * units.MHz}
+	freqs, err := opt.frequencies()
+	if err != nil {
+		return nil, err
+	}
 	return RunIndexed(opt.jobs(), len(EvaluatedChannelCounts)*len(freqs), func(i int) (FigPoint, error) {
 		ch := EvaluatedChannelCounts[i/len(freqs)]
 		f := freqs[i%len(freqs)]
-		res, err := Simulate(w, PaperMemory(ch, f))
+		res, err := Simulate(w, opt.memory(ch, f))
 		if err != nil {
 			return FigPoint{}, err
 		}
@@ -148,7 +179,7 @@ func RunFormatMatrix(opt RunOptions) ([]FigPoint, error) {
 	nch := len(EvaluatedChannelCounts)
 	return RunIndexed(opt.jobs(), len(FormatNames)*nch, func(i int) (FigPoint, error) {
 		format, ch := FormatNames[i/nch], EvaluatedChannelCounts[i%nch]
-		res, err := Simulate(workloads[i/nch], PaperMemory(ch, PaperFrequency))
+		res, err := Simulate(workloads[i/nch], opt.memory(ch, PaperFrequency))
 		if err != nil {
 			return FigPoint{}, err
 		}
@@ -191,7 +222,7 @@ func RunXDRComparison(opt RunOptions) (XDRComparison, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Simulate(w, PaperMemory(8, PaperFrequency))
+		return Simulate(w, opt.memory(8, PaperFrequency))
 	})
 	if err != nil {
 		return XDRComparison{}, err
@@ -246,30 +277,30 @@ func RunAblations(opt RunOptions) ([]AblationRow, error) {
 	}
 
 	// A1: address multiplexing, on the bandwidth-critical 1080p30 load.
-	brc := PaperMemory(4, PaperFrequency)
+	brc := opt.memory(4, PaperFrequency)
 	brc.Mux = mapping.BRC
 	// A2: power-down, on the low-utilization 8-channel 720p30 point where
 	// idle power dominates.
-	pdOff := PaperMemory(8, PaperFrequency)
+	pdOff := opt.memory(8, PaperFrequency)
 	pdOff.DisablePowerDown = true
 	// A3: page policy, on the single-channel streaming point.
-	closed := PaperMemory(1, PaperFrequency)
+	closed := opt.memory(1, PaperFrequency)
 	closed.Policy = controller.ClosedPage
 	// A4 (extension): the posted-write buffer from the conclusions'
 	// "advanced control mechanisms" — batched write drains amortize bus
 	// turnarounds on the read/write-interleaved recording streams.
-	buffered := PaperMemory(1, PaperFrequency)
+	buffered := opt.memory(1, PaperFrequency)
 	buffered.WriteBufferDepth = 32
 
 	sims := []struct {
 		w  Workload
 		mc MemoryConfig
 	}{
-		{w1080, PaperMemory(4, PaperFrequency)}, // A1 baseline
+		{w1080, opt.memory(4, PaperFrequency)}, // A1 baseline
 		{w1080, brc},
-		{w720, PaperMemory(8, PaperFrequency)}, // A2 baseline
+		{w720, opt.memory(8, PaperFrequency)}, // A2 baseline
 		{w720, pdOff},
-		{w720, PaperMemory(1, PaperFrequency)}, // A3/A4 baseline
+		{w720, opt.memory(1, PaperFrequency)}, // A3/A4 baseline
 		{w720, closed},
 		{w720, buffered},
 	}
@@ -312,7 +343,7 @@ func RunInterleaveSweep(opt RunOptions) ([]InterleavePoint, error) {
 	}
 	grans := []int64{16, 32, 64, 128, 256}
 	return RunIndexed(opt.jobs(), len(grans), func(i int) (InterleavePoint, error) {
-		mc := PaperMemory(4, PaperFrequency)
+		mc := opt.memory(4, PaperFrequency)
 		mc.InterleaveGranularity = grans[i]
 		res, err := Simulate(w, mc)
 		if err != nil {

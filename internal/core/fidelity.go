@@ -161,6 +161,13 @@ func autoEstimate(w Workload, mc MemoryConfig, env *analytic.Envelope) (Result, 
 	if env == nil {
 		return Result{}, false
 	}
+	// The envelope's identity must be the paper baseline this build
+	// calibrates (empty policy and device). An artifact stamped with any
+	// other identity bounds a different simulator configuration, so its
+	// error intervals prove nothing here — hard-fall back to exact.
+	if env.Policy != "" || env.Device != "" {
+		return Result{}, false
+	}
 	// Observed runs exist for their event streams and per-frame payloads;
 	// they always simulate (same rule as the cache bypass).
 	if w.RecordLatency || mc.NewProbe != nil || mc.Faults != nil {
@@ -204,10 +211,10 @@ func autoEstimate(w Workload, mc MemoryConfig, env *analytic.Envelope) (Result, 
 
 // baselinePoint reports whether (w, mc) is, after default normalization,
 // the paper's baseline configuration the envelope was calibrated against.
-// Ablation spellings (mux/policy/power-down/write-buffer/queue/refresh/
-// precharge/interleave/geometry/timing overrides, non-default use-case
-// params or load granularities) change access time in ways the envelope
-// does not bound, so they are never served analytically. The power model
+// Ablation spellings (device/mux/policy/power-down/write-buffer/queue/
+// refresh/precharge/interleave/geometry/timing overrides, non-default
+// use-case params or load granularities) change access time in ways the
+// envelope does not bound, so they are never served analytically. The power model
 // (Datasheet/Interface) does not influence access time and is not
 // constrained.
 func baselinePoint(w Workload, mc MemoryConfig) bool {
@@ -217,7 +224,8 @@ func baselinePoint(w Workload, mc MemoryConfig) bool {
 	}
 	nmc := normalizeMemoryConfig(mc)
 	base := normalizeMemoryConfig(PaperMemory(mc.Channels, mc.Freq))
-	return nmc.Mux == base.Mux &&
+	return nmc.Device == base.Device &&
+		nmc.Mux == base.Mux &&
 		nmc.Policy == base.Policy &&
 		!nmc.DisablePowerDown &&
 		nmc.WriteBufferDepth == base.WriteBufferDepth &&

@@ -45,7 +45,8 @@ func RunGeometrySweep(opt RunOptions) ([]GeometryPoint, error) {
 			return GeometryPoint{}, fmt.Errorf("core: geometry %d banks x %d cols: capacity %v, want %v",
 				banks, columns, g.CapacityBits(), capacityBits)
 		}
-		mc := PaperMemory(4, PaperFrequency)
+		mc := opt.memory(4, PaperFrequency)
+		mc.Device = "" // the sweep's explicit paper-class geometry is the axis
 		mc.Geometry = g
 		res, err := Simulate(w, mc)
 		if err != nil {

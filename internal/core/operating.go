@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/dram"
 	"repro/internal/units"
 )
 
@@ -18,16 +17,18 @@ type OperatingPoint struct {
 	// zero when no clock suffices.
 	MinFreq units.Frequency
 	// PowerAtMin and PowerAtMax are the average powers at the chosen
-	// clock and at the top 533 MHz clock.
+	// clock and at the device's top evaluated clock (533 MHz for the
+	// paper device).
 	PowerAtMin units.Power
 	PowerAtMax units.Power
 	// Saving is 1 - PowerAtMin/PowerAtMax.
 	Saving float64
 }
 
-// RunOperatingPoints sweeps every format and channel count over the DDR2
-// clock range and reports the lowest feasible clock and its power saving
-// against running flat-out at 533 MHz.
+// RunOperatingPoints sweeps every format and channel count over the
+// device's evaluated clock list (the DDR2 range for the paper device) and
+// reports the lowest feasible clock and its power saving against running
+// flat-out at the top clock.
 func RunOperatingPoints(opt RunOptions) ([]OperatingPoint, error) {
 	workloads := make([]Workload, len(FormatNames))
 	for i, format := range FormatNames {
@@ -37,13 +38,17 @@ func RunOperatingPoints(opt RunOptions) ([]OperatingPoint, error) {
 		}
 		workloads[i] = w
 	}
+	freqs, err := opt.frequencies()
+	if err != nil {
+		return nil, err
+	}
 	nch := len(EvaluatedChannelCounts)
 	return RunIndexed(opt.jobs(), len(FormatNames)*nch, func(i int) (OperatingPoint, error) {
 		format, ch := FormatNames[i/nch], EvaluatedChannelCounts[i%nch]
 		op := OperatingPoint{Format: format, Channels: ch}
 		var atMin, atMax *Result
-		for _, freq := range dram.EvaluatedFrequencies {
-			res, err := Simulate(workloads[i/nch], PaperMemory(ch, freq))
+		for _, freq := range freqs {
+			res, err := Simulate(workloads[i/nch], opt.memory(ch, freq))
 			if err != nil {
 				return OperatingPoint{}, err
 			}
@@ -52,7 +57,7 @@ func RunOperatingPoints(opt RunOptions) ([]OperatingPoint, error) {
 				r := res
 				atMin = &r
 			}
-			if freq == dram.EvaluatedFrequencies[len(dram.EvaluatedFrequencies)-1] {
+			if freq == freqs[len(freqs)-1] {
 				r := res
 				atMax = &r
 			}

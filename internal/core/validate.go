@@ -29,9 +29,13 @@ func (mc MemoryConfig) Validate() error {
 	if mc.RefreshPostpone < 0 {
 		return fmt.Errorf("core: negative refresh postponement %d", mc.RefreshPostpone)
 	}
+	dev, err := dram.Device(mc.Device)
+	if err != nil {
+		return err
+	}
 	geom := mc.Geometry
 	if geom == (dram.Geometry{}) {
-		geom = dram.DefaultGeometry()
+		geom = dev.Geometry
 	}
 	if err := geom.Validate(); err != nil {
 		return err

@@ -100,6 +100,13 @@ type Timing struct {
 	TWTRCycles int // end of write data to read command
 	TRTPCycles int // read command to precharge
 	TXPCycles  int // power-down exit to next command
+
+	// MinFreq and MaxFreq bound the interface clock this timing set is
+	// specified for (datasheets bind timing to a speed bin). Zero values
+	// fall back to the paper device's DDR2 range (MinFrequency,
+	// MaxFrequency), so the paper-era description is unchanged.
+	MinFreq units.Frequency
+	MaxFreq units.Frequency
 }
 
 // DefaultTiming returns the Micron 512 Mb Mobile DDR-derived parameters used
@@ -153,7 +160,22 @@ func (t Timing) Validate() error {
 	if t.TREFI <= t.TRFC {
 		return fmt.Errorf("dram: tREFI (%v) must exceed tRFC (%v)", t.TREFI, t.TRFC)
 	}
+	if t.MinFreq < 0 || t.MaxFreq < 0 || t.MinFreq > t.MaxFreq {
+		return fmt.Errorf("dram: clock range [%v, %v] is invalid", t.MinFreq, t.MaxFreq)
+	}
+	if (t.MinFreq == 0) != (t.MaxFreq == 0) {
+		return fmt.Errorf("dram: clock range [%v, %v] must set both bounds or neither", t.MinFreq, t.MaxFreq)
+	}
 	return nil
+}
+
+// FreqRange returns the timing set's interface-clock bounds, substituting
+// the paper device's DDR2 range when unset.
+func (t Timing) FreqRange() (lo, hi units.Frequency) {
+	if t.MinFreq == 0 && t.MaxFreq == 0 {
+		return MinFrequency, MaxFrequency
+	}
+	return t.MinFreq, t.MaxFreq
 }
 
 // Clock-frequency limits of the evaluated device (DDR2 specification range,
@@ -206,9 +228,9 @@ func Resolve(g Geometry, t Timing, freq units.Frequency) (Speed, error) {
 	if err := t.Validate(); err != nil {
 		return Speed{}, err
 	}
-	if freq < MinFrequency || freq > MaxFrequency {
+	if lo, hi := t.FreqRange(); freq < lo || freq > hi {
 		return Speed{}, fmt.Errorf("dram: frequency %v outside device range [%v, %v]",
-			freq, MinFrequency, MaxFrequency)
+			freq, lo, hi)
 	}
 	s := Speed{
 		Geometry:    g,

@@ -1,0 +1,242 @@
+package dram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// IDD is a device's current/energy profile at its datasheet base
+// conditions — a dependency-free mirror of power.Datasheet (package power
+// imports dram, so the conversion to the power model lives in core). All
+// currents are milliamperes.
+type IDD struct {
+	// BaseFreq and BaseVDD are the datasheet conditions; VDD the
+	// projected operating core voltage.
+	BaseFreq units.Frequency
+	BaseVDD  float64
+	VDD      float64
+
+	IDD2P float64 // precharge power-down
+	IDD3P float64 // active power-down
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4R float64 // read burst
+	IDD4W float64 // write burst
+	IDD5  float64 // refresh burst
+	IDD6  float64 // self-refresh
+
+	// ActPrechargeEnergy is the activate+precharge pair energy at base
+	// VDD, in picojoules.
+	ActPrechargeEnergy units.Energy
+}
+
+// Datasheet is one registered device description: geometry, analog timing
+// (with its clock range), representative sweep clocks, and the IDD
+// profile the power model consumes. Entries for post-paper devices are
+// class-representative values mapped onto this simulator's single-clock
+// DDR model (one word per clock edge), not cycle-accurate reproductions
+// of the real interfaces; Source names where the numbers come from.
+type Datasheet struct {
+	Name        string
+	Description string
+	Source      string
+	Geometry    Geometry
+	Timing      Timing
+	// Frequencies lists representative interface clocks for sweeps; the
+	// full legal range is Timing.FreqRange().
+	Frequencies []units.Frequency
+}
+
+// IDDProfile returns the device's current profile. It is a method rather
+// than a field so the comparable parts of a Datasheet stay cheap to copy
+// into configuration structs.
+func (d Datasheet) IDDProfile() IDD { return deviceIDD[d.Name] }
+
+// Validate checks the full entry: geometry, timing, and that every listed
+// frequency resolves.
+func (d Datasheet) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("dram: datasheet with empty name")
+	}
+	if len(d.Frequencies) == 0 {
+		return fmt.Errorf("dram: datasheet %q lists no frequencies", d.Name)
+	}
+	for _, f := range d.Frequencies {
+		if _, err := Resolve(d.Geometry, d.Timing, f); err != nil {
+			return fmt.Errorf("dram: datasheet %q: %w", d.Name, err)
+		}
+	}
+	return nil
+}
+
+// PaperDevice is the registry name of the paper's estimated mobile DDR
+// part — the baseline every other subsystem assumes when no device is
+// named.
+const PaperDevice = "paper"
+
+// library is the device registry, in presentation order.
+var library = []Datasheet{
+	{
+		Name:        PaperDevice,
+		Description: "paper's estimated next-generation mobile DDR (512 Mb, 4 banks, x32, BL4, 200-533 MHz)",
+		Source:      "Micron 512 Mb Mobile DDR SDRAM datasheet, extrapolated per the paper's section III recipe",
+		Geometry:    Geometry{Banks: 4, Rows: 8192, Columns: 512, WordBits: 32, BurstLength: 4},
+		Timing:      Timing{}, // filled from DefaultTiming in init
+		Frequencies: nil,      // filled from EvaluatedFrequencies in init
+	},
+	{
+		Name:        "xdr",
+		Description: "XDR DRAM comparison point (Cell BE class; 8 banks, x32, BL16, 400-1600 MHz)",
+		Source:      "Rambus XDR architecture / Cell BE memory configuration (paper section VII); timing approximated onto the single-clock DDR model",
+		Geometry:    Geometry{Banks: 8, Rows: 8192, Columns: 1024, WordBits: 32, BurstLength: 16},
+		Timing: Timing{
+			TRCD:       12 * units.Nanosecond,
+			TRP:        12 * units.Nanosecond,
+			TRAS:       28 * units.Nanosecond,
+			TRC:        40 * units.Nanosecond,
+			TWR:        12 * units.Nanosecond,
+			TRRD:       8 * units.Nanosecond,
+			TRFC:       72 * units.Nanosecond,
+			TREFI:      units.Duration(7800) * units.Nanosecond,
+			TCAS:       12 * units.Nanosecond,
+			TFAW:       32 * units.Nanosecond,
+			TXSR:       150 * units.Nanosecond,
+			TWTRCycles: 4,
+			TRTPCycles: 4,
+			TXPCycles:  4,
+			MinFreq:    400 * units.MHz,
+			MaxFreq:    1600 * units.MHz,
+		},
+		Frequencies: []units.Frequency{400 * units.MHz, 800 * units.MHz, 1200 * units.MHz, 1600 * units.MHz},
+	},
+	{
+		Name:        "lpddr4",
+		Description: "LPDDR4-class device (4 Gb, 8 banks, x16, BL16, 200-1600 MHz)",
+		Source:      "JEDEC JESD209-4B and Micron 4 Gb LPDDR4 datasheet class values (tRCD 18 ns, tRPpb 18 ns, tRAS 42 ns, tRFCab 130 ns, tREFI 3.904 us)",
+		Geometry:    Geometry{Banks: 8, Rows: 32768, Columns: 1024, WordBits: 16, BurstLength: 16},
+		Timing: Timing{
+			TRCD:       18 * units.Nanosecond,
+			TRP:        18 * units.Nanosecond,
+			TRAS:       42 * units.Nanosecond,
+			TRC:        60 * units.Nanosecond,
+			TWR:        18 * units.Nanosecond,
+			TRRD:       10 * units.Nanosecond,
+			TRFC:       130 * units.Nanosecond,
+			TREFI:      units.Duration(3904) * units.Nanosecond,
+			TCAS:       20 * units.Nanosecond,
+			TFAW:       40 * units.Nanosecond,
+			TXSR:       138 * units.Nanosecond,
+			TWTRCycles: 8,
+			TRTPCycles: 8,
+			TXPCycles:  6,
+			MinFreq:    200 * units.MHz,
+			MaxFreq:    1600 * units.MHz,
+		},
+		Frequencies: []units.Frequency{400 * units.MHz, 800 * units.MHz, 1200 * units.MHz, 1600 * units.MHz},
+	},
+	{
+		Name:        "lpddr5",
+		Description: "LPDDR5-class device (8 Gb, 16 banks, x16, BL16, 200-3200 MHz)",
+		Source:      "JEDEC JESD209-5 class values (tRCD 18 ns, tRPpb 18 ns, tRAS 42 ns, tRRD 5 ns, tFAW 20 ns, tRFCab 210 ns)",
+		Geometry:    Geometry{Banks: 16, Rows: 32768, Columns: 1024, WordBits: 16, BurstLength: 16},
+		Timing: Timing{
+			TRCD:       18 * units.Nanosecond,
+			TRP:        18 * units.Nanosecond,
+			TRAS:       42 * units.Nanosecond,
+			TRC:        60 * units.Nanosecond,
+			TWR:        34 * units.Nanosecond,
+			TRRD:       5 * units.Nanosecond,
+			TRFC:       210 * units.Nanosecond,
+			TREFI:      units.Duration(3904) * units.Nanosecond,
+			TCAS:       18 * units.Nanosecond,
+			TFAW:       20 * units.Nanosecond,
+			TXSR:       218 * units.Nanosecond,
+			TWTRCycles: 10,
+			TRTPCycles: 8,
+			TXPCycles:  7,
+			MinFreq:    200 * units.MHz,
+			MaxFreq:    3200 * units.MHz,
+		},
+		Frequencies: []units.Frequency{800 * units.MHz, 1600 * units.MHz, 2400 * units.MHz, 3200 * units.MHz},
+	},
+}
+
+// deviceIDD holds each entry's current profile, keyed by name. Values are
+// datasheet magnitudes at the entry's base conditions; the paper entry
+// mirrors power.DefaultDatasheet exactly.
+var deviceIDD = map[string]IDD{
+	PaperDevice: {
+		BaseFreq: 200 * units.MHz, BaseVDD: 1.8, VDD: 1.35,
+		IDD2P: 3.0, IDD3P: 3.5, IDD2N: 20, IDD3N: 25,
+		IDD4R: 107, IDD4W: 103, IDD5: 90, IDD6: 0.45,
+		ActPrechargeEnergy: 3000,
+	},
+	"xdr": {
+		BaseFreq: 400 * units.MHz, BaseVDD: 1.8, VDD: 1.8,
+		IDD2P: 5, IDD3P: 8, IDD2N: 35, IDD3N: 45,
+		IDD4R: 230, IDD4W: 215, IDD5: 150, IDD6: 1.5,
+		ActPrechargeEnergy: 4000,
+	},
+	"lpddr4": {
+		BaseFreq: 800 * units.MHz, BaseVDD: 1.1, VDD: 1.1,
+		IDD2P: 0.6, IDD3P: 1.4, IDD2N: 2.5, IDD3N: 4.5,
+		IDD4R: 180, IDD4W: 160, IDD5: 28, IDD6: 0.4,
+		ActPrechargeEnergy: 1800,
+	},
+	"lpddr5": {
+		BaseFreq: 1600 * units.MHz, BaseVDD: 1.05, VDD: 1.05,
+		IDD2P: 0.5, IDD3P: 1.2, IDD2N: 2.0, IDD3N: 4.0,
+		IDD4R: 210, IDD4W: 190, IDD5: 30, IDD6: 0.3,
+		ActPrechargeEnergy: 1500,
+	},
+}
+
+func init() {
+	// The paper entry reuses the canonical defaults so the two can never
+	// drift apart.
+	library[0].Timing = DefaultTiming()
+	library[0].Frequencies = append([]units.Frequency(nil), EvaluatedFrequencies...)
+	for _, d := range library {
+		if err := d.Validate(); err != nil {
+			panic(err)
+		}
+		if _, ok := deviceIDD[d.Name]; !ok {
+			panic(fmt.Sprintf("dram: datasheet %q has no IDD profile", d.Name))
+		}
+	}
+}
+
+// Device resolves a registry name (case-insensitive; empty means the
+// paper baseline). Unknown names report the registered list.
+func Device(name string) (Datasheet, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if n == "" {
+		n = PaperDevice
+	}
+	for _, d := range library {
+		if d.Name == n {
+			return d, nil
+		}
+	}
+	return Datasheet{}, fmt.Errorf("dram: unknown device %q (registered devices: %s)",
+		name, strings.Join(DeviceNames(), ", "))
+}
+
+// Devices returns every registered datasheet in presentation order.
+func Devices() []Datasheet {
+	return append([]Datasheet(nil), library...)
+}
+
+// DeviceNames returns the sorted registry names for error messages and
+// usage text.
+func DeviceNames() []string {
+	out := make([]string, len(library))
+	for i, d := range library {
+		out[i] = d.Name
+	}
+	sort.Strings(out)
+	return out
+}

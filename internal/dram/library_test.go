@@ -1,0 +1,91 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLibraryEntries pins the registry contract every consumer relies on:
+// each entry validates, carries a documented source, keeps its clocks
+// inside its own legal range, and resolves at every listed clock.
+func TestLibraryEntries(t *testing.T) {
+	devs := Devices()
+	if len(devs) < 4 {
+		t.Fatalf("library has %d devices, want at least paper, xdr, lpddr4, lpddr5", len(devs))
+	}
+	seen := map[string]bool{}
+	for _, d := range devs {
+		if seen[d.Name] {
+			t.Errorf("duplicate device %q", d.Name)
+		}
+		seen[d.Name] = true
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if d.Source == "" {
+			t.Errorf("%s: no datasheet source cited", d.Name)
+		}
+		idd := d.IDDProfile()
+		if idd.VDD <= 0 || idd.BaseFreq <= 0 {
+			t.Errorf("%s: IDD profile missing (VDD %v, base %v)", d.Name, idd.VDD, idd.BaseFreq)
+		}
+		for _, f := range d.Frequencies {
+			if _, err := Resolve(d.Geometry, d.Timing, f); err != nil {
+				t.Errorf("%s @ %v: %v", d.Name, f, err)
+			}
+		}
+	}
+	for _, want := range []string{PaperDevice, "xdr", "lpddr4", "lpddr5"} {
+		if !seen[want] {
+			t.Errorf("library is missing %q", want)
+		}
+	}
+}
+
+// TestPaperDeviceMatchesDefaults: the registry's paper entry must be the
+// exact configuration every zero-valued MemoryConfig has always meant —
+// otherwise registering the library would silently change the baseline.
+func TestPaperDeviceMatchesDefaults(t *testing.T) {
+	d, err := Device("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != PaperDevice {
+		t.Fatalf("empty device resolved to %q, want %q", d.Name, PaperDevice)
+	}
+	if d.Geometry != DefaultGeometry() {
+		t.Errorf("paper geometry %+v != DefaultGeometry %+v", d.Geometry, DefaultGeometry())
+	}
+	want := DefaultTiming()
+	got := d.Timing
+	got.MinFreq, got.MaxFreq = want.MinFreq, want.MaxFreq // range is additive
+	if got != want {
+		t.Errorf("paper timing %+v != DefaultTiming %+v", d.Timing, want)
+	}
+	if len(d.Frequencies) != len(EvaluatedFrequencies) {
+		t.Fatalf("paper clock list has %d entries, want %d", len(d.Frequencies), len(EvaluatedFrequencies))
+	}
+	for i, f := range EvaluatedFrequencies {
+		if d.Frequencies[i] != f {
+			t.Errorf("paper clock[%d] = %v, want %v", i, d.Frequencies[i], f)
+		}
+	}
+}
+
+// TestDeviceLookup covers the spellings and the failure mode.
+func TestDeviceLookup(t *testing.T) {
+	for _, s := range []string{"paper", "Paper", " lpddr4 ", "LPDDR5", "xdr"} {
+		if _, err := Device(s); err != nil {
+			t.Errorf("Device(%q): %v", s, err)
+		}
+	}
+	_, err := Device("ddr9")
+	if err == nil {
+		t.Fatal("Device(ddr9) succeeded")
+	}
+	for _, name := range DeviceNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered device %q", err, name)
+		}
+	}
+}

@@ -303,15 +303,22 @@ func (g *Generator) Frame(fraction float64) (memsys.Source, error) {
 		return nil, fmt.Errorf("load: fraction %v outside (0,1]", fraction)
 	}
 	fs := &frameSource{capacity: g.capacity}
+	// Stream ids number the generator's streams in construction order —
+	// independent of the sampling fraction, so the same client keeps the
+	// same identity (and the same partition, under a partitioning policy)
+	// across sampled and full frames.
+	id := 0
 	for _, st := range g.stages {
 		cs := cursorStage{}
 		for _, s := range st.streams {
+			sid := id
+			id++
 			bytes := int64(float64(s.bytes) * fraction)
 			if bytes == 0 {
 				continue
 			}
 			tiles := (bytes + s.run - 1) / s.run
-			cs.streams = append(cs.streams, cursor{stream: s, bytes: bytes, tiles: tiles})
+			cs.streams = append(cs.streams, cursor{stream: s, id: sid, bytes: bytes, tiles: tiles})
 			if tiles > cs.maxTiles {
 				cs.maxTiles = tiles
 			}
@@ -332,6 +339,7 @@ func (g *Generator) Frame(fraction float64) (memsys.Source, error) {
 // cursor tracks one stream's emission progress.
 type cursor struct {
 	stream  stream
+	id      int   // stable client identity (construction order)
 	bytes   int64 // possibly truncated by sampling
 	tiles   int64
 	emitted int64 // tiles emitted
@@ -370,7 +378,7 @@ func (f *frameSource) Next() (memsys.Request, bool) {
 					c.emitted++
 					c.pos += n
 					st.idx++
-					return memsys.Request{Write: c.stream.write, Addr: addr, Bytes: n}, true
+					return memsys.Request{Write: c.stream.write, Addr: addr, Bytes: n, Stream: c.id}, true
 				}
 				st.idx++
 			}

@@ -9,6 +9,7 @@ type runOp struct {
 	write   bool
 	local   int64
 	bursts  int32
+	stream  int32
 	arrival int64
 }
 
@@ -104,7 +105,7 @@ func workerLoop(w *chanWorker) {
 		}
 		var end int64
 		for _, op := range batch {
-			if e := w.ch.AccessRun(op.write, op.local, int(op.bursts), op.arrival); e > end {
+			if e := w.ch.AccessRunStream(op.write, op.local, int(op.bursts), int(op.stream), op.arrival); e > end {
 				end = e
 			}
 		}

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/controller"
+	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/probe"
 	"repro/internal/units"
@@ -21,24 +23,38 @@ import (
 func TestDispatchEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xc0a1e5ce))
 
-	for trial := 0; trial < 30; trial++ {
+	// Walk the full scheduling-policy x datasheet matrix twice (the trial
+	// index enumerates it deterministically), with the rest of the
+	// configuration and the request stream randomized per trial. Every
+	// combination must agree across all four dispatch variants — in
+	// particular, coalesce-unsafe policies must fall back to the per-burst
+	// reference schedule on every path.
+	policies := controller.Policies()
+	devices := dram.Devices()
+	trials := 2 * len(policies) * len(devices)
+	for trial := 0; trial < trials; trial++ {
+		policy := policies[trial%len(policies)]
+		device := devices[(trial/len(policies))%len(devices)]
 		channels := []int{1, 2, 3, 4, 8}[rng.Intn(5)]
+		// Interleave granularities must be multiples of the device's burst
+		// (16 bytes for the paper part, 64 for the modern x16 BL16 parts).
+		burst := int64(device.Geometry.WordBits/8) * int64(device.Geometry.BurstLength)
 		cfg := Config{
 			Channels:              channels,
-			Freq:                  []units.Frequency{200 * units.MHz, 400 * units.MHz, 533 * units.MHz}[rng.Intn(3)],
+			Freq:                  device.Frequencies[rng.Intn(len(device.Frequencies))],
+			Geometry:              device.Geometry,
+			Timing:                device.Timing,
+			Policy:                policy,
 			PowerDown:             rng.Intn(2) == 0,
 			RecordLatency:         rng.Intn(2) == 0,
 			WriteBufferDepth:      []int{0, 0, 8, 32}[rng.Intn(4)],
 			QueueDepth:            []int{0, 0, 4, 16}[rng.Intn(4)],
 			RefreshPostpone:       rng.Intn(4),
 			PrechargeOnIdle:       rng.Intn(2) == 0,
-			InterleaveGranularity: []int64{0, 16, 32, 64, 256}[rng.Intn(5)],
+			InterleaveGranularity: []int64{0, burst, 2 * burst, 4 * burst, 16 * burst}[rng.Intn(5)],
 		}
 		if rng.Intn(4) == 0 {
 			cfg.Mux = 1 // BRC
-		}
-		if rng.Intn(4) == 0 {
-			cfg.Policy = 1 // ClosedPage
 		}
 		var plan *fault.Plan
 		if rng.Intn(3) == 0 {
@@ -84,6 +100,7 @@ func TestDispatchEquivalence(t *testing.T) {
 				Addr:    rng.Int63n(1 << 26),
 				Bytes:   bytes,
 				Arrival: arrival,
+				Stream:  rng.Intn(4), // clients for the bank-partition map
 			})
 		}
 

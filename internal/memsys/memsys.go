@@ -122,6 +122,11 @@ type Request struct {
 	Addr    int64
 	Bytes   int64
 	Arrival int64
+	// Stream identifies the client the transaction belongs to (the load
+	// model's pipeline streams). Policies that partition resources per
+	// client (controller.BankPartition) key on it; every other policy
+	// ignores it, and zero is always safe.
+	Stream int
 }
 
 // Source supplies master transactions in program order.
@@ -364,8 +369,13 @@ func (s *System) Run(src Source) (Result, error) {
 		eng = s.startEngine()
 		defer eng.stop() // idempotent; drains workers on early error returns
 	}
+	// Coalescing additionally requires the scheduling policy to have
+	// declared its command stream safe for the arithmetic fast path; any
+	// non-baseline policy conservatively dispatches per burst, which also
+	// preserves per-burst stream attribution for partitioning policies.
 	coalesce := !s.cfg.NoCoalesce && s.inj == nil &&
-		(!s.observed() || s.cfg.SynthCoalescedEvents)
+		(!s.observed() || s.cfg.SynthCoalescedEvents) &&
+		len(s.chans) > 0 && s.chans[0].Controller().CoalesceSafe()
 
 	// Pending dropout from the fault plan (fires at most once per System).
 	dropPending := s.inj != nil && !s.dropped && s.inj.Plan().DropAtCycle > 0
@@ -408,9 +418,10 @@ func (s *System) Run(src Source) (Result, error) {
 			for a := start; a < end; a += burst {
 				ch, local := s.route(a)
 				if parallel {
-					eng.dispatch(ch, runOp{write: req.Write, local: local, bursts: 1, arrival: arrival})
+					eng.dispatch(ch, runOp{write: req.Write, local: local, bursts: 1,
+						stream: int32(req.Stream), arrival: arrival})
 				} else {
-					done := s.chans[ch].Access(req.Write, local, arrival)
+					done := s.chans[ch].AccessStream(req.Write, local, req.Stream, arrival)
 					if done > last {
 						last = done
 					}

@@ -40,7 +40,8 @@ type SimulateRequest struct {
 
 	// Optional MemoryConfig extensions (zero = paper baseline).
 	Mux                   string `json:"mux,omitempty"`    // "rbc" (default) or "brc"
-	Policy                string `json:"policy,omitempty"` // "open" (default) or "closed"
+	Policy                string `json:"policy,omitempty"` // controller.ParsePolicy spellings
+	Device                string `json:"device,omitempty"` // dram.Device registry name
 	DisablePowerDown      bool   `json:"disable_power_down,omitempty"`
 	WriteBufferDepth      int    `json:"write_buffer_depth,omitempty"`
 	QueueDepth            int    `json:"queue_depth,omitempty"`
@@ -60,6 +61,7 @@ type SweepRequest struct {
 
 	Mux                   string `json:"mux,omitempty"`
 	Policy                string `json:"policy,omitempty"`
+	Device                string `json:"device,omitempty"`
 	DisablePowerDown      bool   `json:"disable_power_down,omitempty"`
 	WriteBufferDepth      int    `json:"write_buffer_depth,omitempty"`
 	QueueDepth            int    `json:"queue_depth,omitempty"`
@@ -134,16 +136,11 @@ func parseMux(s string) (mapping.Multiplexing, error) {
 	}
 }
 
-// parsePolicy maps the wire spelling onto controller.PagePolicy.
+// parsePolicy maps the wire spelling onto controller.PagePolicy — the
+// registry's canonical parser, so the service accepts exactly the
+// spellings the CLIs do and its error lists the valid names.
 func parsePolicy(s string) (controller.PagePolicy, error) {
-	switch strings.ToLower(s) {
-	case "", "open":
-		return controller.OpenPage, nil
-	case "closed":
-		return controller.ClosedPage, nil
-	default:
-		return 0, fmt.Errorf("unknown page policy %q (want \"open\" or \"closed\")", s)
-	}
+	return controller.ParsePolicy(s)
 }
 
 // Point lowers the request to the core types, reusing the same
@@ -168,6 +165,7 @@ func (req *SimulateRequest) Point() (core.Workload, core.MemoryConfig, error) {
 		Freq:                  units.Frequency(req.FreqMHz) * units.MHz,
 		Mux:                   mux,
 		Policy:                policy,
+		Device:                req.Device,
 		DisablePowerDown:      req.DisablePowerDown,
 		WriteBufferDepth:      req.WriteBufferDepth,
 		QueueDepth:            req.QueueDepth,
@@ -207,6 +205,7 @@ func (req *SweepRequest) Grid(maxPoints int) ([]SimulateRequest, error) {
 					Fraction:              req.Fraction,
 					Mux:                   req.Mux,
 					Policy:                req.Policy,
+					Device:                req.Device,
 					DisablePowerDown:      req.DisablePowerDown,
 					WriteBufferDepth:      req.WriteBufferDepth,
 					QueueDepth:            req.QueueDepth,
