@@ -20,7 +20,12 @@
 # soak gate (a race-built simd daemon must answer byte-identical
 # sweeps, shed honestly with 429 + Retry-After under saturation,
 # enforce deadlines with 504, and drain cleanly on SIGTERM under
-# load), and the
+# load), the sharded grid router gate (a race-built 3-shard fleet
+# behind simrouter must merge sweeps byte-identical to cmd/sweep,
+# survive a mid-soak shard kill with zero wrong answers, answer a
+# warmed grid 100% from cache, and — on hosts with at least 4 CPUs —
+# run a cache-cold grid at least ROUTER_SPEEDUP_MIN times faster on 4
+# single-worker shards than on one), and the
 # throughput gate recording the simulator benchmarks to
 # results/BENCH_<date>.json (suffixed -2, -3, ... instead of
 # clobbering a same-day export) and failing if BenchmarkRawChannel
@@ -297,6 +302,160 @@ grep -q 'simd: drained cleanly' "$svc_dir/simd.log" ||
     svc_fail "simd did not report a clean drain"
 echo "ci: simulation service soak OK"
 
+echo "== sharded grid router gate =="
+# A race-built 3-shard fleet behind simrouter must be indistinguishable
+# from one daemon: the routed sweep is byte-identical to the direct
+# cmd/sweep run; killing a shard mid-soak costs failover latency but
+# zero wrong answers (failed=0, and the post-kill sweep still matches
+# byte for byte); a warmed grid re-queries 100% from cache (X-Sim-Cache
+# reports only hits); and a 4-shard cache-cold grid must finish at least
+# ROUTER_SPEEDUP_MIN (default 2) times faster than a single-worker simd
+# — warn-only on hosts with fewer than 4 CPUs, where the shards time-
+# slice one core and no scale-out is physically possible.
+grid_dir=$(mktemp -d)
+trap 'rm -rf "$qos_dir" "$cache_dir" "$svc_dir" "$grid_dir"' EXIT
+go build -race -o "$grid_dir/simrouter" ./cmd/simrouter
+grid_fail() {
+    echo "ci: $1" >&2
+    for log in "$grid_dir"/*.log; do
+        [ -f "$log" ] && { echo "--- $log" >&2; cat "$log" >&2; }
+    done
+    # shellcheck disable=SC2086
+    kill $grid_pids 2>/dev/null || true
+    exit 1
+}
+scrape_addr() { # log-file prefix
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n "s/^$2//p" "$1" | sed 's/ .*//')
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    echo "$addr"
+}
+# The shards must be children of THIS shell (not a command substitution)
+# so the drain check below can wait on them.
+"$svc_dir/simd" -addr 127.0.0.1:0 -workers 2 -queue-limit 8 \
+    -shard-name s1 -drain 20s 2>"$grid_dir/s1.log" &
+s1_pid=$!
+"$svc_dir/simd" -addr 127.0.0.1:0 -workers 2 -queue-limit 8 \
+    -shard-name s2 -drain 20s 2>"$grid_dir/s2.log" &
+s2_pid=$!
+"$svc_dir/simd" -addr 127.0.0.1:0 -workers 2 -queue-limit 8 \
+    -shard-name s3 -drain 20s 2>"$grid_dir/s3.log" &
+s3_pid=$!
+grid_pids="$s1_pid $s2_pid $s3_pid"
+s1_addr=$(scrape_addr "$grid_dir/s1.log" "simd: listening on ")
+s2_addr=$(scrape_addr "$grid_dir/s2.log" "simd: listening on ")
+s3_addr=$(scrape_addr "$grid_dir/s3.log" "simd: listening on ")
+[ -n "$s1_addr" ] && [ -n "$s2_addr" ] && [ -n "$s3_addr" ] ||
+    grid_fail "a fleet shard never announced its address"
+"$grid_dir/simrouter" -addr 127.0.0.1:0 -health-interval 200ms \
+    -shard "s1=http://$s1_addr" -shard "s2=http://$s2_addr" \
+    -shard "s3=http://$s3_addr" 2>"$grid_dir/router.log" &
+router_pid=$!
+grid_pids="$grid_pids $router_pid"
+router_addr=$(scrape_addr "$grid_dir/router.log" "simrouter: listening on ")
+[ -n "$router_addr" ] || grid_fail "simrouter never announced its address"
+"$svc_dir/simctl" sweep -server "http://$router_addr" \
+    -formats 1080p30 -channels 2,4 -freqs 400 -fraction 0.02 \
+    >"$grid_dir/routed-sweep.csv" || grid_fail "routed sweep failed"
+cmp "$cache_dir/sweep-uncached.csv" "$grid_dir/routed-sweep.csv" ||
+    grid_fail "routed sweep differs from the direct cmd/sweep run"
+# Warm an untouched grid, then re-query it: every point must come back a
+# cache hit, and the merged answer must still match a direct run.
+"$svc_dir/simctl" warm -server "http://$router_addr" \
+    -formats 720p30 -channels 1,2 -freqs 266,333 -fraction 0.02 \
+    >"$grid_dir/warm.txt" || grid_fail "fleet warm failed"
+cat "$grid_dir/warm.txt"
+grep -q 'simulated=4' "$grid_dir/warm.txt" ||
+    grid_fail "warm did not compute the 4 cold points"
+curl -fsS -D "$grid_dir/warm-headers.txt" -o "$grid_dir/warm-sweep.json" \
+    -H 'Content-Type: application/json' \
+    -d '{"formats":["720p30"],"channels":[1,2],"freqs_mhz":[266,333],"fraction":0.02}' \
+    "http://$router_addr/v1/sweep" || grid_fail "post-warm sweep failed"
+grep -iq '^x-sim-cache: hit=4' "$grid_dir/warm-headers.txt" || {
+    cat "$grid_dir/warm-headers.txt" >&2
+    grid_fail "warmed grid was not answered 100% from cache"
+}
+# Kill a shard mid-soak: the router fails over, so every request still
+# either succeeds or sheds honestly — zero failures, zero wrong answers.
+( sleep 0.3; kill -TERM "$s2_pid" ) &
+"$svc_dir/simctl" soak -server "http://$router_addr" -clients 8 -requests 4 \
+    -fraction 0.02 >"$grid_dir/soak.txt" ||
+    grid_fail "mid-kill soak reported failed requests"
+cat "$grid_dir/soak.txt"
+grep -q ' failed=0$' "$grid_dir/soak.txt" ||
+    grid_fail "soak across a shard kill reported failures"
+wait "$s2_pid" || grid_fail "killed shard did not drain cleanly"
+"$svc_dir/simctl" sweep -server "http://$router_addr" \
+    -formats 1080p30 -channels 2,4 -freqs 400 -fraction 0.02 \
+    >"$grid_dir/degraded-sweep.csv" || grid_fail "post-kill sweep failed"
+cmp "$cache_dir/sweep-uncached.csv" "$grid_dir/degraded-sweep.csv" ||
+    grid_fail "sweep after losing a shard differs from the direct run"
+kill -TERM "$s1_pid" "$s3_pid" "$router_pid" 2>/dev/null || true
+wait "$s1_pid" "$s3_pid" "$router_pid" 2>/dev/null || true
+# Scale-out timing: a cache-cold grid on 4 single-worker shards vs one
+# single-worker daemon, same binaries, fresh processes (cold caches).
+ncpu=$(nproc 2>/dev/null || echo 1)
+speed_grid="-formats 1080p30 -channels 1,2,4,8 -freqs 200,266,333,400 -fraction 0.05"
+"$svc_dir/simd" -addr 127.0.0.1:0 -workers 1 2>"$grid_dir/solo.log" &
+solo_pid=$!
+grid_pids="$solo_pid"
+solo_addr=$(scrape_addr "$grid_dir/solo.log" "simd: listening on ")
+[ -n "$solo_addr" ] || grid_fail "solo timing daemon never announced its address"
+t0=$(date +%s%N)
+# shellcheck disable=SC2086
+"$svc_dir/simctl" sweep -server "http://$solo_addr" $speed_grid \
+    >"$grid_dir/solo-sweep.csv" || grid_fail "solo timing sweep failed"
+t1=$(date +%s%N)
+kill -TERM "$solo_pid" 2>/dev/null || true
+wait "$solo_pid" 2>/dev/null || true
+grid_pids=""
+for i in 1 2 3 4; do
+    "$svc_dir/simd" -addr 127.0.0.1:0 -workers 1 \
+        -shard-name "f$i" 2>"$grid_dir/f$i.log" &
+    grid_pids="$grid_pids $!"
+done
+f_shards=""
+for i in 1 2 3 4; do
+    f_addr=$(scrape_addr "$grid_dir/f$i.log" "simd: listening on ")
+    [ -n "$f_addr" ] || grid_fail "fleet timing shard f$i never announced its address"
+    f_shards="$f_shards -shard f$i=http://$f_addr"
+done
+# shellcheck disable=SC2086
+"$grid_dir/simrouter" -addr 127.0.0.1:0 $f_shards 2>"$grid_dir/frouter.log" &
+frouter_pid=$!
+grid_pids="$grid_pids $frouter_pid"
+frouter_addr=$(scrape_addr "$grid_dir/frouter.log" "simrouter: listening on ")
+[ -n "$frouter_addr" ] || grid_fail "timing simrouter never announced its address"
+t2=$(date +%s%N)
+# shellcheck disable=SC2086
+"$svc_dir/simctl" sweep -server "http://$frouter_addr" $speed_grid \
+    >"$grid_dir/fleet-sweep.csv" || grid_fail "fleet timing sweep failed"
+t3=$(date +%s%N)
+cmp "$grid_dir/solo-sweep.csv" "$grid_dir/fleet-sweep.csv" ||
+    grid_fail "fleet timing sweep differs from the solo run"
+# shellcheck disable=SC2086
+kill -TERM $grid_pids 2>/dev/null || true
+# shellcheck disable=SC2086
+wait $grid_pids 2>/dev/null || true
+grid_pids=""
+solo_ms=$(( (t1 - t0) / 1000000 ))
+fleet_ms=$(( (t3 - t2) / 1000000 ))
+[ "$fleet_ms" -gt 0 ] || fleet_ms=1
+speed_x10=$(( solo_ms * 10 / fleet_ms ))
+echo "ci: solo sweep ${solo_ms}ms, 4-shard fleet ${fleet_ms}ms ($((speed_x10 / 10)).$((speed_x10 % 10))x)"
+if [ "$speed_x10" -lt "$(( ${ROUTER_SPEEDUP_MIN:-2} * 10 ))" ]; then
+    if [ "$ncpu" -lt 4 ]; then
+        echo "ci: WARNING: fleet speedup below ${ROUTER_SPEEDUP_MIN:-2}x on a ${ncpu}-CPU host — shards time-slice, not failing"
+    else
+        echo "ci: 4-shard fleet under ${ROUTER_SPEEDUP_MIN:-2}x over a single worker — scale-out regression" >&2
+        exit 1
+    fi
+fi
+echo "ci: sharded grid router OK"
+
 echo "== fidelity differential gate =="
 # The auto fidelity tier's contract is verdict identity at a fraction of
 # the cost: a cache-cold full-grid auto sweep must carry byte-identical
@@ -309,7 +468,7 @@ echo "== fidelity differential gate =="
 # small calibration pass must emit a well-formed, decodable envelope
 # that drives -fidelity auto through the -envelope flag.
 fid_dir=$(mktemp -d)
-trap 'rm -rf "$qos_dir" "$cache_dir" "$svc_dir" "$fid_dir"' EXIT
+trap 'rm -rf "$qos_dir" "$cache_dir" "$svc_dir" "$grid_dir" "$fid_dir"' EXIT
 go build -o "$fid_dir/sweep" ./cmd/sweep
 t0=$(date +%s%N)
 "$fid_dir/sweep" -no-cache >"$fid_dir/exact.csv"

@@ -7,14 +7,25 @@
 //
 //	simctl simulate -format 1080p30 -channels 4 -freq 400   # one point
 //	simctl sweep -formats 720p30 -channels 1,2 -freqs 200   # CSV grid
+//	simctl warm -formats 720p30 -channels 1,2 -freqs 200    # prime caches
 //	simctl soak -clients 16 -requests 8                     # load test
+//
+// Every subcommand works identically against one simd daemon or a
+// simrouter-fronted fleet — the router speaks the same /v1 API.
+//
+// warm computes a grid without shipping the result bodies back: the
+// payload is the side effect of filling the service's (or every
+// shard's) cache, so a later sweep answers entirely from cache.
 //
 // soak hammers the service with concurrent clients mixing cache hits and
 // misses and verifies the service's load contract: every request either
 // succeeds (200, possibly flagged degraded) or is shed honestly (429
-// with Retry-After) — never a 5xx, never a hang. -allow-shutdown
-// additionally tolerates connections cut by a mid-soak daemon drain, so
-// CI can SIGTERM the daemon under load and still assert the contract.
+// with Retry-After) — never a 5xx, never a hang. A shed client honors
+// the Retry-After it was given, sleeping a jittered multiple of it
+// before its next request, and the summary attributes sheds per shard
+// when the fleet stamps X-Sim-Shard. -allow-shutdown additionally
+// tolerates connections cut by a mid-soak daemon drain, so CI can
+// SIGTERM the daemon under load and still assert the contract.
 package main
 
 import (
@@ -23,8 +34,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -33,8 +46,6 @@ import (
 
 	"repro/internal/server"
 )
-
-const csvHeader = "format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw,estimated"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -45,6 +56,8 @@ func main() {
 		runSimulate(os.Args[2:])
 	case "sweep":
 		runSweep(os.Args[2:])
+	case "warm":
+		runWarm(os.Args[2:])
 	case "soak":
 		runSoak(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -56,10 +69,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: simctl <simulate|sweep|soak> [flags]
+	fmt.Fprint(os.Stderr, `usage: simctl <simulate|sweep|warm|soak> [flags]
 
   simulate  answer one point as a CSV row (or -json)
   sweep     answer a grid as sweep-compatible CSV
+  warm      compute a grid to prime the service caches (no result bodies)
   soak      load-test the service's shed/degrade contract
 
 run "simctl <subcommand> -h" for the subcommand's flags
@@ -126,16 +140,6 @@ func apiError(status int, data []byte) error {
 	return fmt.Errorf("server returned %d: %s", status, strings.TrimSpace(string(data)))
 }
 
-// csvRow renders one response exactly as cmd/sweep renders the same
-// point — same verbs, same order — which is what makes the service
-// drop-in substitutable for a local run.
-func csvRow(p server.SimulateResponse) string {
-	return fmt.Sprintf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f,%t",
-		p.Format, p.Channels, p.FreqMHz, p.FrameBytes,
-		p.RequiredGB, p.AccessMS, p.BudgetMS, p.Verdict,
-		p.Efficiency, p.PowerMW, p.InterfaceMW, p.Estimated)
-}
-
 func runSimulate(args []string) {
 	fs := flag.NewFlagSet("simctl simulate", flag.ExitOnError)
 	var (
@@ -177,8 +181,8 @@ func runSimulate(args []string) {
 	if cache := hdr.Get("X-Sim-Cache"); cache != "" {
 		fmt.Fprintf(os.Stderr, "simctl: cache: %s\n", cache)
 	}
-	fmt.Println(csvHeader)
-	fmt.Println(csvRow(resp))
+	fmt.Println(server.CSVHeader)
+	fmt.Println(resp.CSVRow())
 }
 
 func runSweep(args []string) {
@@ -227,10 +231,100 @@ func runSweep(args []string) {
 	if resp.Degraded {
 		fmt.Fprintln(os.Stderr, "simctl: warning: degraded (analytic) answers — the service was saturated")
 	}
-	fmt.Println(csvHeader)
+	fmt.Println(server.CSVHeader)
 	for _, p := range resp.Points {
-		fmt.Println(csvRow(p))
+		fmt.Println(p.CSVRow())
 	}
+}
+
+// runWarm expands the grid client-side and ships it as one warm batch:
+// the service (or every shard behind a router) computes and caches each
+// point but sends no result bodies back, so priming a large grid costs
+// the simulations once and the response stays tiny.
+func runWarm(args []string) {
+	fs := flag.NewFlagSet("simctl warm", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8080", "simd or simrouter base URL")
+		formats   = fs.String("formats", "720p30,720p60,1080p30,1080p60,2160p30,2160p60", "comma-separated frame formats")
+		channels  = fs.String("channels", "1,2,4,8", "comma-separated channel counts")
+		freqs     = fs.String("freqs", "200,266,333,400,533", "comma-separated clock frequencies in MHz")
+		fraction  = fs.Float64("fraction", 0.1, "frame fraction to simulate")
+		timeout   = fs.Duration("timeout", 10*time.Minute, "client-side HTTP timeout")
+		deadline  = fs.Duration("deadline", 0, "server-side deadline to request (0 = server default)")
+		clientID  = fs.String("client-id", "", "X-Client-ID to present (rate-limit identity)")
+		fidelity  = fs.String("fidelity", "", "fidelity tier to request: exact, fast or auto (empty = server default)")
+		policy    = fs.String("policy", "", "controller scheduling policy (empty = server default, open-page)")
+		device    = fs.String("device", "", "DRAM datasheet to simulate (empty = paper device)")
+	)
+	fs.Parse(args)
+
+	chList, err := parseInts(*channels)
+	if err != nil {
+		fatal(err)
+	}
+	freqList, err := parseInts(*freqs)
+	if err != nil {
+		fatal(err)
+	}
+	var points []server.SimulateRequest
+	for _, f := range strings.Split(*formats, ",") {
+		for _, ch := range chList {
+			for _, freq := range freqList {
+				points = append(points, server.SimulateRequest{
+					Format: strings.TrimSpace(f), Channels: ch, FreqMHz: freq,
+					Fraction: *fraction, Policy: *policy, Device: *device,
+				})
+			}
+		}
+	}
+
+	c := newClient(*serverURL, *clientID, *timeout, *deadline)
+	req := server.BatchRequest{Points: points, Fidelity: *fidelity, Warm: true}
+	status, data, hdr, err := c.post("/v1/batch", &req)
+	if err != nil {
+		fatal(err)
+	}
+	if status != http.StatusOK {
+		fatal(apiError(status, data))
+	}
+	var resp server.BatchResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		fatal(fmt.Errorf("decoding response: %w", err))
+	}
+	outcomes := map[string]int{}
+	for _, o := range resp.Outcomes {
+		outcomes[o]++
+	}
+	fmt.Printf("simctl: warm: primed %d points (%s)", len(resp.Outcomes), countList(outcomes))
+	if shard := hdr.Get("X-Sim-Shard"); shard != "" {
+		fmt.Printf(" shards: %s", shard)
+	}
+	fmt.Println()
+}
+
+// countList renders outcome counts as "hit=3 simulated=17" with sorted
+// keys.
+func countList(counts map[string]int) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, counts[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// retryAfter parses a 429's Retry-After seconds value (0 on absence or
+// garbage — the caller treats that as "back off a beat anyway").
+func retryAfter(hdr http.Header) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(hdr.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func runSoak(args []string) {
@@ -250,6 +344,8 @@ func runSoak(args []string) {
 	}
 
 	var ok, degraded, shed, cut, failed atomic.Int64
+	var mu sync.Mutex
+	shedByShard := map[string]int{}
 	fail := func(format string, args ...any) {
 		failed.Add(1)
 		fmt.Fprintf(os.Stderr, "simctl: soak: FAIL: %s\n", fmt.Sprintf(format, args...))
@@ -293,6 +389,15 @@ func runSoak(args []string) {
 						break
 					}
 					shed.Add(1)
+					mu.Lock()
+					shedByShard[shardKey(hdr)]++
+					mu.Unlock()
+					// Honor the server's backpressure: sleep the advertised
+					// Retry-After plus up to 50% jitter, so a shed fleet of
+					// clients spreads out instead of re-stampeding in sync.
+					if wait := retryAfter(hdr); wait > 0 {
+						time.Sleep(wait + time.Duration(rand.Int63n(int64(wait)/2+1)))
+					}
 				case status == http.StatusServiceUnavailable && *allowShutdown:
 					// The drain cut this request off mid-flight.
 					cut.Add(1)
@@ -306,9 +411,24 @@ func runSoak(args []string) {
 
 	fmt.Printf("simctl: soak: ok=%d degraded=%d shed=%d cut=%d failed=%d\n",
 		ok.Load(), degraded.Load(), shed.Load(), cut.Load(), failed.Load())
+	if len(shedByShard) > 0 {
+		// Attribute the sheds: against a router-fronted fleet each 429
+		// carries the shedding shard's X-Sim-Shard; "-" collects answers
+		// from an unnamed (single-daemon) service.
+		fmt.Printf("simctl: soak: shed by shard: %s\n", countList(shedByShard))
+	}
 	if failed.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// shardKey attributes a response to the shard that stamped it ("-" when
+// the service is not shard-named).
+func shardKey(hdr http.Header) string {
+	if s := hdr.Get("X-Sim-Shard"); s != "" {
+		return s
+	}
+	return "-"
 }
 
 func parseInts(s string) ([]int, error) {

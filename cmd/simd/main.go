@@ -53,6 +53,7 @@ func main() {
 		degrade        = flag.Bool("degrade", false, "serve analytic estimates (flagged degraded) when the queue is saturated, instead of shedding with 429")
 		maxSweepPoints = flag.Int("max-sweep-points", 1024, "largest grid one sweep request may expand to")
 		fidelity       = flag.String("fidelity", "exact", "default fidelity tier for requests without a \"fidelity\" field: exact, fast, or auto (estimated answers carry \"estimated\":true)")
+		shardName      = flag.String("shard-name", "", "stamp responses with this fleet-member name (X-Sim-Shard header) when serving behind simrouter")
 	)
 	flag.Parse()
 
@@ -108,6 +109,7 @@ func main() {
 		Fidelity:        tier,
 		Cache:           cache,
 		Metrics:         reg,
+		ShardName:       *shardName,
 	})
 
 	var dbg *debugserver.Server

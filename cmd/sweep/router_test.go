@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// csvFromService posts a sweep to a service handler URL and renders the
+// JSON answer as sweep CSV — the drop-in-substitution contract: header,
+// then every point through server.CSVRow.
+func csvFromService(t *testing.T, url, body string) string {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sw server.SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("service sweep: status %d", resp.StatusCode)
+	}
+	var b strings.Builder
+	b.WriteString(server.CSVHeader)
+	b.WriteByte('\n')
+	for _, p := range sw.Points {
+		b.WriteString(p.CSVRow())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestRouterSweepMatchesCLI pins the scale-out substitution contract end
+// to end: the same grid answered by (a) the re-exec'd sweep CLI, (b) a
+// single simd-equivalent service, and (c) a 3-shard fleet behind the
+// router merges to byte-identical CSV — at the exact tier and at
+// -fidelity auto.
+func TestRouterSweepMatchesCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec simulation in -short mode")
+	}
+	for _, tier := range []string{"exact", "auto"} {
+		t.Run(tier, func(t *testing.T) {
+			args := []string{"-formats", "720p30", "-channels", "1,2", "-freqs", "200,266", "-fraction", "0.02", "-fidelity", tier}
+			cli, cliErr, code := runSweep(t, args...)
+			if code != 0 {
+				t.Fatalf("sweep CLI exited %d:\n%s", code, cliErr)
+			}
+
+			body := `{"fidelity":"` + tier + `","formats":["720p30"],"channels":[1,2],"freqs_mhz":[200,266],"fraction":0.02}`
+
+			single := httptest.NewServer(server.New(server.Config{Workers: 2}).Handler())
+			defer single.Close()
+			if got := csvFromService(t, single.URL, body); got != cli {
+				t.Errorf("single service CSV differs from CLI\nservice:\n%s\ncli:\n%s", got, cli)
+			}
+
+			shards := map[string]string{}
+			for _, name := range []string{"s1", "s2", "s3"} {
+				ts := httptest.NewServer(server.New(server.Config{
+					Workers: 2, ShardName: name, Metrics: metrics.NewRegistry(),
+				}).Handler())
+				defer ts.Close()
+				shards[name] = ts.URL
+			}
+			rt, err := shard.NewRouter(shard.RouterConfig{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			routed := httptest.NewServer(rt.Handler())
+			defer routed.Close()
+			if got := csvFromService(t, routed.URL, body); got != cli {
+				t.Errorf("router-merged CSV differs from CLI\nrouter:\n%s\ncli:\n%s", got, cli)
+			}
+		})
+	}
+}

@@ -312,6 +312,16 @@ func DisableCache() { activeCache.Store(nil) }
 // EnabledCache returns the process-wide cache, or nil when disabled.
 func EnabledCache() *SimCache { return activeCache.Load() }
 
+// CacheKey exposes the content-addressed key for one simulation point —
+// the identity the cache, the single-flight memo and the shard router all
+// agree on. cacheable=false marks observed runs (probes, faults, latency
+// recording) that never cache; a router may place such a request on any
+// shard. The key is deterministic across hosts and processes, which is
+// what makes consistent-hash placement by key meaningful at all.
+func CacheKey(w Workload, mc MemoryConfig) (simcache.Key, bool) {
+	return cacheKey(w, mc)
+}
+
 // cacheKey folds the normalized (Workload, MemoryConfig) into a
 // content-addressed key, or reports cacheable=false for observed runs —
 // probes, faults and latency recording exist for their side effects or

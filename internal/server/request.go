@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -12,12 +13,18 @@ import (
 	"repro/internal/units"
 )
 
-// maxRequestBytes bounds the decoded request body. The largest legitimate
-// sweep request — every format crossed with every channel count and a
-// long frequency list — is well under a kilobyte, so a megabyte keeps
+// MaxRequestBytes bounds the decoded request body. The largest legitimate
+// request — a batch of every format crossed with every channel count and
+// a long frequency list — is well under the limit, so a megabyte keeps
 // the decoder safe from memory-amplification without ever rejecting a
-// real client.
-const maxRequestBytes = 1 << 20
+// real client. A body over the limit is answered 413 with MaxBytes set in
+// the error payload, so a client can tell the size ceiling apart from a
+// malformed document (400).
+const MaxRequestBytes = 1 << 20
+
+// ErrRequestTooLarge marks a request body over MaxRequestBytes. Handlers
+// map it to 413 Payload Too Large with the documented max-size payload.
+var ErrRequestTooLarge = errors.New("request body exceeds the size limit")
 
 // SimulateRequest is the POST /v1/simulate body: one (Workload,
 // MemoryConfig) point. Field names mirror the sweep CSV columns and the
@@ -101,28 +108,81 @@ type SweepResponse struct {
 	Degraded bool               `json:"degraded,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx answer.
-type ErrorResponse struct {
-	Error string `json:"error"`
+// BatchRequest is the POST /v1/batch body: an explicit slice of points
+// answered under ONE admission-control and deadline envelope — the shard
+// router's transport, costing one HTTP round trip per shard instead of
+// one per point. Fidelity is the default tier for points that set none.
+// With Warm, the shard computes (and disk-persists) every point but
+// omits the result bodies from the response — the cache-priming mode,
+// where the payload is the side effect, not the answer.
+type BatchRequest struct {
+	Points   []SimulateRequest `json:"points"`
+	Fidelity string            `json:"fidelity,omitempty"`
+	Warm     bool              `json:"warm,omitempty"`
 }
 
-// decodeJSON strictly decodes one JSON document from r into v: unknown
-// fields, trailing garbage and bodies over maxRequestBytes are errors,
-// so a typo'd knob can never silently simulate the default.
-func decodeJSON(r io.Reader, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r, maxRequestBytes+1))
+// BatchResponse answers a batch in request order. Outcomes carries the
+// per-point cache outcome (the X-Sim-Cache vocabulary: "hit", "joined",
+// "simulated", "bypass") — per-point state the single-point endpoints
+// report in a header, which a merged sweep body must not depend on, so
+// it rides in the batch envelope instead. Shard echoes the serving
+// shard's name when the daemon was started with one. Points is omitted
+// for warm batches.
+type BatchResponse struct {
+	Points   []SimulateResponse `json:"points,omitempty"`
+	Outcomes []string           `json:"outcomes"`
+	Shard    string             `json:"shard,omitempty"`
+	Degraded bool               `json:"degraded,omitempty"`
+}
+
+// WarmResponse summarizes a cache-warming fan-out: how many grid points
+// were primed, how they spread across shards, and how each was answered
+// ("simulated" on a cold store, "hit" when already warm). Both maps
+// marshal with sorted keys, so the summary is deterministic.
+type WarmResponse struct {
+	Points   int            `json:"points"`
+	Shards   map[string]int `json:"shards"`
+	Outcomes map[string]int `json:"outcomes"`
+}
+
+// ErrorResponse is the body of every non-2xx answer. MaxBytes is set
+// only on 413 (request body over the size limit) and carries the
+// byte ceiling the client must stay under.
+type ErrorResponse struct {
+	Error    string `json:"error"`
+	MaxBytes int64  `json:"max_bytes,omitempty"`
+}
+
+// DecodeJSON strictly decodes one JSON document from r into v: unknown
+// fields and trailing garbage are errors (a typo'd knob can never
+// silently simulate the default), and a body over MaxRequestBytes fails
+// with ErrRequestTooLarge — distinguishable with errors.Is, so callers
+// (the service handlers and the shard router alike) answer 413 instead
+// of a generic 400.
+func DecodeJSON(r io.Reader, v any) error {
+	lr := &io.LimitedReader{R: r, N: MaxRequestBytes + 1}
+	dec := json.NewDecoder(lr)
 	dec.DisallowUnknownFields()
+	consumed := func() int64 { return MaxRequestBytes + 1 - lr.N }
 	if err := dec.Decode(v); err != nil {
+		// A document truncated by the limit surfaces as a syntax error or
+		// unexpected EOF; the consumed-byte count tells the cases apart.
+		if consumed() > MaxRequestBytes {
+			return fmt.Errorf("decoding request: %w", ErrRequestTooLarge)
+		}
 		return fmt.Errorf("decoding request: %w", err)
+	}
+	if consumed() > MaxRequestBytes {
+		return fmt.Errorf("decoding request: %w", ErrRequestTooLarge)
 	}
 	if dec.More() {
 		return fmt.Errorf("decoding request: trailing data after JSON document")
 	}
-	if dec.InputOffset() > maxRequestBytes {
-		return fmt.Errorf("decoding request: body exceeds %d bytes", maxRequestBytes)
-	}
 	return nil
 }
+
+// decodeJSON is the package-internal spelling the handlers use.
+func decodeJSON(r io.Reader, v any) error { return DecodeJSON(r, v) }
 
 // parseMux maps the wire spelling onto mapping.Multiplexing.
 func parseMux(s string) (mapping.Multiplexing, error) {
@@ -217,6 +277,20 @@ func (req *SweepRequest) Grid(maxPoints int) ([]SimulateRequest, error) {
 		}
 	}
 	return points, nil
+}
+
+// CSVHeader is the header line cmd/sweep prints; rendering every
+// SimulateResponse with CSVRow under it reproduces a sweep byte for byte.
+const CSVHeader = "format,channels,freq_mhz,frame_bytes,required_gbps,access_ms,budget_ms,verdict,efficiency,power_mw,interface_mw,estimated"
+
+// CSVRow renders the response exactly as cmd/sweep renders the same
+// point — same verbs, same order — which is what makes the service (and
+// the shard router fronting it) drop-in substitutable for a local run.
+func (p SimulateResponse) CSVRow() string {
+	return fmt.Sprintf("%s,%d,%d,%d,%.3f,%.3f,%.3f,%s,%.3f,%.1f,%.2f,%t",
+		p.Format, p.Channels, p.FreqMHz, p.FrameBytes,
+		p.RequiredGB, p.AccessMS, p.BudgetMS, p.Verdict,
+		p.Efficiency, p.PowerMW, p.InterfaceMW, p.Estimated)
 }
 
 // responseFor renders a Result as the wire response for the request that

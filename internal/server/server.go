@@ -16,6 +16,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -64,6 +65,10 @@ type Config struct {
 	Cache *core.SimCache
 	// Metrics, when non-nil, registers the service instruments in it.
 	Metrics *metrics.Registry
+	// ShardName, when set, stamps every response with an X-Sim-Shard
+	// header (and batch bodies with a shard field) so a router-fronted
+	// fleet can attribute each answer to the daemon that served it.
+	ShardName string
 }
 
 // withDefaults resolves the zero values.
@@ -115,7 +120,7 @@ func newServerMeter(r *metrics.Registry) serverMeter {
 		requests: map[string]*metrics.Counter{},
 		latency:  map[string]*metrics.Histogram{},
 	}
-	for _, ep := range []string{"simulate", "sweep"} {
+	for _, ep := range []string{"simulate", "sweep", "batch"} {
 		m.requests[ep] = r.Counter("server_requests_total", endpoint(ep))
 		m.latency[ep] = r.Histogram("server_request_seconds", metrics.DurationBuckets, endpoint(ep))
 	}
@@ -184,6 +189,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/simulate", s.guard("simulate", s.handleSimulate))
 	mux.HandleFunc("/v1/sweep", s.guard("sweep", s.handleSweep))
+	mux.HandleFunc("/v1/batch", s.guard("batch", s.handleBatch))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -194,7 +200,7 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "simulation service\n\nPOST /v1/simulate\nPOST /v1/sweep\nGET  /healthz\n")
+		fmt.Fprint(w, "simulation service\n\nPOST /v1/simulate\nPOST /v1/sweep\nPOST /v1/batch\nGET  /healthz\n")
 	})
 	return mux
 }
@@ -265,6 +271,9 @@ func (s *Server) guard(endpoint string, h func(http.ResponseWriter, *http.Reques
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error serving %s", endpoint))
 			}
 		}()
+		if s.cfg.ShardName != "" {
+			w.Header().Set("X-Sim-Shard", s.cfg.ShardName)
+		}
 		s.meter.requests[endpoint].Inc()
 		start := time.Now()
 		defer func() { s.meter.latency[endpoint].Observe(time.Since(start).Seconds()) }()
@@ -409,7 +418,7 @@ func (s *Server) shedOrDegrade(w http.ResponseWriter, req SimulateRequest) (est 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	wl, mc, err := req.Point()
@@ -451,7 +460,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	points, err := req.Grid(s.cfg.MaxSweepPoints)
@@ -527,6 +536,131 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &SweepResponse{Points: results})
 }
 
+// handleBatch answers an explicit slice of points under ONE admission
+// and deadline envelope — the shard router's per-shard transport. The
+// points fan over the shared worker pool exactly as a sweep's grid does;
+// the difference is the envelope (a router charges each shard one
+// admission slot per sub-batch, not one per point) and the response,
+// which carries per-point cache outcomes so the router can surface
+// fleet-wide cache attribution without the merged sweep body ever
+// depending on cache state. A warm batch computes and persists every
+// point but omits the bodies — priming is the payload.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "batch request needs at least one point")
+		return
+	}
+	if len(req.Points) > s.cfg.MaxSweepPoints {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d points, limit %d", len(req.Points), s.cfg.MaxSweepPoints))
+		return
+	}
+	// Validate every point and resolve its tier up front: a bad
+	// coordinate must 400 before any simulation runs. A point's own
+	// fidelity field wins over the batch default, which wins over the
+	// server default.
+	type point struct {
+		w    core.Workload
+		mc   core.MemoryConfig
+		tier core.Fidelity
+	}
+	grid := make([]point, len(req.Points))
+	for i := range req.Points {
+		wl, mc, err := req.Points[i].Point()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		spec := req.Points[i].Fidelity
+		if spec == "" {
+			spec = req.Fidelity
+		}
+		tier, err := s.tierFor(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		grid[i] = point{wl, mc, tier}
+	}
+	deadline, err := s.requestDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		if !s.cfg.Degrade {
+			s.meter.shed.Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+			writeError(w, http.StatusTooManyRequests, "admission queue full")
+			return
+		}
+		// Degraded batch: estimate every point analytically. Estimates
+		// never reach the disk store, so a degraded warm batch primes
+		// nothing — the outcomes say so honestly.
+		resp := BatchResponse{
+			Degraded: true,
+			Shard:    s.cfg.ShardName,
+			Outcomes: make([]string, len(grid)),
+		}
+		if !req.Warm {
+			resp.Points = make([]SimulateResponse, len(grid))
+		}
+		for i, p := range grid {
+			res, err := s.estimate(p.w, p.mc)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			resp.Outcomes[i] = "degraded"
+			if !req.Warm {
+				resp.Points[i] = responseFor(req.Points[i], res, true)
+			}
+		}
+		s.meter.degraded.Inc()
+		w.Header().Set("X-Sim-Degraded", "true")
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	type answer struct {
+		resp    SimulateResponse
+		outcome core.CacheOutcome
+	}
+	answers, err := core.RunIndexedContext(ctx, s.cfg.Workers, len(grid), func(i int) (answer, error) {
+		res, outcome, err := s.runPoint(ctx, grid[i].w, grid[i].mc, grid[i].tier)
+		if err != nil {
+			return answer{}, err
+		}
+		return answer{responseFor(req.Points[i], res, false), outcome}, nil
+	})
+	if err != nil {
+		s.writeSimError(w, ctx, err)
+		return
+	}
+	resp := BatchResponse{
+		Shard:    s.cfg.ShardName,
+		Outcomes: make([]string, len(answers)),
+	}
+	if !req.Warm {
+		resp.Points = make([]SimulateResponse, len(answers))
+	}
+	for i, a := range answers {
+		resp.Outcomes[i] = a.outcome.String()
+		if !req.Warm {
+			resp.Points[i] = a.resp
+		}
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
 // writeSimError maps a simulation failure to its status: deadline and
 // disconnect cancellations are the client's doing (504/499-as-503),
 // anything else is a service-side 500.
@@ -557,9 +691,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(data, '\n'))
 }
 
+// writeDecodeError maps a request-decoding failure to its status: a body
+// over MaxRequestBytes answers 413 with the documented max-size payload
+// (the max_bytes field tells the client the ceiling), anything else is a
+// plain 400.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrRequestTooLarge) {
+		writeErrorPayload(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+			Error:    fmt.Sprintf("request body exceeds %d bytes", int64(MaxRequestBytes)),
+			MaxBytes: MaxRequestBytes,
+		})
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
 // writeError writes the uniform error body.
 func writeError(w http.ResponseWriter, status int, msg string) {
-	data, _ := json.Marshal(ErrorResponse{Error: msg})
+	writeErrorPayload(w, status, ErrorResponse{Error: msg})
+}
+
+func writeErrorPayload(w http.ResponseWriter, status int, e ErrorResponse) {
+	data, _ := json.Marshal(e)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(append(data, '\n'))

@@ -1,0 +1,154 @@
+// Package shard scales the simulation service horizontally: a
+// consistent-hash ring partitions the content-addressed key space across
+// N simd shards with deterministic placement and minimal movement on
+// membership change, and a Router fronts the fleet — routing single
+// points to their key's owner, fanning sweeps out as one batched
+// sub-request per shard, failing over to ring successors with jittered
+// retries, and merging the answers byte-identically to a single daemon.
+//
+// The ring is the contract that makes per-shard disk caches effective: a
+// key always lands on the same shard (so its cache entry is always
+// consulted), and adding or removing a shard reassigns only ~1/N of the
+// key space instead of reshuffling everything — the property that keeps a
+// warmed fleet warm through membership churn.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/simcache"
+)
+
+// DefaultVNodes is the virtual-node count per member. 128 vnodes keep
+// the per-member load within a few percent of uniform (the ring property
+// test pins ±15% across 4 members) at negligible memory cost.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over named members. Build
+// with NewRing; membership changes produce a new Ring (With/Without), so
+// concurrent readers never need a lock.
+type Ring struct {
+	vnodes  int
+	members []string
+	points  []ringPoint // sorted by pos
+}
+
+// ringPoint is one virtual node: a position on the 64-bit keyspace owned
+// by members[member].
+type ringPoint struct {
+	pos    uint64
+	member int
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member (0 =
+// DefaultVNodes). Member names must be unique and non-empty; placement
+// depends only on the names and vnode count, never on argument order, so
+// every process that agrees on the membership agrees on the placement.
+func NewRing(vnodes int, members ...string) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one member")
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("shard: empty member name")
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("shard: duplicate member %q", m)
+		}
+	}
+	r := &Ring{
+		vnodes:  vnodes,
+		members: sorted,
+		points:  make([]ringPoint, 0, vnodes*len(sorted)),
+	}
+	for mi, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{pos: vnodePos(m, v), member: mi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// A 64-bit collision between two members' vnodes is vanishingly
+		// rare but must still order deterministically.
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// vnodePos places one virtual node: the leading 8 bytes of
+// SHA-256("shard-ring/v1|<member>|<index>"). Versioned so a future
+// placement change cannot silently split a fleet that mixes binaries.
+func vnodePos(member string, index int) uint64 {
+	h := sha256.Sum256([]byte("shard-ring/v1|" + member + "|" + strconv.Itoa(index)))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Members returns the member names in sorted order (a copy).
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the member owning key: the first virtual node at or
+// clockwise after the key's ring point.
+func (r *Ring) Owner(key simcache.Key) string {
+	return r.members[r.points[r.search(key.RingPoint())].member]
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the key's owner — the failover sequence: the owner first, then the
+// members a router should try when it is unreachable.
+func (r *Ring) Successors(key simcache.Key, n int) []string {
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := r.search(key.RingPoint()); len(out) < n; i = (i + 1) % len(r.points) {
+		if m := r.points[i].member; !seen[m] {
+			seen[m] = true
+			out = append(out, r.members[m])
+		}
+	}
+	return out
+}
+
+// search returns the index of the first virtual node at or after pos,
+// wrapping past the top of the keyspace to the first node.
+func (r *Ring) search(pos uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// With returns a new ring with member added.
+func (r *Ring) With(member string) (*Ring, error) {
+	return NewRing(r.vnodes, append(r.Members(), member)...)
+}
+
+// Without returns a new ring with member removed.
+func (r *Ring) Without(member string) (*Ring, error) {
+	var rest []string
+	for _, m := range r.members {
+		if m != member {
+			rest = append(rest, m)
+		}
+	}
+	if len(rest) == len(r.members) {
+		return nil, fmt.Errorf("shard: %q is not a ring member", member)
+	}
+	return NewRing(r.vnodes, rest...)
+}

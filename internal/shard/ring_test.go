@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"strconv"
+	"testing"
+
+	"repro/internal/simcache"
+)
+
+// testKeys returns a deterministic set of n distinct keys — hashed
+// counters, so every run of the property tests sees the same keyspace
+// sample and a pass can never be a lucky draw.
+func testKeys(n int) []simcache.Key {
+	keys := make([]simcache.Key, n)
+	for i := range keys {
+		keys[i] = simcache.Key(sha256.Sum256([]byte("ring-test-key-" + strconv.Itoa(i))))
+	}
+	return keys
+}
+
+func mustRing(t *testing.T, vnodes int, members ...string) *Ring {
+	t.Helper()
+	r, err := NewRing(vnodes, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingDistribution is the satellite's uniformity property: at 128
+// vnodes, 4 shards each own the expected share of a large key sample
+// within ±15%.
+func TestRingDistribution(t *testing.T) {
+	r := mustRing(t, 128, "shard-0", "shard-1", "shard-2", "shard-3")
+	keys := testKeys(20000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	expect := float64(len(keys)) / 4
+	for _, m := range r.Members() {
+		got := float64(counts[m])
+		if dev := (got - expect) / expect; dev < -0.15 || dev > 0.15 {
+			t.Errorf("member %s owns %d keys, expected %.0f ±15%% (deviation %+.1f%%)",
+				m, counts[m], expect, dev*100)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the satellite's movement property: adding a
+// shard to an N-member ring moves at most (1/(N+1) + ε) of the keys, and
+// every moved key moves TO the new shard; removing a shard moves exactly
+// the removed shard's keys, each to a surviving member, and no other key
+// moves at all.
+func TestRingMinimalMovement(t *testing.T) {
+	const eps = 0.05
+	keys := testKeys(20000)
+	r4 := mustRing(t, 128, "shard-0", "shard-1", "shard-2", "shard-3")
+
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r4.Owner(k)
+	}
+
+	r5, err := r4.With("shard-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i, k := range keys {
+		if after := r5.Owner(k); after != before[i] {
+			moved++
+			if after != "shard-4" {
+				t.Fatalf("key %d moved %s -> %s on add, not to the new shard", i, before[i], after)
+			}
+		}
+	}
+	if limit := int((1.0/5 + eps) * float64(len(keys))); moved > limit {
+		t.Errorf("adding a 5th shard moved %d/%d keys, want <= %d (1/5 + %v)",
+			moved, len(keys), limit, eps)
+	}
+	if moved == 0 {
+		t.Error("adding a shard moved no keys — the new member owns nothing")
+	}
+
+	r3, err := r4.Without("shard-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	removedMoved := 0
+	for i, k := range keys {
+		after := r3.Owner(k)
+		switch {
+		case before[i] == "shard-2":
+			removedMoved++
+			if after == "shard-2" {
+				t.Fatalf("key %d still owned by removed shard", i)
+			}
+		case after != before[i]:
+			t.Fatalf("key %d moved %s -> %s on removal of an unrelated shard", i, before[i], after)
+		}
+	}
+	if limit := int((1.0/4 + eps) * float64(len(keys))); removedMoved > limit {
+		t.Errorf("removing a shard moved %d/%d keys, want <= %d (1/4 + %v)",
+			removedMoved, len(keys), limit, eps)
+	}
+}
+
+// TestRingDeterminism: placement depends only on membership and vnode
+// count, never on construction order or process state.
+func TestRingDeterminism(t *testing.T) {
+	a := mustRing(t, 64, "s1", "s2", "s3")
+	b := mustRing(t, 64, "s3", "s1", "s2")
+	for _, k := range testKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner differs for construction orders: %s vs %s", a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingSuccessors: the failover sequence starts at the owner, lists
+// distinct members, and is capped by the membership size.
+func TestRingSuccessors(t *testing.T) {
+	r := mustRing(t, 32, "s1", "s2", "s3")
+	for _, k := range testKeys(100) {
+		succ := r.Successors(k, 5)
+		if len(succ) != 3 {
+			t.Fatalf("successors = %v, want all 3 members", succ)
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("successors %v do not start at owner %s", succ, r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("duplicate member in successors %v", succ)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingValidation: empty, duplicate and unknown members are errors.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(8); err == nil {
+		t.Error("empty ring built without error")
+	}
+	if _, err := NewRing(8, "a", "a"); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewRing(8, ""); err == nil {
+		t.Error("empty member name accepted")
+	}
+	r := mustRing(t, 8, "a", "b")
+	if _, err := r.Without("zz"); err == nil {
+		t.Error("removing a non-member succeeded")
+	}
+	if _, err := r.With("a"); err == nil {
+		t.Error("adding an existing member succeeded")
+	}
+}

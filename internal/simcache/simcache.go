@@ -33,6 +33,13 @@ type Key [sha256.Size]byte
 // String returns the key in hex, as used for on-disk file names.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// RingPoint projects the key onto the 64-bit keyspace a consistent-hash
+// ring partitions. The leading 8 bytes of a SHA-256 are uniformly
+// distributed, so the projection preserves the property sharding needs:
+// the same logical configuration lands on the same ring position on any
+// host, in any process, and distinct configurations spread evenly.
+func (k Key) RingPoint() uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
 // Kind tags prefix every encoded value so that adjacent fields of
 // different types can never alias (e.g. the bool pair (true, false) and
 // the int 1 encode differently).
